@@ -1,0 +1,54 @@
+"""Ablation: validator overhead as a function of memory intensity.
+
+Fig. 15's 1-12% band has a mechanism: the inserted checks run only on
+global-memory accesses, so compute-bound kernels barely notice while
+fully memory-bound ones pay the cap.  This bench sweeps the kernel
+memory-intensity knob and verifies the overhead curve is monotone and
+bounded by the cap.
+"""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult
+from repro.gpu.cost_model import (
+    VALIDATOR_MAX_OVERHEAD,
+    GpuSpec,
+    KernelCost,
+    kernel_duration,
+)
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="ablation-validator-sweep",
+        title="Validator overhead vs kernel memory intensity",
+        columns=["memory_intensity", "base_us", "instrumented_us",
+                 "overhead_pct"],
+        notes="Fig. 15 band: 1-12%; the cap binds only fully "
+              "memory-bound kernels",
+    )
+    spec = GpuSpec()
+    for intensity in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+        cost = KernelCost(flops=5e10, bytes_moved=5e8,
+                          memory_intensity=intensity)
+        base = kernel_duration(cost, spec)
+        inst = kernel_duration(cost, spec, instrumented=True)
+        result.add(
+            memory_intensity=intensity,
+            base_us=base * 1e6, instrumented_us=inst * 1e6,
+            overhead_pct=100.0 * (inst - base) / base,
+        )
+    return result
+
+
+def test_ablation_validator_sweep(experiment):
+    result = experiment(run)
+    overheads = result.column("overhead_pct")
+    # Monotone in memory intensity.
+    assert overheads == sorted(overheads)
+    # Compute-bound kernels pay ~nothing; the cap binds at intensity 1.
+    assert overheads[0] == pytest.approx(0.0, abs=1e-9)
+    assert overheads[-1] == pytest.approx(100 * VALIDATOR_MAX_OVERHEAD,
+                                          rel=1e-6)
+    # Everything stays inside the paper's 12% band.
+    assert all(o <= 100 * VALIDATOR_MAX_OVERHEAD + 1e-9 for o in overheads)

@@ -1,0 +1,16 @@
+"""Fig. 2 — stop-the-world C/R overhead breakdown (motivation)."""
+
+from repro.experiments.fig02_motivation import run
+
+
+def test_fig02_motivation(experiment):
+    result = experiment(run)
+    rows = {r["phase"]: r["seconds"] for r in result.rows}
+    # Copying dominates the checkpoint; both copies take seconds.
+    assert rows["checkpoint: copy GPU+CPU data"] > 1.0
+    assert rows["restore: copy data"] > 1.0
+    # The context-creation barrier is comparable to the data copy
+    # (§2.3: 3.1 s vs 1.7 s in the paper).
+    assert rows["restore: create GPU context"] > 1.0
+    # Quiesce is negligible next to the copies.
+    assert rows["checkpoint: quiesce"] < 0.1 * rows["total checkpoint"]

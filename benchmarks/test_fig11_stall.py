@@ -1,0 +1,30 @@
+"""Fig. 11 — application stall per C/R system (checkpoint and restore)."""
+
+from repro.experiments.fig11_stall import run
+
+
+def _by(result, direction, app):
+    return {
+        r["system"]: r["stall_s"]
+        for r in result.rows
+        if r["direction"] == direction and r["app"] == app and r["supported"]
+    }
+
+
+def test_fig11_stall(experiment):
+    result = experiment(run)
+    # Checkpoint stall: PHOS well under Singularity on every app
+    # (paper: 70-160% reduction; L13B 0.185 s vs 3.2 s).
+    for app in ("resnet152-train", "ppo-train", "sd-train",
+                "llama2-13b-train"):
+        stalls = _by(result, "checkpoint", app)
+        assert stalls["phos"] < 0.5 * stalls["singularity"], app
+        if "cuda-checkpoint" in stalls:
+            assert stalls["singularity"] < stalls["cuda-checkpoint"], app
+    # The headline: Llama2-13B training stall is an order of magnitude down.
+    llama = _by(result, "checkpoint", "llama2-13b-train")
+    assert llama["phos"] < llama["singularity"] / 5
+    # Restore stall: PHOS avoids the context barrier and overlaps copy.
+    for app in ("resnet152-infer", "llama2-13b-infer"):
+        stalls = _by(result, "restore", app)
+        assert stalls["phos"] < stalls["singularity"] < stalls["cuda-checkpoint"]

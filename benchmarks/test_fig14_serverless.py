@@ -1,0 +1,26 @@
+"""Fig. 14 — serverless cold-start end-to-end execution time."""
+
+from repro.experiments.fig14_serverless import run
+
+
+def test_fig14_serverless(experiment):
+    result = experiment(run)
+    for app in ("resnet152-infer", "sd-infer", "llama2-13b-infer",
+                "llama3-70b-infer"):
+        rows = {r["system"]: r for r in result.rows if r["app"] == app}
+        phos = rows["phos"]["end_to_end_s"]
+        sing = rows["singularity"]["end_to_end_s"]
+        # Ordering holds everywhere (paper: 16x / 24x average gains);
+        # the gains are multiples, not percentages.
+        assert phos < sing, app
+        assert sing / phos > 2, app
+        cuda_row = rows["cuda-checkpoint"]
+        if cuda_row["supported"]:  # no distributed support (L70B)
+            cuda = cuda_row["end_to_end_s"]
+            assert sing < cuda, app
+            assert cuda / phos > 5, app
+    # Small models restore almost instantly under PHOS (sub-second,
+    # paper reports 622 ms even for Llama2-13B).
+    small = {r["system"]: r for r in result.rows
+             if r["app"] == "resnet152-infer"}
+    assert small["phos"]["end_to_end_s"] < 1.0

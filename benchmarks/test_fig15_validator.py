@@ -1,0 +1,13 @@
+"""Fig. 15 — runtime validator overhead and instrumented-kernel ratio."""
+
+from repro.experiments.fig15_validator import run
+
+
+def test_fig15_validator(experiment):
+    result = experiment(run)
+    for row in result.rows:
+        # Paper: 1-12% slowdown across workloads.
+        assert 0.0 <= row["overhead_pct"] <= 12.0, row["app"]
+        # Instrumented (opaque) kernels are a minority of launches.
+        assert row["instrumented_launch_ratio"] < 0.5, row["app"]
+        assert row["instrumented_launch_ratio"] > 0.0, row["app"]

@@ -1,0 +1,18 @@
+"""Fig. 16 — CoW breakdown and the prioritized-PCIe-transfer ablation."""
+
+from repro.experiments.fig16_cow_breakdown import run
+
+
+def test_fig16_cow_breakdown(experiment):
+    result = experiment(run)
+    rows = {r["variant"]: r for r in result.rows}
+    phos = rows["phos-cow"]
+    no_prio = rows["phos-cow-no-prioritized-pcie"]
+    sing = rows["singularity"]
+    # Quiesce is negligible (paper: ~10 ms).
+    assert phos["quiesce_s"] < 0.05
+    # PHOS's total stall is a small fraction of Singularity's.
+    assert phos["total_stall_s"] < 0.25 * sing["total_stall_s"]
+    # Without prioritized transfers, the app starves behind the bulk
+    # load: the stall balloons back toward stop-the-world levels.
+    assert no_prio["total_stall_s"] > 5 * phos["total_stall_s"]

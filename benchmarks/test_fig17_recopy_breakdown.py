@@ -1,0 +1,20 @@
+"""Fig. 17 — recopy breakdown and the coordinated-checkpoint ablation."""
+
+from repro.experiments.fig17_recopy_breakdown import run
+
+
+def test_fig17_recopy_breakdown(experiment):
+    result = experiment(run)
+    rows = {r["variant"]: r for r in result.rows}
+    phos = rows["phos-recopy"]
+    unco = rows["phos-recopy-uncoordinated"]
+    sing = rows["singularity"]
+    # The recopy downtime moves only the delta — far below the full
+    # stop-the-world copy (paper: 2.1 s vs 9.7 s).
+    assert phos["recopy_s_per_gpu"] < 0.6 * sing["stop_world_s"]
+    # The delta is a proper subset of the per-GPU state (70.8 GB).
+    assert 0 < phos["recopied_gb_per_gpu"] < 70.8
+    # Coordinated (CPU-first) ordering does not recopy more than the
+    # uncoordinated run (paper: 47% less; our synthetic write-period
+    # structure yields a smaller but same-direction gap).
+    assert phos["recopied_gb_per_gpu"] <= unco["recopied_gb_per_gpu"] * 1.05

@@ -1,0 +1,20 @@
+"""Fig. 18 — concurrent-restore breakdown."""
+
+from repro.experiments.fig18_restore_breakdown import run
+
+
+def test_fig18_restore_breakdown(experiment):
+    result = experiment(run)
+    rows = {r["variant"]: r for r in result.rows}
+    phos = rows["phos-concurrent"]
+    sing = rows["singularity-stop-world"]
+    # Factor 1: the context barrier is eliminated (pool assignment in
+    # ~10 ms vs ~3 s of creation).
+    assert phos["context_s"] < 0.1
+    assert sing["context_s"] > 1.0
+    # Factor 2: execution overlaps the copy — the process resumes
+    # immediately instead of waiting for all data.
+    assert phos["time_to_resume_s"] < 0.1
+    assert sing["time_to_resume_s"] > 3.0
+    # End-to-end, serving N tokens completes much earlier under PHOS.
+    assert phos["n_tokens_total_s"] < 0.6 * sing["n_tokens_total_s"]

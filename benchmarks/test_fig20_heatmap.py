@@ -1,0 +1,29 @@
+"""Fig. 20 — read/write sets traced across a training iteration."""
+
+from repro.experiments.fig20_heatmap import run
+
+
+def _series(result, kind, group):
+    for r in result.rows:
+        if r["kind"] == kind and r["group"] == group:
+            return [r[f"t{i}"] for i in range(10)]
+    raise AssertionError(f"missing series {kind}/{group}")
+
+
+def test_fig20_heatmap(experiment):
+    result = experiment(run)
+    act_w = _series(result, "write", "act")
+    weights_w = _series(result, "write", "weights")
+    opt_w = _series(result, "write", "opt_m")
+    grads_w = _series(result, "write", "grads")
+    # Activations are written early (forward), not at the end.
+    assert sum(act_w[:5]) > 0
+    assert sum(act_w[8:]) == 0
+    # Weights and optimizer state are written ONLY in the update bins.
+    assert sum(weights_w[:7]) == 0 and sum(weights_w[7:]) > 0
+    assert sum(opt_w[:7]) == 0 and sum(opt_w[7:]) > 0
+    # Gradients appear in the backward (middle) phase.
+    assert sum(grads_w[3:9]) > 0 and grads_w[0] == 0
+    # Weights are read throughout the forward/backward phases.
+    weights_r = _series(result, "read", "weights")
+    assert sum(weights_r[:6]) > 0

@@ -1,0 +1,46 @@
+"""Sweep: wasted GPU time vs checkpoint frequency (§A.1's curve).
+
+Evaluates the published waste model across a frequency range using a
+*measured* checkpoint overhead, verifying that the analytic optimum
+f* = sqrt(NF/2O) actually sits at the curve's minimum — the property
+PHOS's frequency controller relies on.
+"""
+
+import pytest
+
+from repro import units
+from repro.core.frequency import optimal_frequency, wasted_gpu_hours
+from repro.experiments.harness import ExperimentResult
+from repro.tasks.fault_tolerance import measure_checkpoint_overhead
+
+APP = "ppo-train"
+FAILURES = 1.0
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="sweep-frequency",
+        title=f"Wasted GPU fraction vs checkpoint frequency ({APP})",
+        columns=["ckpt_per_hour", "wasted_frac", "is_optimum"],
+    )
+    m = measure_checkpoint_overhead("phos", APP)
+    overhead_h = m.checkpoint_stall / units.HOUR
+    restore_h = 30.0 / units.HOUR
+    f_star = optimal_frequency(1, FAILURES, overhead_h)
+    for factor in (0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 10.0):
+        f = f_star * factor
+        waste = wasted_gpu_hours(1, FAILURES, 1.0, overhead_h, restore_h, f)
+        result.add(ckpt_per_hour=f, wasted_frac=waste,
+                   is_optimum=(factor == 1.0))
+    return result
+
+
+def test_sweep_frequency(experiment):
+    result = experiment(run)
+    rows = result.rows
+    optimum = next(r for r in rows if r["is_optimum"])
+    for row in rows:
+        assert optimum["wasted_frac"] <= row["wasted_frac"] + 1e-12
+    # The curve is convex-ish: both extremes are clearly worse.
+    assert rows[0]["wasted_frac"] > 1.5 * optimum["wasted_frac"]
+    assert rows[-1]["wasted_frac"] > 1.5 * optimum["wasted_frac"]

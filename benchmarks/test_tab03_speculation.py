@@ -1,0 +1,22 @@
+"""Table 3 — the speculation feasibility study (§8.5)."""
+
+from repro.experiments.tab03_speculation import run
+
+
+def test_tab03_speculation(experiment):
+    result = experiment(run)
+    rows = {r["suite"]: r for r in result.rows}
+    # Kernel counts match Table 3 exactly.
+    assert rows["rodinia"]["kernels"] == 44
+    assert rows["parboil"]["kernels"] == 18
+    assert rows["vllm"]["kernels"] == 66
+    assert rows["tvm"]["kernels"] == 607
+    assert rows["flashinfer"]["kernels"] == 69
+    # Exactly one kernel in all suites fails speculation — the dated
+    # Rodinia kernel reading through a module-global pointer.
+    total_failed = sum(r["kernels_failed"] for r in result.rows)
+    assert total_failed == 1
+    assert rows["rodinia"]["kernels_failed"] == 1
+    assert rows["rodinia"]["instances_failed"] == 20  # as in the paper
+    for suite in ("parboil", "vllm", "tvm", "flashinfer"):
+        assert rows[suite]["instances_failed"] == 0

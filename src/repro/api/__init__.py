@@ -1,0 +1,21 @@
+"""The GPU API surface that PHOS intercepts.
+
+:class:`~repro.api.runtime.CudaRuntime` is the equivalent of the CUDA
+runtime/driver API as seen by one process.  Every call is classified
+into the four categories of §4.1 (memory moves, communication kernels,
+well-defined library kernels, opaque kernels) and flows through an
+optional interceptor — the PHOS frontend — before reaching the device.
+"""
+
+from repro.api.calls import ApiCall, ApiCategory, LaunchPlan
+from repro.api.nccl import NcclCommunicator
+from repro.api.runtime import CudaRuntime, GpuProcess
+
+__all__ = [
+    "ApiCall",
+    "ApiCategory",
+    "CudaRuntime",
+    "GpuProcess",
+    "LaunchPlan",
+    "NcclCommunicator",
+]

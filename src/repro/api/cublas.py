@@ -1,0 +1,49 @@
+"""cuBLAS-equivalent library kernels (type 3: well-defined semantics).
+
+These wrappers exist so workload models read like their PyTorch
+counterparts: a GEMM's read set is {A, B} plus C when accumulating, and
+its write set is {C}, straight from the cuBLAS specification [52] — no
+speculation involved.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.cost_model import KernelCost
+from repro.gpu.memory import Buffer
+from repro.gpu.stream import Stream
+
+
+def sgemm(runtime, gpu_index: int, a: Buffer, b: Buffer, c: Buffer,
+          m: int, n: int, k: int, accumulate: bool = False,
+          stream: Optional[Stream] = None, sync: bool = False):
+    """Generator: ``C = A @ B`` (or ``C += A @ B``) as a cuBLAS call.
+
+    Cost: ``2 m n k`` flops; bytes moved are the three operand sizes.
+    """
+    cost = KernelCost(
+        flops=2.0 * m * n * k,
+        bytes_moved=float(a.size + b.size + c.size),
+        memory_intensity=0.2,
+    )
+    reads = [a, b] + ([c] if accumulate else [])
+    op = yield from runtime.lib_compute(
+        gpu_index, "cublasSgemm", reads=reads, writes=[c], cost=cost,
+        stream=stream, sync=sync, salt=m * 31 + n * 7 + k,
+    )
+    return op
+
+
+def axpy(runtime, gpu_index: int, x: Buffer, y: Buffer, n: int,
+         stream: Optional[Stream] = None, sync: bool = False):
+    """Generator: ``y += a*x`` as a cuBLAS Saxpy (memory-bound)."""
+    cost = KernelCost(
+        flops=2.0 * n, bytes_moved=float(x.size + 2 * y.size),
+        memory_intensity=0.9,
+    )
+    op = yield from runtime.lib_compute(
+        gpu_index, "cublasSaxpy", reads=[x, y], writes=[y], cost=cost,
+        stream=stream, sync=sync, salt=n,
+    )
+    return op

@@ -1,0 +1,168 @@
+"""NCCL-equivalent collectives: type-2 communication kernels.
+
+A collective is issued once by the process and materializes one stream
+operation per participating GPU.  The per-rank operations rendezvous at
+a barrier (a real NCCL collective cannot start until every rank has
+joined), then the transfer runs at ring-collective cost over NVLink,
+and the functional effect is applied exactly once.
+
+Each rank's operation carries its own :class:`~repro.api.calls.ApiCall`
+(reads = that rank's send buffer, writes = that rank's receive buffer):
+the read/write semantics of communication kernels are known from the
+NCCL specification, so PHOS never instruments them (§4.1, type 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro import units
+from repro.api.calls import ApiCall, ApiCategory
+from repro.errors import InvalidValueError
+from repro.gpu.memory import Buffer
+from repro.sim.engine import Engine
+
+_comm_ids = itertools.count(1)
+
+
+class NcclCommunicator:
+    """A communicator over a set of GPUs connected by NVLink."""
+
+    def __init__(self, engine: Engine, gpu_indices: list[int],
+                 nvlink_bw: float = units.NVLINK_BW, pooled: bool = False) -> None:
+        if len(gpu_indices) < 1:
+            raise InvalidValueError("communicator needs at least one GPU")
+        self.engine = engine
+        self.id = next(_comm_ids)
+        self.gpu_indices = list(gpu_indices)
+        self.nvlink_bw = nvlink_bw
+        self.pooled = pooled
+
+    @property
+    def size(self) -> int:
+        return len(self.gpu_indices)
+
+    def split(self, gpu_indices: list[int]) -> "NcclCommunicator":
+        """ncclCommSplit: derive a sub-communicator (cheap, §6)."""
+        missing = set(gpu_indices) - set(self.gpu_indices)
+        if missing:
+            raise InvalidValueError(f"GPUs {sorted(missing)} not in communicator")
+        return NcclCommunicator(
+            self.engine, gpu_indices, nvlink_bw=self.nvlink_bw, pooled=self.pooled
+        )
+
+    # -- cost helpers -----------------------------------------------------------
+    def allreduce_time(self, nbytes: int) -> float:
+        """Ring all-reduce: 2(n-1)/n of the data crosses each link."""
+        n = self.size
+        if n == 1:
+            return 0.0
+        return (2 * (n - 1) / n) * nbytes / self.nvlink_bw
+
+    def broadcast_time(self, nbytes: int) -> float:
+        if self.size == 1:
+            return 0.0
+        return nbytes / self.nvlink_bw
+
+
+def nccl_allreduce(runtime, comm: NcclCommunicator,
+                   buffers: dict[int, Buffer], sync: bool = False):
+    """Generator: all-reduce ``buffers`` (one per GPU index) in place."""
+    _check_ranks(comm, buffers)
+    nbytes = next(iter(buffers.values())).size
+    duration = comm.allreduce_time(nbytes)
+
+    def apply() -> None:
+        views = [buffers[i].data.view(np.uint64) for i in comm.gpu_indices]
+        with np.errstate(over="ignore"):
+            total = views[0].copy()
+            for v in views[1:]:
+                total += v
+        for v in views:
+            v[:] = total
+        for i in comm.gpu_indices:
+            buffers[i].touch()
+
+    ops = yield from _issue(
+        runtime, comm, "ncclAllReduce", buffers, buffers, duration, apply
+    )
+    if sync:
+        for op in ops:
+            yield op.done
+    return ops
+
+
+def nccl_broadcast(runtime, comm: NcclCommunicator, root: int,
+                   buffers: dict[int, Buffer], sync: bool = False):
+    """Generator: broadcast the root's buffer content to all ranks."""
+    _check_ranks(comm, buffers)
+    if root not in comm.gpu_indices:
+        raise InvalidValueError(f"root GPU {root} not in communicator")
+    nbytes = buffers[root].size
+    duration = comm.broadcast_time(nbytes)
+
+    def apply() -> None:
+        src = buffers[root].data
+        for i in comm.gpu_indices:
+            if i != root:
+                n = min(len(src), buffers[i].data_size)
+                buffers[i].data[:n] = src[:n]
+                buffers[i].touch()
+
+    reads = {root: buffers[root]}
+    ops = yield from _issue(
+        runtime, comm, "ncclBroadcast", reads, buffers, duration, apply
+    )
+    if sync:
+        for op in ops:
+            yield op.done
+    return ops
+
+
+def _check_ranks(comm: NcclCommunicator, buffers: dict[int, Buffer]) -> None:
+    if set(buffers) != set(comm.gpu_indices):
+        raise InvalidValueError(
+            f"collective buffers {sorted(buffers)} do not match communicator "
+            f"GPUs {sorted(comm.gpu_indices)}"
+        )
+
+
+def _issue(runtime, comm: NcclCommunicator, name: str,
+           reads: dict[int, Buffer], writes: dict[int, Buffer],
+           duration: float, apply):
+    """Create the per-rank stream ops with a shared start barrier."""
+    engine = runtime.engine
+    yield from runtime._gate()
+    start = engine.event(name=f"{name}-start")
+    arrivals = {"count": 0}
+    applied = {"done": False}
+    n = comm.size
+    ops = []
+    for gpu_index in comm.gpu_indices:
+        runtime._require_context(gpu_index)
+        call = ApiCall(
+            ApiCategory.COMM, name, gpu_index,
+            reads=[reads[gpu_index]] if gpu_index in reads else [],
+            writes=[writes[gpu_index]], nbytes=writes[gpu_index].size,
+        )
+        plan = runtime._frontend(call)
+        yield from runtime._call_overhead(plan)
+
+        def body(call=call, plan=plan):
+            arrivals["count"] += 1
+            if arrivals["count"] == n:
+                start.succeed()
+            yield start
+            if duration > 0:
+                yield engine.timeout(duration)
+            if not applied["done"]:
+                applied["done"] = True
+                apply()
+            if plan.on_complete is not None:
+                plan.on_complete(call, None)
+
+        stream = runtime.process.default_stream(gpu_index)
+        ops.append(stream.submit(name, body, pre_exec=plan.pre_exec))
+    return ops

@@ -1,0 +1,26 @@
+"""Workload models: the applications of Table 2/Table 4.
+
+Each workload is a synthetic but structurally faithful model of its
+real counterpart: it allocates the buffer inventory Table 4 reports
+(buffer counts, per-GPU memory, active kernel counts), and drives the
+GPU through the same phase structure (data load, forward, backward,
+all-reduce, optimizer update — or token-by-token decode with KV-cache
+appends), with kernel costs calibrated so iteration/token times land
+near the paper's measurements.
+
+The checkpoint protocols only observe buffer allocation patterns,
+kernel argument lists, and access timing — exactly what these models
+reproduce.
+"""
+
+from repro.apps.base import InferenceWorkload, TrainingWorkload, Workload
+from repro.apps.specs import APP_SPECS, AppSpec, get_spec
+
+__all__ = [
+    "APP_SPECS",
+    "AppSpec",
+    "InferenceWorkload",
+    "TrainingWorkload",
+    "Workload",
+    "get_spec",
+]

@@ -1,0 +1,26 @@
+"""Llama workload models — Table 2/4.
+
+Llama2-13B: 8-GPU tensor-parallel (8TP, batch 4) training and
+single-GPU inference; Llama3.3-70B: 8-GPU inference.  These are the
+headline workloads of every end-to-end experiment (§8.1).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import provision
+from repro.apps.specs import get_spec
+
+
+def llama2_13b_train(engine, machine, **kwargs):
+    """A Llama2-13B 8-GPU (8TP) training process + workload."""
+    return provision(engine, machine, get_spec("llama2-13b-train"), **kwargs)
+
+
+def llama2_13b_infer(engine, machine, **kwargs):
+    """A Llama2-13B single-GPU inference process + workload."""
+    return provision(engine, machine, get_spec("llama2-13b-infer"), **kwargs)
+
+
+def llama3_70b_infer(engine, machine, **kwargs):
+    """A Llama3.3-70B 8-GPU inference process + workload."""
+    return provision(engine, machine, get_spec("llama3-70b-infer"), **kwargs)

@@ -1,0 +1,16 @@
+"""PPO-336M (OpenAI Gym) workload model — Table 2/4.
+
+Reinforcement learning training: CPU-heavy environment stepping
+interleaved with GPU policy updates, few but long-lived buffers
+(75 per GPU), 41 active kernels.  Training-only per Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import provision
+from repro.apps.specs import get_spec
+
+
+def ppo_train(engine, machine, **kwargs):
+    """A PPO-336M training process + workload."""
+    return provision(engine, machine, get_spec("ppo-train"), **kwargs)

@@ -1,0 +1,22 @@
+"""ResNet-152M (torchvision) workload models — Table 2/4.
+
+Vision training on CIFAR-10 with batch size 32 (§A.3): small per-GPU
+memory (1.8 GB), many small tensors, short iterations.  The generic
+training/inference engines are already shaped correctly by the spec;
+this module just names the configurations.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import provision
+from repro.apps.specs import get_spec
+
+
+def resnet152_train(engine, machine, **kwargs):
+    """A ResNet-152M training process + workload."""
+    return provision(engine, machine, get_spec("resnet152-train"), **kwargs)
+
+
+def resnet152_infer(engine, machine, **kwargs):
+    """A ResNet-152M inference process + workload."""
+    return provision(engine, machine, get_spec("resnet152-infer"), **kwargs)

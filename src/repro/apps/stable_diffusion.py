@@ -1,0 +1,20 @@
+"""Stable Diffusion-1B (HuggingFace) workload models — Table 2/4.
+
+SD v1-4: multi-GPU data-parallel training (8 GPUs, batch 1536 per GPU,
+70.6 GB each) and single-GPU inference.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import provision
+from repro.apps.specs import get_spec
+
+
+def sd_train(engine, machine, **kwargs):
+    """A Stable Diffusion-1B 8-GPU training process + workload."""
+    return provision(engine, machine, get_spec("sd-train"), **kwargs)
+
+
+def sd_infer(engine, machine, **kwargs):
+    """A Stable Diffusion-1B inference process + workload."""
+    return provision(engine, machine, get_spec("sd-infer"), **kwargs)

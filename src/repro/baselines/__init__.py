@@ -1,0 +1,24 @@
+"""Baseline C/R systems (§8): Singularity and cuda-checkpoint.
+
+Both are stop-the-world systems; they differ in data-path efficiency.
+Our in-codebase Singularity is the "carefully tuned" reimplementation
+the paper compares against (pinned memory, full PCIe utilization);
+cuda-checkpoint models NVIDIA's tool, which "cannot achieve a
+PCIe-fully-utilized data copy speed" and is orders of magnitude slower.
+"""
+
+from repro.baselines.cuda_checkpoint import (
+    cuda_checkpoint_checkpoint,
+    cuda_checkpoint_restore,
+)
+from repro.baselines.singularity import (
+    singularity_checkpoint,
+    singularity_restore,
+)
+
+__all__ = [
+    "cuda_checkpoint_checkpoint",
+    "cuda_checkpoint_restore",
+    "singularity_checkpoint",
+    "singularity_restore",
+]

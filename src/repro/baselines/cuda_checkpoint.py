@@ -1,0 +1,49 @@
+"""NVIDIA cuda-checkpoint [56] — the official OS-level C/R tool.
+
+The paper measures it as "extremely slow, e.g., it cannot achieve a
+PCIe-fully-utilized data copy speed" (its source is closed, so the
+paper — and we — model the observed behaviour): an unpinned, per-buffer
+staged copy path at a small fraction of PCIe bandwidth plus per-buffer
+bookkeeping overhead, with a full context-creation barrier on restore.
+It also "does not support checkpointing distributed jobs" (Fig. 12),
+which we enforce.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocols.stop_world import (
+    checkpoint_stop_world,
+    restore_stop_world,
+)
+from repro.errors import CheckpointError
+from repro.gpu.cost_model import CUDA_CHECKPOINT_SPEC
+
+
+def cuda_checkpoint_checkpoint(engine, process, medium, criu, name: str = "",
+                               keep_stopped: bool = False, tracer=None):
+    """Generator: a cuda-checkpoint checkpoint (slow stop-the-world)."""
+    if len(process.gpu_indices) > 1:
+        raise CheckpointError(
+            "cuda-checkpoint does not support checkpointing distributed "
+            "(multi-GPU) jobs"
+        )
+    image = yield from checkpoint_stop_world(
+        engine, process, medium, criu, baseline=CUDA_CHECKPOINT_SPEC,
+        name=name or f"cuda-checkpoint-{process.name}",
+        keep_stopped=keep_stopped, tracer=tracer,
+    )
+    return image
+
+
+def cuda_checkpoint_restore(engine, image, machine, gpu_indices, medium, criu,
+                            name: str = "cuda-checkpoint-restored", tracer=None):
+    """Generator: a cuda-checkpoint restore."""
+    if len(gpu_indices) > 1:
+        raise CheckpointError(
+            "cuda-checkpoint does not support restoring distributed jobs"
+        )
+    process = yield from restore_stop_world(
+        engine, image, machine, gpu_indices, medium, criu,
+        name=name, baseline=CUDA_CHECKPOINT_SPEC, tracer=tracer,
+    )
+    return process

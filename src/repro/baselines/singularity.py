@@ -1,0 +1,37 @@
+"""Singularity [63] — the tuned stop-the-world baseline.
+
+"We implemented Singularity — the state-of-the-art stop-the-world GPU
+C/R system — in our codebase ... we leverage pinned memory to achieve
+maximum data copy performance" (§8).  Checkpoint and restore both
+quiesce the process for the whole copy; restore additionally pays the
+full context-creation barrier (§2.3).
+"""
+
+from __future__ import annotations
+
+from repro.core.protocols.stop_world import (
+    checkpoint_stop_world,
+    restore_stop_world,
+)
+from repro.gpu.cost_model import SINGULARITY_SPEC
+
+
+def singularity_checkpoint(engine, process, medium, criu, name: str = "",
+                           keep_stopped: bool = False, tracer=None):
+    """Generator: a Singularity checkpoint (full-PCIe stop-the-world)."""
+    image = yield from checkpoint_stop_world(
+        engine, process, medium, criu, baseline=SINGULARITY_SPEC,
+        name=name or f"singularity-{process.name}",
+        keep_stopped=keep_stopped, tracer=tracer,
+    )
+    return image
+
+
+def singularity_restore(engine, image, machine, gpu_indices, medium, criu,
+                        name: str = "singularity-restored", tracer=None):
+    """Generator: a Singularity restore (context barrier + bulk copy)."""
+    process = yield from restore_stop_world(
+        engine, image, machine, gpu_indices, medium, criu,
+        name=name, baseline=SINGULARITY_SPEC, tracer=tracer,
+    )
+    return process

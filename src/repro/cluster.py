@@ -1,0 +1,115 @@
+"""Machines and clusters: the testbed topology of §8.
+
+A :class:`Machine` is one server: eight GPUs behind PCIe, host DRAM
+(usable as a checkpoint medium), and an RDMA NIC per GPU for the
+cross-machine paths (migration, remote checkpoints).  A
+:class:`Cluster` wires two or more machines together with 100 Gbps RDMA
+links, including GPU-direct RDMA (§7's migration path copies source GPU
+buffers straight into target GPU buffers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.errors import InvalidValueError
+from repro.gpu.cost_model import GpuSpec
+from repro.gpu.device import Gpu
+from repro.sim.engine import Engine
+from repro.sim.fluid import FluidLink
+from repro.storage.media import DramMedia
+
+
+class Machine:
+    """One GPU server."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str = "node0",
+        n_gpus: int = 8,
+        spec: Optional[GpuSpec] = None,
+        default_data_size: Optional[int] = None,
+    ) -> None:
+        if n_gpus < 1:
+            raise InvalidValueError(f"a machine needs at least one GPU, got {n_gpus}")
+        self.engine = engine
+        self.name = name
+        self.spec = spec or GpuSpec()
+        self.gpus = [
+            Gpu(engine, index=i, spec=self.spec, default_data_size=default_data_size)
+            for i in range(n_gpus)
+        ]
+        #: Host DRAM as a checkpoint medium (the paper's fast default).
+        self.dram = DramMedia(engine, name=f"{name}-dram")
+
+    def gpu(self, index: int) -> Gpu:
+        if not 0 <= index < len(self.gpus):
+            raise InvalidValueError(
+                f"GPU index {index} out of range for {self.name} "
+                f"({len(self.gpus)} GPUs)"
+            )
+        return self.gpus[index]
+
+    def __repr__(self) -> str:
+        return f"<Machine {self.name} gpus={len(self.gpus)}>"
+
+
+class RdmaLink:
+    """A 100 Gbps RDMA path between two machines (one per GPU pair).
+
+    Modelled as a fluid link per direction; GPU-direct transfers flow
+    through it with a rate cap at the lower of RDMA and PCIe bandwidth
+    (the data still crosses each host's PCIe complex).
+    """
+
+    def __init__(self, engine: Engine, a: Machine, b: Machine,
+                 bandwidth: float = units.RDMA_100GBPS) -> None:
+        self.engine = engine
+        self.a = a
+        self.b = b
+        self.bandwidth = bandwidth
+        self._links = {
+            (a.name, b.name): FluidLink(engine, bandwidth, name=f"{a.name}->{b.name}"),
+            (b.name, a.name): FluidLink(engine, bandwidth, name=f"{b.name}->{a.name}"),
+        }
+
+    def flow(self, src: Machine, dst: Machine, nbytes: float,
+             rate_cap: Optional[float] = None):
+        """Generator: move bytes from ``src`` to ``dst``."""
+        key = (src.name, dst.name)
+        if key not in self._links:
+            raise InvalidValueError(f"no RDMA path {src.name} -> {dst.name}")
+        yield from self._links[key].flow(nbytes, rate_cap=rate_cap)
+
+
+class Cluster:
+    """A set of machines fully connected by RDMA."""
+
+    def __init__(self, engine: Engine, machines: list[Machine]) -> None:
+        if not machines:
+            raise InvalidValueError("a cluster needs at least one machine")
+        self.engine = engine
+        self.machines = list(machines)
+        self._links: dict[frozenset, RdmaLink] = {}
+        for i, a in enumerate(machines):
+            for b in machines[i + 1 :]:
+                self._links[frozenset((a.name, b.name))] = RdmaLink(engine, a, b)
+
+    def link(self, a: Machine, b: Machine) -> RdmaLink:
+        key = frozenset((a.name, b.name))
+        if key not in self._links:
+            raise InvalidValueError(f"no link between {a.name} and {b.name}")
+        return self._links[key]
+
+    @classmethod
+    def testbed(cls, engine: Engine, n_machines: int = 2, n_gpus: int = 8,
+                default_data_size: Optional[int] = None) -> "Cluster":
+        """The paper's testbed: two 8-GPU A800 servers, 100 Gbps RDMA."""
+        machines = [
+            Machine(engine, name=f"node{i}", n_gpus=n_gpus,
+                    default_data_size=default_data_size)
+            for i in range(n_machines)
+        ]
+        return cls(engine, machines)

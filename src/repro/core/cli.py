@@ -1,0 +1,210 @@
+"""The ``phos`` command-line tool (§3, component 1).
+
+The real tool checkpoints/restores/migrates live processes by PID; this
+reproduction has no processes to attach to, so each subcommand runs the
+corresponding end-to-end flow against a chosen simulated application
+and reports the outcome:
+
+* ``phos apps`` — list the Table 4 application models;
+* ``phos checkpoint --app X [--mode cow|recopy|stop-world]`` — run the
+  app, take a checkpoint, report the stall and image size;
+* ``phos restore --app X [--stop-world] [--no-pool]`` — checkpoint then
+  cold-restore, report time-to-resume and totals;
+* ``phos migrate --app X [--system ...]`` — live-migrate between two
+  machines, report the downtime;
+* ``phos study`` — the §8.5 speculation feasibility study (Table 3);
+* ``phos bench --exp figNN`` — regenerate one paper figure/table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import units
+from repro.apps.base import provision
+from repro.apps.specs import APP_SPECS, get_spec
+from repro.cluster import Machine
+from repro.core.daemon import Phos
+from repro.sim import Engine
+
+_EXPERIMENTS = {
+    "fig02": "repro.experiments.fig02_motivation",
+    "fig11": "repro.experiments.fig11_stall",
+    "fig12": "repro.experiments.fig12_wasted",
+    "fig13": "repro.experiments.fig13_migration",
+    "fig14": "repro.experiments.fig14_serverless",
+    "fig15": "repro.experiments.fig15_validator",
+    "fig16": "repro.experiments.fig16_cow_breakdown",
+    "fig17": "repro.experiments.fig17_recopy_breakdown",
+    "fig18": "repro.experiments.fig18_restore_breakdown",
+    "fig19": "repro.experiments.fig19_timing",
+    "fig20": "repro.experiments.fig20_heatmap",
+    "tab03": "repro.experiments.tab03_speculation",
+    "tab04": "repro.experiments.tab04_setups",
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    return args.func(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="phos",
+        description="PhoenixOS reproduction: concurrent GPU checkpoint/restore",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p = sub.add_parser("apps", help="list the application models")
+    p.set_defaults(func=cmd_apps)
+
+    p = sub.add_parser("checkpoint", help="checkpoint a running application")
+    p.add_argument("--app", default="resnet152-train", choices=sorted(APP_SPECS))
+    p.add_argument("--mode", default="cow",
+                   choices=("cow", "recopy", "stop-world"))
+    p.add_argument("--steps", type=int, default=3,
+                   help="iterations to run concurrently with the checkpoint")
+    p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser("restore", help="checkpoint then cold-restore an app")
+    p.add_argument("--app", default="resnet152-infer", choices=sorted(APP_SPECS))
+    p.add_argument("--stop-world", action="store_true",
+                   help="use the stop-the-world restore instead of concurrent")
+    p.add_argument("--no-pool", action="store_true",
+                   help="create contexts from scratch (no context pool)")
+    p.set_defaults(func=cmd_restore)
+
+    p = sub.add_parser("migrate", help="live-migrate an app between machines")
+    p.add_argument("--app", default="resnet152-train", choices=sorted(APP_SPECS))
+    p.add_argument("--system", default="phos",
+                   choices=("phos", "singularity", "cuda-checkpoint"))
+    p.set_defaults(func=cmd_migrate)
+
+    p = sub.add_parser("study", help="run the §8.5 speculation study (Table 3)")
+    p.set_defaults(func=cmd_study)
+
+    p = sub.add_parser("bench", help="regenerate one paper figure/table")
+    p.add_argument("--exp", required=True, choices=sorted(_EXPERIMENTS))
+    p.set_defaults(func=cmd_bench)
+    return parser
+
+
+def cmd_apps(args) -> int:
+    print(f"{'name':20s} {'kind':6s} {'gpus':>4s} {'mem/GPU':>9s} "
+          f"{'buffers':>8s} {'kernels':>8s} {'step':>8s}")
+    for name, spec in APP_SPECS.items():
+        print(f"{name:20s} {spec.kind:6s} {spec.n_gpus:4d} "
+              f"{spec.mem_per_gpu / units.GIB:8.1f}G {spec.n_buffers:8d} "
+              f"{spec.n_kernels:8d} {units.fmt_seconds(spec.step_time):>8s}")
+    return 0
+
+
+def cmd_checkpoint(args) -> int:
+    engine = Engine()
+    spec = get_spec(args.app)
+    machine = Machine(engine, n_gpus=spec.n_gpus)
+    phos = Phos(engine, machine, use_context_pool=False)
+    process, workload = provision(engine, machine, spec)
+    phos.attach(process)
+
+    def driver(engine):
+        yield from workload.setup()
+        yield from workload.run(2)
+        t0 = engine.now
+        yield from workload.run(args.steps)
+        baseline = engine.now - t0
+        handle = phos.checkpoint(process, mode=args.mode)
+        t1 = engine.now
+        yield from workload.run(args.steps)
+        stall = (engine.now - t1) - baseline
+        result = yield handle
+        image = result[0] if isinstance(result, tuple) else result
+        session = result[1] if isinstance(result, tuple) else None
+        return baseline / args.steps, max(0.0, stall), image, session
+
+    iter_s, stall, image, session = engine.run_process(driver(engine))
+    engine.run()
+    from repro.core.report import checkpoint_report
+
+    print(f"app={args.app} mode={args.mode}")
+    print(f"  iteration time     : {units.fmt_seconds(iter_s)}")
+    print(f"  application stall  : {units.fmt_seconds(stall)}")
+    print(checkpoint_report(image, session, phos.tracer))
+    return 0
+
+
+def cmd_restore(args) -> int:
+    engine = Engine()
+    spec = get_spec(args.app)
+    machine = Machine(engine, n_gpus=spec.n_gpus)
+    phos = Phos(engine, machine, use_context_pool=False)
+    process, workload = provision(engine, machine, spec)
+    phos.attach(process)
+    worker = Machine(engine, name="worker", n_gpus=spec.n_gpus)
+    use_pool = not args.no_pool and not args.stop_world
+    phos_worker = Phos(engine, worker, use_context_pool=use_pool)
+    if use_pool:
+        engine.run_process(phos_worker.boot())
+
+    def driver(engine):
+        yield from workload.setup()
+        yield from workload.run(1)
+        image, _ = yield phos.checkpoint(process, mode="cow")
+        t0 = engine.now
+        result = yield from phos_worker.restore(
+            image, gpu_indices=list(range(spec.n_gpus)),
+            concurrent=not args.stop_world, machine=worker,
+            use_pool=use_pool,
+        )
+        new_process = result[0]
+        resume_t = engine.now - t0
+        workload.bind_restored(new_process)
+        yield from workload.run(2)
+        return resume_t, engine.now - t0
+
+    resume_t, total_t = engine.run_process(driver(engine))
+    engine.run()
+    kind = "stop-the-world" if args.stop_world else "concurrent"
+    print(f"app={args.app} restore={kind} pool={'on' if use_pool else 'off'}")
+    print(f"  time until runnable          : {units.fmt_seconds(resume_t)}")
+    print(f"  restore + 2 steps, end-to-end: {units.fmt_seconds(total_t)}")
+    return 0
+
+
+def cmd_migrate(args) -> int:
+    from repro.tasks.live_migration import migrate
+
+    result = migrate(args.system, args.app)
+    if not result.supported:
+        print(f"{args.system} cannot migrate {args.app} "
+              "(no distributed support)")
+        return 1
+    print(f"app={args.app} system={args.system}")
+    print(f"  downtime       : {units.fmt_seconds(result.downtime)}")
+    print(f"  total migration: {units.fmt_seconds(result.total_time)}")
+    return 0
+
+
+def cmd_study(args) -> int:
+    from repro.experiments.tab03_speculation import run
+
+    print(run().format())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    import importlib
+
+    module = importlib.import_module(_EXPERIMENTS[args.exp])
+    print(module.run().format())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""The GPU execution context pool (§6).
+
+A long-running PHOS daemon pre-creates CUDA and cuBLAS contexts at boot
+(``cuCtxCreate`` + ``cublasCreate``), plus one NCCL group communicator
+covering all NVLink-connected GPUs.  A restoring process is handed a
+pooled context over IPC in ~10 ms instead of paying the multi-second
+creation barrier; sub-topology communicators are split from the group
+communicator with ``ncclCommSplit``.
+
+The pool refills itself in the background after each hand-out, so
+back-to-back restores (serverless bursts) keep hitting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.api.nccl import NcclCommunicator
+from repro.errors import ContextPoolError
+from repro.gpu.context import ContextRequirements, GpuContext, create_context
+from repro.gpu.cost_model import DEFAULT_CONTEXT_COSTS, ContextCostModel
+from repro.sim.engine import Engine
+
+
+class ContextPool:
+    """Pre-created contexts, one queue per GPU."""
+
+    def __init__(self, engine: Engine, machine, contexts_per_gpu: int = 2,
+                 costs: Optional[ContextCostModel] = None,
+                 refill: bool = True) -> None:
+        self.engine = engine
+        self.machine = machine
+        self.contexts_per_gpu = contexts_per_gpu
+        self.costs = costs or DEFAULT_CONTEXT_COSTS
+        self.refill = refill
+        self._pools: dict[int, deque[GpuContext]] = {
+            gpu.index: deque() for gpu in machine.gpus
+        }
+        self._group_comm: Optional[NcclCommunicator] = None
+        self.hits = 0
+        self.misses = 0
+        self.prefilled = False
+
+    # -- boot-time fill -----------------------------------------------------------
+    def prefill(self):
+        """Generator: create the pool at daemon boot (charged to boot).
+
+        Pool contexts carry cuBLAS handles and the NVLink-wide NCCL
+        group scope; user kernel modules are JIT-loaded lazily on first
+        launch, as with any context.
+        """
+        n_gpus = len(self.machine.gpus)
+        reqs = ContextRequirements(
+            n_modules=0, use_cublas=True,
+            nccl_gpus=n_gpus if n_gpus > 1 else 0,
+        )
+        for gpu in self.machine.gpus:
+            for _ in range(self.contexts_per_gpu):
+                ctx = yield from create_context(
+                    self.engine, gpu.index, reqs, self.costs
+                )
+                ctx.pooled = True
+                self._pools[gpu.index].append(ctx)
+        self._group_comm = NcclCommunicator(
+            self.engine, [gpu.index for gpu in self.machine.gpus], pooled=True
+        )
+        self.prefilled = True
+
+    # -- hand-out -----------------------------------------------------------------
+    def acquire(self, gpu_index: int, requirements: ContextRequirements):
+        """Generator: hand out a context.
+
+        A hit costs the IPC assignment latency; a miss (exhausted or
+        incompatible pool) pays full creation.
+        """
+        if gpu_index not in self._pools:
+            raise ContextPoolError(f"no pool for GPU {gpu_index}")
+        pool = self._pools[gpu_index]
+        candidate = None
+        for ctx in pool:
+            if requirements.satisfied_by(ctx):
+                candidate = ctx
+                break
+        if candidate is not None:
+            pool.remove(candidate)
+            self.hits += 1
+            yield self.engine.timeout(self.costs.pool_assignment)
+            if self.refill:
+                self.engine.spawn(
+                    self._refill_one(gpu_index), name=f"pool-refill-gpu{gpu_index}"
+                )
+            return candidate
+        self.misses += 1
+        ctx = yield from create_context(
+            self.engine, gpu_index, requirements, self.costs
+        )
+        return ctx
+
+    def acquire_communicator(self, gpu_indices: list[int]):
+        """Generator: an NCCL communicator for a subset of GPUs.
+
+        Split from the pre-created group communicator (cheap) when
+        possible; cross-machine communicators are never pooled (§6).
+        """
+        if self._group_comm is not None and set(gpu_indices) <= set(
+            self._group_comm.gpu_indices
+        ):
+            yield self.engine.timeout(self.costs.nccl_split)
+            return self._group_comm.split(gpu_indices)
+        yield self.engine.timeout(
+            self.costs.nccl_init_per_gpu * len(gpu_indices)
+        )
+        return NcclCommunicator(self.engine, gpu_indices)
+
+    def _refill_one(self, gpu_index: int):
+        n_gpus = len(self.machine.gpus)
+        reqs = ContextRequirements(
+            n_modules=0, use_cublas=True,
+            nccl_gpus=n_gpus if n_gpus > 1 else 0,
+        )
+        ctx = yield from create_context(self.engine, gpu_index, reqs, self.costs)
+        ctx.pooled = True
+        self._pools[gpu_index].append(ctx)
+
+    def available(self, gpu_index: int) -> int:
+        return len(self._pools[gpu_index])

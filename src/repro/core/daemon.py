@@ -1,0 +1,231 @@
+"""The PHOS OS service (§3): the backend that orchestrates C/R.
+
+:class:`Phos` owns the CRIU engine, the checkpoint media, the context
+pool, and the tracer; it attaches frontends to processes and exposes
+the high-level operations the command-line tool and SDK call:
+
+* ``checkpoint(process, mode=...)`` — CoW or recopy, spawned as a
+  background simulation process (asynchronous, like the SDK call of
+  §A.2);
+* ``checkpoint_consistent(processes)`` — multi-process fault-tolerance
+  checkpoint: one global quiesce, then per-process CoW (§7);
+* ``restore(image, ...)`` — concurrent restore with pooled contexts,
+  or stop-the-world for the baselines / fallback.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Iterable, Optional
+
+from repro.api.runtime import GpuProcess
+from repro.cluster import Machine
+from repro.core.context_pool import ContextPool
+from repro.core.frontend import PhosFrontend
+from repro.core.protocols.cow import checkpoint_cow
+from repro.core.protocols.recopy import checkpoint_recopy
+from repro.core.protocols.restore import restore_concurrent, restore_stop_world
+from repro.core.protocols.stop_world import checkpoint_stop_world
+from repro.core.quiesce import quiesce, resume
+from repro.core.session import COW_POOL_BYTES
+from repro.cpu.criu import CriuEngine
+from repro.errors import CheckpointError
+from repro.sim.engine import Engine, Process
+from repro.sim.trace import Tracer
+from repro.storage.image import CheckpointImage
+from repro.storage.media import Medium
+
+logger = logging.getLogger("repro.phos")
+
+
+class Phos:
+    """The PHOS service on one machine."""
+
+    def __init__(self, engine: Engine, machine: Machine,
+                 medium: Optional[Medium] = None,
+                 use_context_pool: bool = True,
+                 contexts_per_gpu: int = 2) -> None:
+        self.engine = engine
+        self.machine = machine
+        self.medium = medium or machine.dram
+        self.criu = CriuEngine(engine)
+        self.tracer = Tracer(engine)
+        self.pool: Optional[ContextPool] = (
+            ContextPool(engine, machine, contexts_per_gpu=contexts_per_gpu)
+            if use_context_pool else None
+        )
+        self.frontends: dict[int, PhosFrontend] = {}
+
+    # -- service boot ------------------------------------------------------------
+    def boot(self):
+        """Generator: daemon startup — pre-fill the context pool."""
+        if self.pool is not None:
+            yield from self.pool.prefill()
+
+    # -- process attachment ---------------------------------------------------------
+    def attach(self, process: GpuProcess, mode: str = "lfc",
+               always_instrument: bool = False) -> PhosFrontend:
+        """Install the PHOS frontend into a process's GPU runtime."""
+        frontend = PhosFrontend(
+            self.engine, process, mode=mode, always_instrument=always_instrument
+        )
+        process.runtime.interceptor = frontend
+        self.frontends[process.id] = frontend
+        return frontend
+
+    def frontend_of(self, process: GpuProcess) -> PhosFrontend:
+        frontend = self.frontends.get(process.id)
+        if frontend is None:
+            raise CheckpointError(
+                f"process {process.name!r} is not attached to PHOS"
+            )
+        return frontend
+
+    # -- checkpoint ----------------------------------------------------------------
+    def checkpoint(self, process: GpuProcess, mode: str = "cow",
+                   name: str = "", medium: Optional[Medium] = None,
+                   coordinated: bool = True, prioritized: bool = True,
+                   cow_pool_bytes: int = COW_POOL_BYTES,
+                   keep_stopped: bool = False,
+                   bandwidth_scale: float = 1.0,
+                   chunk_bytes: Optional[int] = None,
+                   precopy_rounds: int = 0,
+                   parent: Optional[CheckpointImage] = None) -> Process:
+        """Start a checkpoint; returns the (awaitable) background process.
+
+        The result of the returned process is ``(image, session)``.
+        ``parent`` (CoW mode only) makes the checkpoint incremental:
+        buffers unwritten since the parent inherit its records.
+        """
+        frontend = self.frontend_of(process)
+        medium = medium or self.medium
+        if mode == "cow":
+            gen = checkpoint_cow(
+                self.engine, frontend, medium, self.criu, name=name,
+                coordinated=coordinated, prioritized=prioritized,
+                cow_pool_bytes=cow_pool_bytes, chunk_bytes=chunk_bytes,
+                parent=parent, tracer=self.tracer,
+            )
+        elif mode == "recopy":
+            gen = checkpoint_recopy(
+                self.engine, frontend, medium, self.criu, name=name,
+                coordinated=coordinated, prioritized=prioritized,
+                keep_stopped=keep_stopped, bandwidth_scale=bandwidth_scale,
+                chunk_bytes=chunk_bytes, precopy_rounds=precopy_rounds,
+                tracer=self.tracer,
+            )
+        elif mode == "stop-world":
+            gen = _wrap_stop_world(
+                self.engine, process, medium, self.criu, name, self.tracer
+            )
+        else:
+            raise CheckpointError(f"unknown checkpoint mode {mode!r}")
+        logger.info("checkpoint requested: process=%s mode=%s medium=%s t=%g",
+                    process.name, mode, medium.name, self.engine.now)
+        handle = self.engine.spawn(gen, name=f"phos-ckpt-{process.name}")
+        handle.add_callback(self._log_checkpoint_done)
+        return handle
+
+    def _log_checkpoint_done(self, event) -> None:
+        if not event.ok:
+            logger.error("checkpoint failed: %s", event.value)
+            return
+        image = event.value[0] if isinstance(event.value, tuple) else event.value
+        session = event.value[1] if isinstance(event.value, tuple) else None
+        aborted = getattr(session, "aborted", False)
+        logger.info(
+            "checkpoint done: image=%s bytes=%d buffers=%d aborted=%s t=%g",
+            image.name, image.total_bytes(),
+            sum(len(b) for b in image.gpu_buffers.values()), aborted,
+            self.engine.now,
+        )
+
+    def checkpoint_consistent(self, processes: Iterable[GpuProcess],
+                              name: str = "", medium: Optional[Medium] = None,
+                              coordinated: bool = True,
+                              prioritized: bool = True) -> Process:
+        """Consistent multi-process CoW checkpoint (§7, fault tolerance).
+
+        One global quiesce spans every process; each process is then
+        checkpointed with CoW separately.  Result: list of
+        ``(image, session)`` pairs.
+        """
+        processes = list(processes)
+        medium = medium or self.medium
+
+        def orchestrate():
+            yield from quiesce(self.engine, processes, self.tracer)
+            # Each per-process CoW re-quiesces individually; the global
+            # barrier above already made the cut consistent, so the
+            # per-process quiesce is a no-op time-wise (CPU stopped,
+            # GPUs drained).  Resume happens inside each protocol run.
+            results = []
+            procs = []
+            for process in processes:
+                frontend = self.frontend_of(process)
+                procs.append(self.engine.spawn(
+                    checkpoint_cow(
+                        self.engine, frontend, medium, self.criu,
+                        name=f"{name}-{process.name}" if name else "",
+                        coordinated=coordinated, prioritized=prioritized,
+                        tracer=self.tracer,
+                    ),
+                    name=f"phos-ckpt-{process.name}",
+                ))
+            values = yield self.engine.all_of(procs)
+            results.extend(values)
+            return results
+
+        return self.engine.spawn(orchestrate(), name="phos-ckpt-consistent")
+
+    def kill(self, process: GpuProcess) -> None:
+        """Tear down a (failed) process: release its device memory and
+        detach its frontend, as the OS would when the process dies."""
+        for gpu_index, bufs in process.runtime.allocations.items():
+            gpu = process.machine.gpu(gpu_index)
+            for buf in list(bufs):
+                gpu.memory.free(buf)
+            bufs.clear()
+        process.runtime.interceptor = None
+        self.frontends.pop(process.id, None)
+
+    # -- restore -------------------------------------------------------------------
+    def restore(self, image: CheckpointImage, gpu_indices: Optional[list[int]] = None,
+                name: str = "restored", medium: Optional[Medium] = None,
+                concurrent: bool = True, use_pool: Optional[bool] = None,
+                machine: Optional[Machine] = None,
+                skip_data_copy: bool = False):
+        """Generator: restore a process from an image.
+
+        Concurrent mode returns ``(process, frontend, session)`` as
+        soon as the process may run; stop-the-world mode returns the
+        process after everything is loaded (frontend and session are
+        None).
+        """
+        medium = medium or self.medium
+        machine = machine or self.machine
+        gpu_indices = gpu_indices or list(image.context_meta.get("gpu_indices", [0]))
+        logger.info("restore requested: image=%s gpus=%s concurrent=%s t=%g",
+                    image.name, gpu_indices, concurrent, self.engine.now)
+        if concurrent:
+            pool = self.pool if (use_pool is None or use_pool) else None
+            result = yield from restore_concurrent(
+                self.engine, image, machine, gpu_indices, medium, self.criu,
+                name=name, context_pool=pool, skip_data_copy=skip_data_copy,
+                tracer=self.tracer,
+            )
+            process, frontend, session = result
+            self.frontends[process.id] = frontend
+            return process, frontend, session
+        process = yield from restore_stop_world(
+            self.engine, image, machine, gpu_indices, medium, self.criu,
+            name=name, tracer=self.tracer,
+        )
+        return process, None, None
+
+
+def _wrap_stop_world(engine, process, medium, criu, name, tracer):
+    image = yield from checkpoint_stop_world(
+        engine, process, medium, criu, name=name, tracer=tracer
+    )
+    return image, None

@@ -1,0 +1,270 @@
+"""The checkpoint data mover (§5) and the restore loader (§6).
+
+Checkpoint side:
+
+* :func:`copy_gpu_buffers` walks a session's buffer plan for one GPU
+  and moves each buffer to the checkpoint medium.  With
+  ``prioritized=True`` (the §5 optimization) the copy proceeds in 4 MB
+  chunks, releasing the D2H DMA engine between chunks so pending
+  application transfers — which run at higher priority — preempt the
+  bulk load.  With ``prioritized=False`` the engine is held for whole
+  buffers, reproducing the Fig. 16(b) ablation.
+* :func:`checkpoint_all` sequences the CPU and GPU streams: with
+  ``coordinated=True`` the CPU dump completes before GPU copies start
+  (Fig. 9(b)); otherwise they contend for the medium concurrently.
+
+Restore side:
+
+* :func:`load_gpu_buffers` is the background copier of the concurrent
+  restore: it serves on-demand requests (kernels blocked on a missing
+  buffer) before the sequential plan order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.core.session import BufState, CheckpointSession, RestoreSession, RestoreState
+from repro.cpu.criu import CriuEngine
+from repro.gpu.device import Gpu
+from repro.gpu.dma import CHECKPOINT_PRIORITY, Direction
+from repro.gpu.memory import Buffer
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.storage.image import GpuBufferRecord
+from repro.storage.media import Medium
+
+
+def copy_gpu_buffers(engine: Engine, session: CheckpointSession, gpu: Gpu,
+                     medium: Medium, prioritized: bool = True,
+                     bandwidth_scale: float = 1.0,
+                     per_buffer_overhead: float = 0.0,
+                     chunk_bytes: Optional[int] = None,
+                     tracer: Optional[Tracer] = None):
+    """Generator: move one GPU's planned buffers into the image.
+
+    Shadowed buffers jump the queue: copying them out releases their
+    shadows' CoW pool quota, which keeps the small on-device pool from
+    blocking concurrent writers (§4.2).
+    """
+    span = tracer.begin("gpu-copy", gpu=gpu.index) if tracer else None
+    bandwidth = gpu.spec.pcie_bw * bandwidth_scale
+    plan = session.plan[gpu.index]
+    shadow_queue = session.shadow_ready[gpu.index]
+    held = None
+    if not prioritized:
+        # The unoptimized data path (Fig. 16b ablation): the whole bulk
+        # load is one monolithic submission that occupies a DMA engine
+        # until the copy completes — application transfers starve.
+        held = yield gpu.dma.pool.acquire(priority=CHECKPOINT_PRIORITY)
+    cursor = 0
+    while not session.aborted:
+        buf = None
+        while shadow_queue:
+            candidate = shadow_queue.popleft()
+            if session.state_of(candidate) is BufState.SHADOWED:
+                buf = candidate
+                break
+        if buf is None:
+            while cursor < len(plan) and session.state_of(plan[cursor]) is BufState.DONE:
+                cursor += 1
+            if cursor >= len(plan):
+                break
+            buf = plan[cursor]
+        state = session.state_of(buf)
+        if state is BufState.SHADOW_IN_FLIGHT:
+            yield session.event_for(buf, "shadow")
+            state = session.state_of(buf)
+        if state is BufState.DONE:
+            continue
+        if state is BufState.NOT_STARTED:
+            session.set_state(buf, BufState.COPY_IN_FLIGHT)
+        if per_buffer_overhead > 0:
+            yield engine.timeout(per_buffer_overhead)
+        yield from _move_buffer(
+            engine, gpu, medium, buf.size, Direction.D2H, bandwidth,
+            chunked=prioritized, chunk_bytes=chunk_bytes,
+            held=held,
+        )
+        source = session.shadows.get(buf.id, buf)
+        record = GpuBufferRecord(
+            buffer_id=buf.id, addr=buf.addr, size=buf.size,
+            data=source.snapshot(), tag=buf.tag,
+        )
+        session.image.add_gpu_buffer(gpu.index, record)
+        session.stats.bytes_copied += buf.size
+        shadow = session.shadows.pop(buf.id, None)
+        if shadow is not None:
+            gpu.memory.free(shadow)
+            session.release_pool(gpu.index, shadow.size)
+        session.set_state(buf, BufState.DONE)
+        session.fire_event(buf)
+    if held is not None:
+        gpu.dma.pool.release(held)
+    # Deferred frees: buffers the app released mid-checkpoint.
+    for buf in session.deferred_frees.get(gpu.index, ()):
+        gpu.memory.free(buf)
+    session.deferred_frees[gpu.index] = []
+    if span is not None:
+        tracer.end(span)
+
+
+def recopy_gpu_dirty(engine: Engine, session: CheckpointSession, gpu: Gpu,
+                     medium: Medium, prioritized: bool = True,
+                     bandwidth_scale: float = 1.0,
+                     chunk_bytes: Optional[int] = None,
+                     dirty_ids: Optional[set[int]] = None,
+                     tracer: Optional[Tracer] = None):
+    """Generator: overwrite the image with dirty buffers' fresh content.
+
+    With ``dirty_ids=None`` (the final, quiesced recopy pass) the
+    session's dirty set is consumed and cleared.  The iterative pre-copy
+    extension passes an explicit snapshot instead: the session's dirty
+    set keeps collecting re-dirtied buffers while this pass runs
+    concurrently with the application.
+    """
+    span = tracer.begin("gpu-recopy", gpu=gpu.index) if tracer else None
+    by_id = {buf.id: buf for buf in session.plan[gpu.index]}
+    if dirty_ids is None:
+        dirty_ids = session.dirty[gpu.index]
+        session.dirty[gpu.index] = set()
+    for buf_id in sorted(dirty_ids):
+        buf = by_id.get(buf_id)
+        if buf is None or buf_id in session.freed_ids.get(gpu.index, ()):
+            continue  # unknown or freed: it has no t2 state to capture
+        yield from _move_buffer(
+            engine, gpu, medium, buf.size, Direction.D2H,
+            gpu.spec.pcie_bw * bandwidth_scale,
+            chunked=prioritized, chunk_bytes=chunk_bytes,
+        )
+        record = GpuBufferRecord(
+            buffer_id=buf.id, addr=buf.addr, size=buf.size,
+            data=buf.snapshot(), tag=buf.tag,
+        )
+        session.image.add_gpu_buffer(gpu.index, record)
+        session.stats.bytes_recopied += buf.size
+    if span is not None:
+        tracer.end(span)
+
+
+def _move_buffer(engine: Engine, gpu: Gpu, medium: Medium, nbytes: int,
+                 direction: Direction, bandwidth: float, chunked: bool,
+                 chunk_bytes: Optional[int] = None, held=None):
+    """One buffer's data movement: DMA engine + medium flow, composed.
+
+    Each step holds the GPU's (priority-arbitrated) DMA engine while
+    the bytes flow through the medium's shared link, capped at the
+    PCIe bandwidth.  Chunked mode re-arbitrates every 4 MB.  With
+    ``held`` set the caller already owns an engine (the unoptimized
+    monolithic bulk load) and no per-step arbitration happens.
+    """
+    dma = gpu.dma.for_direction(direction)
+    link = medium.write_link if direction is Direction.D2H else medium.read_link
+    step = (chunk_bytes or units.CHECKPOINT_CHUNK) if chunked else nbytes
+    moved = 0
+    while moved < nbytes:
+        this = min(step, nbytes - moved)
+        if held is None:
+            req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
+            try:
+                yield from link.flow(this, rate_cap=bandwidth)
+            finally:
+                dma.release(req)
+        else:
+            yield from link.flow(this, rate_cap=bandwidth)
+        moved += this
+
+
+def checkpoint_all(engine: Engine, session: CheckpointSession, process,
+                   medium: Medium, criu: CriuEngine,
+                   coordinated: bool = True, prioritized: bool = True,
+                   bandwidth_scale: float = 1.0,
+                   chunk_bytes: Optional[int] = None,
+                   tracer: Optional[Tracer] = None):
+    """Generator: the full concurrent copy phase (CPU + all GPUs).
+
+    Returns the CPU dump result (whose ``dirty_after_copy`` the recopy
+    protocol consumes).
+    """
+    dump = (criu.dump_cow if session.mode == "cow" else criu.dump_tracked)
+
+    def cpu_stream():
+        result = yield from dump(process.host, session.image, medium)
+        return result
+
+    def gpu_stream(gpu_index):
+        gpu = process.machine.gpu(gpu_index)
+        yield from copy_gpu_buffers(
+            engine, session, gpu, medium, prioritized=prioritized,
+            bandwidth_scale=bandwidth_scale, chunk_bytes=chunk_bytes,
+            tracer=tracer,
+        )
+
+    if coordinated:
+        cpu_span = tracer.begin("cpu-copy") if tracer else None
+        cpu_result = yield from cpu_stream()
+        if cpu_span is not None:
+            tracer.end(cpu_span)
+        gpu_procs = [
+            engine.spawn(gpu_stream(i), name=f"ckpt-gpu{i}") for i in session.plan
+        ]
+        yield engine.all_of(gpu_procs)
+    else:
+        cpu_proc = engine.spawn(cpu_stream(), name="ckpt-cpu")
+        gpu_procs = [
+            engine.spawn(gpu_stream(i), name=f"ckpt-gpu{i}") for i in session.plan
+        ]
+        yield engine.all_of([cpu_proc] + gpu_procs)
+        cpu_result = cpu_proc.result
+    return cpu_result
+
+
+# --- restore side -------------------------------------------------------------
+
+
+def load_gpu_buffers(engine: Engine, session: RestoreSession, gpu: Gpu,
+                     medium: Medium, prioritized: bool = True,
+                     bandwidth_scale: float = 1.0,
+                     chunk_bytes: Optional[int] = None,
+                     tracer: Optional[Tracer] = None):
+    """Generator: the background copier of the concurrent restore.
+
+    On-demand requests (kernels stalled on a buffer) jump the queue.
+    """
+    span = tracer.begin("gpu-load", gpu=gpu.index) if tracer else None
+    bandwidth = gpu.spec.pcie_bw * bandwidth_scale
+    pairs = {buf.id: (buf, record) for buf, record in session.plan[gpu.index]}
+    order = [buf for buf, _ in session.plan[gpu.index]]
+    cursor = 0
+    while True:
+        if session.aborted:
+            break
+        target: Optional[Buffer] = None
+        queue = session.demand.get(gpu.index)
+        while queue:
+            candidate = queue.popleft()
+            if (candidate.id in pairs
+                    and session.state_of(candidate) is RestoreState.NOT_RESTORED):
+                target = candidate
+                session.demand_fetches += 1
+                break
+        if target is None:
+            while cursor < len(order) and session.state_of(order[cursor]) is not RestoreState.NOT_RESTORED:
+                cursor += 1
+            if cursor >= len(order):
+                break
+            target = order[cursor]
+        buf, record = pairs[target.id]
+        session.set_state(buf, RestoreState.LOAD_IN_FLIGHT)
+        yield from _move_buffer(
+            engine, gpu, medium, buf.size, Direction.H2D, bandwidth,
+            chunked=prioritized, chunk_bytes=chunk_bytes,
+        )
+        buf.load_bytes(record.data)
+        session.set_state(buf, RestoreState.RESTORED)
+        session.fire_event(buf)
+    if span is not None:
+        tracer.end(span)
+    if session.all_restored() and not session.done.triggered:
+        session.done.succeed()

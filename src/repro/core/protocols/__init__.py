@@ -1,0 +1,25 @@
+"""The checkpoint and restore protocols.
+
+* :mod:`repro.core.protocols.stop_world` — the quiesce-and-copy
+  baseline protocol (Singularity / cuda-checkpoint behaviour, also
+  PHOS's mis-speculation fallback);
+* :mod:`repro.core.protocols.cow` — soft copy-on-write checkpoint
+  (§4.2): image equals a stop-the-world checkpoint at the start time;
+* :mod:`repro.core.protocols.recopy` — soft recopy checkpoint (§4.3):
+  image equals a stop-the-world checkpoint at the end time;
+* :mod:`repro.core.protocols.restore` — concurrent on-demand restore
+  (§6) with rollback-to-stop-world on mis-speculation.
+"""
+
+from repro.core.protocols.cow import checkpoint_cow
+from repro.core.protocols.recopy import checkpoint_recopy
+from repro.core.protocols.restore import restore_concurrent, restore_stop_world
+from repro.core.protocols.stop_world import checkpoint_stop_world
+
+__all__ = [
+    "checkpoint_cow",
+    "checkpoint_recopy",
+    "checkpoint_stop_world",
+    "restore_concurrent",
+    "restore_stop_world",
+]

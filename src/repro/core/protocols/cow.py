@@ -1,0 +1,132 @@
+"""The soft copy-on-write checkpoint protocol (§4.2, Fig. 7).
+
+Guarantee: the final image matches a stop-the-world checkpoint taken at
+the quiesce point ``t1``, while the application runs concurrently with
+the copy phase.  Writes to not-yet-checkpointed buffers are isolated by
+the frontend's CoW guard (shadow copy on device); writes detected only
+by the validator (mis-speculation) abort the checkpoint, which then
+falls back to a stop-the-world retry for liveness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.engine import checkpoint_all
+from repro.core.frontend import PhosFrontend
+from repro.core.quiesce import quiesce, resume
+from repro.core.session import COW_POOL_BYTES, CheckpointSession
+from repro.core.protocols.stop_world import checkpoint_stop_world
+from repro.cpu.criu import CriuEngine
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.storage.image import CheckpointImage
+from repro.storage.media import Medium
+
+
+def checkpoint_cow(engine: Engine, frontend: PhosFrontend, medium: Medium,
+                   criu: CriuEngine, name: str = "",
+                   coordinated: bool = True, prioritized: bool = True,
+                   cow_pool_bytes: int = COW_POOL_BYTES,
+                   chunk_bytes: Optional[int] = None,
+                   parent: Optional[CheckpointImage] = None,
+                   tracer: Optional[Tracer] = None):
+    """Generator: one CoW checkpoint of the frontend's process.
+
+    Returns ``(image, session)``.  On mis-speculation abort, the
+    returned image comes from the stop-the-world retry and
+    ``session.aborted`` is True.
+
+    ``parent`` enables *incremental* checkpointing (the GPU analog of
+    CRIU's incremental dump, which the paper enables for the CPU side):
+    a buffer the frontend has not seen written since the parent's
+    checkpoint time inherits the parent's record with no data movement.
+    Soundness rests on the write-heat history, which validated
+    speculation keeps honest inside checkpoint windows (and
+    ``always_instrument`` extends to all execution); validator-reported
+    hidden writes update the history, so such buffers are never skipped.
+    """
+    process = frontend.process
+    image = CheckpointImage(name=name or f"cow-{process.name}")
+    # A checkpoint of a partially-restored process would capture
+    # not-yet-loaded buffers; wait for any in-flight restore first.
+    if frontend.restore_session is not None:
+        yield frontend.restore_session.done
+    # Phase 1: quiesce — regulates state to a stop-checkpoint at t1.
+    yield from quiesce(engine, [process], tracer)
+    t1 = engine.now
+    _record_modules(image, process)
+    session = CheckpointSession(engine, "cow", image, cow_pool_bytes)
+    # Coordinated copy ordering (§5): write-hot buffers first, so the
+    # imminent writes find them already checkpointed (no CoW needed).
+    frontend.begin_checkpoint(
+        session, hot_order="hot-first" if coordinated else None
+    )
+    if parent is not None:
+        _inherit_unchanged(frontend, session, parent)
+    resume([process])
+    # Phase 2: concurrent copy, CoW-isolated.
+    try:
+        yield from checkpoint_all(
+            engine, session, process, medium, criu,
+            coordinated=coordinated, prioritized=prioritized,
+            chunk_bytes=chunk_bytes, tracer=tracer,
+        )
+    finally:
+        frontend.end_checkpoint()
+        _release_shadows(session, process)
+    if session.aborted:
+        # Liveness fallback (§4.2): discard and retry stop-the-world.
+        if tracer:
+            tracer.mark("cow-abort", reason=session.abort_reason)
+        retry = yield from checkpoint_stop_world(
+            engine, process, medium, criu, name=f"{image.name}-retry",
+            tracer=tracer,
+        )
+        return retry, session
+    image.finalize(t1)
+    return image, session
+
+
+def _inherit_unchanged(frontend: PhosFrontend, session: CheckpointSession,
+                       parent: CheckpointImage) -> None:
+    """Copy parent records for buffers unwritten since the parent's t1."""
+    from repro.core.session import BufState
+
+    parent.require_finalized()
+    cutoff = parent.checkpoint_time
+    for gpu_index, plan in session.plan.items():
+        parent_records = parent.gpu_buffers.get(gpu_index, {})
+        for buf in plan:
+            record = parent_records.get(buf.id)
+            if record is None or record.addr != buf.addr or record.size != buf.size:
+                continue  # layout changed: full copy for this buffer
+            history = frontend.write_history.get(buf.id)
+            if history is not None and history[1] > cutoff:
+                continue  # written since the parent: must be re-captured
+            session.image.add_gpu_buffer(gpu_index, record)
+            session.set_state(buf, BufState.DONE)
+            session.stats.bytes_skipped_incremental += buf.size
+
+
+def _record_modules(image: CheckpointImage, process) -> None:
+    for gpu_index, ctx in process.contexts.items():
+        image.gpu_modules[gpu_index] = sorted(ctx.loaded_modules)
+    image.context_meta = {
+        "gpu_indices": list(process.gpu_indices),
+        "cpu_pages": process.host.memory.n_pages,
+    }
+
+
+def _release_shadows(session: CheckpointSession, process) -> None:
+    """Free any shadows left behind by an aborted copy phase."""
+    for gpu_index in session.plan:
+        gpu = process.machine.gpu(gpu_index)
+        by_id = {b.id: b for b in session.plan[gpu_index]}
+        for buf_id in [bid for bid in session.shadows if bid in by_id]:
+            shadow = session.shadows.pop(buf_id)
+            gpu.memory.free(shadow)
+            session.release_pool(gpu_index, shadow.size)
+        for buf in session.deferred_frees.get(gpu_index, ()):
+            gpu.memory.free(buf)
+        session.deferred_frees[gpu_index] = []

@@ -1,0 +1,96 @@
+"""Recopy checkpointing on hypothetical hardware dirty bits (§9).
+
+The paper's discussion contrasts validated speculation with a GPU
+hardware extension that exposes per-buffer dirty bits (as GPU snapshot
+[37] simulated; "to the best of our knowledge, no real hardware
+implementation exists").  This module implements that hypothetical
+system so the comparison is measurable:
+
+* no speculation, no signatures, no twin kernels — so no validator
+  overhead and no mis-speculation risk;
+* but the information arrives *after* the write, so only the recopy
+  protocol is expressible — §9's point that "a hardware dirty bit alone
+  cannot support our other protocols like soft copy-on-write" (CoW must
+  intervene *before* the write) nor the restore-side read set.
+
+Structure mirrors :mod:`repro.core.protocols.recopy`, with the dirty
+set read from the simulated :attr:`Buffer.hw_dirty` bits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.runtime import GpuProcess
+from repro.core.engine import _move_buffer
+from repro.core.quiesce import quiesce, resume
+from repro.cpu.criu import CriuEngine
+from repro.gpu.dma import Direction
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.storage.image import CheckpointImage, GpuBufferRecord
+from repro.storage.media import Medium
+
+
+def checkpoint_recopy_hw(engine: Engine, process: GpuProcess, medium: Medium,
+                         criu: CriuEngine, name: str = "",
+                         keep_stopped: bool = False,
+                         chunk_bytes: Optional[int] = None,
+                         tracer: Optional[Tracer] = None):
+    """Generator: a recopy checkpoint driven by hardware dirty bits.
+
+    Returns ``(image, recopied_bytes)``.  Requires no PHOS frontend at
+    all — the hypothetical hardware provides the write set.
+    """
+    image = CheckpointImage(name=name or f"hw-recopy-{process.name}")
+    # Phase 1: quiesce and clear every dirty bit.
+    yield from quiesce(engine, [process], tracer)
+    for gpu_index in process.gpu_indices:
+        for buf in process.runtime.allocations[gpu_index]:
+            buf.hw_dirty = False
+    process.host.memory.clear_soft_dirty()
+    resume([process])
+    # Phase 2: concurrent copy (CPU first, then all GPUs).
+    yield from criu.dump_tracked(process.host, image, medium)
+    recopied = {"bytes": 0}
+
+    def copy_gpu(gpu_index, only_dirty):
+        gpu = process.machine.gpu(gpu_index)
+        for buf in list(process.runtime.allocations[gpu_index]):
+            if only_dirty:
+                if not buf.hw_dirty:
+                    continue
+                buf.hw_dirty = False
+                recopied["bytes"] += buf.size
+            else:
+                # Clear before copying: writes that landed earlier are
+                # captured by this copy; writes during/after re-set the
+                # bit and trigger the recopy pass.
+                buf.hw_dirty = False
+            yield from _move_buffer(
+                engine, gpu, medium, buf.size, Direction.D2H,
+                gpu.spec.pcie_bw, chunked=True, chunk_bytes=chunk_bytes,
+            )
+            image.add_gpu_buffer(gpu_index, GpuBufferRecord(
+                buffer_id=buf.id, addr=buf.addr, size=buf.size,
+                data=buf.snapshot(), tag=buf.tag,
+            ))
+
+    copies = [
+        engine.spawn(copy_gpu(i, only_dirty=False), name=f"hw-ckpt-gpu{i}")
+        for i in process.gpu_indices
+    ]
+    yield engine.all_of(copies)
+    # Phase 3: re-quiesce; phase 4: recopy buffers the hardware marked.
+    yield from quiesce(engine, [process], tracer)
+    dirty_pages = process.host.memory.dirty_pages()
+    yield from criu.recopy_dirty(process.host, image, medium, dirty_pages)
+    recopies = [
+        engine.spawn(copy_gpu(i, only_dirty=True), name=f"hw-recopy-gpu{i}")
+        for i in process.gpu_indices
+    ]
+    yield engine.all_of(recopies)
+    image.finalize(engine.now)
+    if not keep_stopped:
+        resume([process])
+    return image, recopied["bytes"]

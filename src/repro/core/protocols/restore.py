@@ -1,0 +1,163 @@
+"""Concurrent GPU restore (§6, Fig. 10).
+
+The process resumes *immediately* after its execution environment is
+ready (contexts adopted from the pool, buffer layout re-created); data
+is copied from the image in the background.  Before any operation
+executes on the GPU, the frontend's restore guard checks that every
+buffer the operation touches has been restored; missing buffers are
+fetched on demand (they jump the background copier's queue).
+
+Mis-speculation (a validator hit during the restore window) means a
+kernel may have observed a partially-restored buffer.  The recovery is
+the paper's simple-but-live strategy: roll the GPU state back to the
+image and finish with a stop-the-world reload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.runtime import GpuProcess
+from repro.core.engine import load_gpu_buffers
+from repro.core.frontend import PhosFrontend
+from repro.core.quiesce import quiesce, resume
+from repro.core.session import RestoreSession, RestoreState
+from repro.core.protocols.stop_world import realloc_image_buffers, restore_stop_world
+from repro.cpu.criu import CriuEngine
+from repro.gpu.context import ContextRequirements
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.storage.image import CheckpointImage
+from repro.storage.media import Medium
+
+
+def restore_concurrent(engine: Engine, image: CheckpointImage, machine,
+                       gpu_indices: list[int], medium: Medium,
+                       criu: CriuEngine, name: str = "restored",
+                       context_pool=None, frontend_mode: str = "lfc",
+                       skip_data_copy: bool = False,
+                       tracer: Optional[Tracer] = None):
+    """Generator: set up the environment and start the concurrent restore.
+
+    Returns ``(process, frontend, session)`` as soon as the process can
+    run — data keeps streaming in the background; ``session.done``
+    fires when everything is resident.  ``skip_data_copy=True`` marks
+    all buffers restored immediately (GPU-direct migration already
+    placed the data in device memory).
+    """
+    image.require_finalized()
+    n_pages = (max(image.cpu_pages) + 1) if image.cpu_pages else 1
+    process = GpuProcess(engine, machine, name=name, gpu_indices=gpu_indices,
+                         cpu_pages=n_pages, cpu_page_size=image.cpu_page_size)
+    frontend = PhosFrontend(
+        engine, process,
+        mode="ipc" if context_pool is not None else frontend_mode,
+    )
+    process.runtime.interceptor = frontend
+    # 1. Execution environment: pooled contexts bypass the creation
+    #    barrier; otherwise pay the full §2.3 cost.
+    ctx_span = tracer.begin("context-setup") if tracer else None
+
+    def setup_one(gpu_index):
+        reqs = ContextRequirements(
+            n_modules=len(image.gpu_modules.get(gpu_index, [])),
+            nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
+        )
+        if context_pool is not None:
+            ctx = yield from context_pool.acquire(gpu_index, reqs)
+        else:
+            ctx = yield from process.runtime.create_context(gpu_index, reqs)
+        process.runtime.adopt_context(gpu_index, ctx)
+        ctx.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
+
+    setups = [
+        engine.spawn(setup_one(i), name=f"ctx-setup-gpu{i}")
+        for i in gpu_indices
+    ]
+    yield engine.all_of(setups)
+    if ctx_span is not None:
+        tracer.end(ctx_span)
+    # 2. Buffer layout (addresses must match the checkpointed process).
+    pairs_by_gpu = realloc_image_buffers(process, image, gpu_indices)
+    for gpu_index, pairs in pairs_by_gpu.items():
+        for buf, _record in pairs:
+            frontend.tables[gpu_index].register(buf)
+    session = RestoreSession(engine, image)
+    for gpu_index, pairs in pairs_by_gpu.items():
+        session.set_plan(gpu_index, pairs)
+    frontend.begin_restore(session)
+    if skip_data_copy:
+        for gpu_index, pairs in pairs_by_gpu.items():
+            for buf, record in pairs:
+                buf.load_bytes(record.data)
+                session.set_state(buf, RestoreState.RESTORED)
+                session.fire_event(buf)
+        session.done.succeed()
+    else:
+        for gpu_index in gpu_indices:
+            engine.spawn(
+                load_gpu_buffers(
+                    engine, session, machine.gpu(gpu_index), medium,
+                    tracer=tracer,
+                ),
+                name=f"restore-load-gpu{gpu_index}",
+            )
+    # 3. CPU state: lazy (on-demand) restore so the CPU can run now.
+    cpu_session = yield from _drive(criu.restore(
+        image, process.host, medium, on_demand=True
+    ))
+    process.runtime.lazy_cpu_session = cpu_session
+    # 4. Watch for mis-speculation rollback, and drop interception once
+    #    everything is resident (twins stop running — §4.1's "not
+    #    invoked without checkpoint").
+    engine.spawn(
+        _rollback_watch(engine, session, process, medium, tracer),
+        name="restore-rollback-watch",
+    )
+    engine.spawn(_finish_watch(session, frontend), name="restore-finish-watch")
+    return process, frontend, session
+
+
+def _finish_watch(session: RestoreSession, frontend: PhosFrontend):
+    yield session.done
+    if frontend.restore_session is session:
+        frontend.end_restore()
+
+
+def _drive(gen):
+    """Run a sub-generator to completion, forwarding its events."""
+    result = yield from gen
+    return result
+
+
+def _rollback_watch(engine: Engine, session: RestoreSession,
+                    process: GpuProcess, medium: Medium,
+                    tracer: Optional[Tracer]):
+    """Roll back to the image and reload stop-the-world on abort (§6)."""
+    yield engine.any_of([session.done, session.abort_event])
+    if not session.aborted or session.rolled_back:
+        return
+    if tracer:
+        tracer.mark("restore-rollback")
+    yield from quiesce(engine, [process], tracer)
+    # Reload every buffer from the image (discarding partial execution),
+    # paying a full stop-the-world copy.
+    span = tracer.begin("rollback-reload") if tracer else None
+    for gpu_index, pairs in session.plan.items():
+        gpu = process.machine.gpu(gpu_index)
+        total = sum(record.size for _buf, record in pairs)
+        yield from medium.read_flow(total, rate_cap=gpu.spec.pcie_bw)
+        for buf, record in pairs:
+            buf.load_bytes(record.data)
+            session.set_state(buf, RestoreState.RESTORED)
+            session.fire_event(buf)
+    if span is not None:
+        tracer.end(span)
+    session.rolled_back = True
+    resume([process])
+    if not session.done.triggered:
+        session.done.succeed()
+
+
+# re-exported convenience
+__all__ = ["restore_concurrent", "restore_stop_world"]

@@ -1,0 +1,170 @@
+"""Stop-the-world checkpoint and restore (§2.2, Fig. 1(b)).
+
+This is both the in-codebase baseline (our Singularity implementation —
+"carefully tuned... pinned memory" — and the cuda-checkpoint model via
+its :class:`~repro.gpu.cost_model.BaselineSpec`) and PHOS's own
+liveness fallback when a checkpoint must be discarded after a
+mis-speculation.
+
+The process is quiesced for the *entire* copy, so the application stall
+equals the full data movement time plus, on restore, the context
+creation barrier (§2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.runtime import GpuProcess
+from repro.core.quiesce import quiesce, resume
+from repro.cpu.criu import CriuEngine
+from repro.gpu.context import ContextRequirements
+from repro.gpu.cost_model import PHOS_SPEC, BaselineSpec
+from repro.gpu.dma import CHECKPOINT_PRIORITY, Direction
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.storage.image import CheckpointImage, GpuBufferRecord
+from repro.storage.media import Medium
+
+
+def checkpoint_stop_world(engine: Engine, process: GpuProcess,
+                          medium: Medium, criu: CriuEngine,
+                          baseline: Optional[BaselineSpec] = None,
+                          name: str = "", keep_stopped: bool = False,
+                          tracer: Optional[Tracer] = None):
+    """Generator: quiesce, copy everything, resume.  Returns the image."""
+    baseline = baseline or PHOS_SPEC
+    image = CheckpointImage(name=name or f"stop-world-{process.name}")
+    yield from quiesce(engine, [process], tracer)
+    t_ckpt = engine.now
+    for gpu_index, ctx in process.contexts.items():
+        image.gpu_modules[gpu_index] = sorted(ctx.loaded_modules)
+    image.context_meta = {
+        "gpu_indices": list(process.gpu_indices),
+        "cpu_pages": process.host.memory.n_pages,
+    }
+    span = tracer.begin("stop-world-copy", system=baseline.name) if tracer else None
+    # CPU state: the process is stopped, so a plain dump is consistent.
+    yield from criu.dump_tracked(process.host, image, medium)
+    # Each GPU copies over its own PCIe link concurrently.
+    copies = [
+        engine.spawn(
+            _copy_gpu_stopped(engine, process, gpu_index, image, medium, baseline),
+            name=f"sw-ckpt-gpu{gpu_index}",
+        )
+        for gpu_index in process.gpu_indices
+    ]
+    yield engine.all_of(copies)
+    if span is not None:
+        tracer.end(span)
+    image.finalize(t_ckpt)
+    if not keep_stopped:
+        resume([process])
+    return image
+
+
+def _copy_gpu_stopped(engine, process, gpu_index, image, medium, baseline):
+    gpu = process.machine.gpu(gpu_index)
+    bandwidth = baseline.effective_pcie_bw(gpu.spec)
+    dma = gpu.dma.for_direction(Direction.D2H)
+    for buf in list(process.runtime.allocations[gpu_index]):
+        if baseline.per_buffer_overhead > 0:
+            yield engine.timeout(baseline.per_buffer_overhead)
+        req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
+        try:
+            yield from medium.write_flow(buf.size, rate_cap=bandwidth)
+        finally:
+            dma.release(req)
+        image.add_gpu_buffer(gpu_index, GpuBufferRecord(
+            buffer_id=buf.id, addr=buf.addr, size=buf.size,
+            data=buf.snapshot(), tag=buf.tag,
+        ))
+
+
+def restore_stop_world(engine: Engine, image: CheckpointImage, machine,
+                       gpu_indices: list[int], medium: Medium,
+                       criu: CriuEngine, name: str = "restored",
+                       baseline: Optional[BaselineSpec] = None,
+                       context_requirements: Optional[ContextRequirements] = None,
+                       tracer: Optional[Tracer] = None):
+    """Generator: the full restoration barrier, then a runnable process.
+
+    Creates contexts from scratch (the §2.3 barrier), re-creates the
+    buffer layout, loads all data, restores CPU state.  Returns the new
+    process; the caller rebinds and resumes the workload.
+    """
+    image.require_finalized()
+    baseline = baseline or PHOS_SPEC
+    n_pages = (max(image.cpu_pages) + 1) if image.cpu_pages else 1
+    process = GpuProcess(engine, machine, name=name, gpu_indices=gpu_indices,
+                         cpu_pages=n_pages, cpu_page_size=image.cpu_page_size)
+    ctx_span = tracer.begin("context-create", system=baseline.name) if tracer else None
+
+    def create_one(gpu_index):
+        reqs = context_requirements or ContextRequirements(
+            n_modules=len(image.gpu_modules.get(gpu_index, [])),
+            nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
+        )
+        ctx = yield from process.runtime.create_context(gpu_index, reqs)
+        ctx.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
+
+    # One init thread per device, as restore tools do.
+    creations = [
+        engine.spawn(create_one(i), name=f"ctx-create-gpu{i}")
+        for i in gpu_indices
+    ]
+    yield engine.all_of(creations)
+    if ctx_span is not None:
+        tracer.end(ctx_span)
+    copy_span = tracer.begin("restore-copy", system=baseline.name) if tracer else None
+    buffers = realloc_image_buffers(process, image, gpu_indices)
+
+    def load_one_gpu(gpu_index):
+        gpu = machine.gpu(gpu_index)
+        bandwidth = baseline.effective_pcie_bw(gpu.spec)
+        dma = gpu.dma.for_direction(Direction.H2D)
+        for buf, record in buffers[gpu_index]:
+            if baseline.per_buffer_overhead > 0:
+                yield engine.timeout(baseline.per_buffer_overhead)
+            req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
+            try:
+                yield from medium.read_flow(record.size, rate_cap=bandwidth)
+            finally:
+                dma.release(req)
+            buf.load_bytes(record.data)
+
+    loads = [
+        engine.spawn(load_one_gpu(i), name=f"sw-restore-gpu{i}")
+        for i in gpu_indices
+    ]
+    yield engine.all_of(loads)
+    yield from criu.restore(image, process.host, medium)
+    if copy_span is not None:
+        tracer.end(copy_span)
+    return process
+
+
+def realloc_image_buffers(process: GpuProcess, image: CheckpointImage,
+                          gpu_indices: list[int]):
+    """Re-create every checkpointed buffer at its original address.
+
+    Returns ``{gpu_index: [(new_buffer, record), ...]}`` in address
+    order.  Contents are NOT loaded — callers load them (bulk or
+    on-demand).
+    """
+    out: dict[int, list] = {}
+    for gpu_index in gpu_indices:
+        gpu = process.machine.gpu(gpu_index)
+        pairs = []
+        records = sorted(
+            image.gpu_buffers.get(gpu_index, {}).values(), key=lambda r: r.addr
+        )
+        for record in records:
+            buf = gpu.memory.alloc_at(
+                record.addr, record.size, tag=record.tag,
+                data_size=len(record.data),
+            )
+            process.runtime.allocations[gpu_index].append(buf)
+            pairs.append((buf, record))
+        out[gpu_index] = pairs
+    return out

@@ -1,0 +1,73 @@
+"""Human-readable reports for checkpoint/restore operations.
+
+Used by the CLI and handy in notebooks: renders a
+:class:`~repro.core.session.CheckpointSession`'s statistics, an image's
+inventory, and a tracer's phase breakdown as aligned text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.core.session import CheckpointSession, RestoreSession
+from repro.sim.trace import Tracer
+from repro.storage.image import CheckpointImage
+
+
+def checkpoint_report(image: CheckpointImage,
+                      session: Optional[CheckpointSession] = None,
+                      tracer: Optional[Tracer] = None) -> str:
+    """A multi-line summary of one completed checkpoint."""
+    lines = [f"checkpoint report: {image.name}"]
+    lines.append(f"  taken at (virtual) : t={image.checkpoint_time:g} s")
+    lines.append(f"  GPU state          : "
+                 f"{units.fmt_bytes(image.gpu_bytes())} in "
+                 f"{sum(len(b) for b in image.gpu_buffers.values())} buffers "
+                 f"across {len(image.gpu_buffers)} GPU(s)")
+    lines.append(f"  CPU state          : "
+                 f"{units.fmt_bytes(image.cpu_bytes())} in "
+                 f"{len(image.cpu_pages)} pages")
+    if session is not None:
+        s = session.stats
+        lines.append(f"  protocol           : {session.mode}"
+                     + (" (ABORTED: " + session.abort_reason + ")"
+                        if session.aborted else ""))
+        lines.append(f"  bytes copied       : {units.fmt_bytes(s.bytes_copied)}")
+        if s.bytes_recopied:
+            lines.append(f"  bytes recopied     : "
+                         f"{units.fmt_bytes(s.bytes_recopied)} "
+                         f"({s.dirty_marks} dirty marks)")
+        if s.bytes_skipped_incremental:
+            lines.append(f"  inherited (incr.)  : "
+                         f"{units.fmt_bytes(s.bytes_skipped_incremental)}")
+        if session.mode == "cow":
+            lines.append(f"  CoW shadows        : {s.cow_shadow_copies} "
+                         f"({units.fmt_bytes(s.cow_shadow_bytes)}), "
+                         f"stall {units.fmt_seconds(s.cow_stall_time)}, "
+                         f"pool waits {s.cow_pool_waits}")
+        if s.violations_handled:
+            lines.append(f"  validator events   : {s.violations_handled}")
+    if tracer is not None:
+        phases = tracer.breakdown()
+        if phases:
+            lines.append("  phase breakdown    :")
+            for label, total in sorted(phases.items(), key=lambda kv: -kv[1]):
+                lines.append(f"    {label:<20s} {units.fmt_seconds(total)}")
+    return "\n".join(lines)
+
+
+def restore_report(session: RestoreSession, resume_time: float,
+                   total_time: Optional[float] = None) -> str:
+    """A multi-line summary of one concurrent restore."""
+    image = session.image
+    lines = [f"restore report: {image.name}"]
+    lines.append(f"  process runnable   : after {units.fmt_seconds(resume_time)}")
+    if total_time is not None:
+        lines.append(f"  fully resident     : after {units.fmt_seconds(total_time)}")
+    lines.append(f"  on-demand fetches  : {session.demand_fetches}")
+    lines.append(f"  guard stall        : {units.fmt_seconds(session.stall_time)}")
+    if session.rolled_back:
+        lines.append("  NOTE: mis-speculation rollback occurred "
+                     "(stop-the-world reload)")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""PHOS's own buffer table.
+
+The frontend intercepts every allocation call, so PHOS "knows all the
+buffers allocated by the process" (§4.1) without asking the driver.
+The table is what speculation compares raw kernel arguments against:
+an integer argument that falls inside a registered buffer's range is a
+tentative pointer to that buffer.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional
+
+from repro.errors import CheckpointError
+from repro.gpu.memory import Buffer
+
+
+class BufferTable:
+    """Registered buffers of one process on one GPU, ordered by address."""
+
+    def __init__(self, gpu_index: int) -> None:
+        self.gpu_index = gpu_index
+        self._by_addr: dict[int, Buffer] = {}
+        self._addrs: list[int] = []
+
+    def register(self, buf: Buffer) -> None:
+        if buf.addr in self._by_addr:
+            raise CheckpointError(f"buffer at {buf.addr:#x} registered twice")
+        self._by_addr[buf.addr] = buf
+        bisect.insort(self._addrs, buf.addr)
+
+    def unregister(self, buf: Buffer) -> None:
+        if self._by_addr.get(buf.addr) is not buf:
+            raise CheckpointError(f"buffer at {buf.addr:#x} is not registered")
+        del self._by_addr[buf.addr]
+        self._addrs.remove(buf.addr)
+
+    def resolve(self, addr: int) -> Optional[Buffer]:
+        """The registered buffer whose range contains ``addr``, if any."""
+        i = bisect.bisect_right(self._addrs, addr) - 1
+        if i < 0:
+            return None
+        buf = self._by_addr[self._addrs[i]]
+        return buf if buf.contains(addr) else None
+
+    def buffers(self) -> Iterator[Buffer]:
+        """All registered buffers in address order."""
+        return (self._by_addr[a] for a in self._addrs)
+
+    def total_bytes(self) -> int:
+        return sum(b.size for b in self._by_addr.values())
+
+    def __len__(self) -> int:
+        return len(self._by_addr)
+
+    def __contains__(self, buf: Buffer) -> bool:
+        return self._by_addr.get(buf.addr) is buf

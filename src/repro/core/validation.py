@@ -1,0 +1,76 @@
+"""Twin-kernel management: the runtime half of validated speculation.
+
+Implements the Fig. 6 workflow: the first time an opaque kernel is seen
+(including JIT-compiled ones), PHOS generates its instrumented *twin*
+and caches it — instrumentation happens once per binary.  During an
+active checkpoint or restore, launches of opaque kernels are redirected
+to the twin with a :class:`~repro.gpu.interpreter.ValidationState`
+carrying the speculated ranges; outside those windows the original
+binary runs and no overhead is paid (§4.1: "they are not invoked
+without checkpoint").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.instrument import instrument_program
+from repro.gpu.interpreter import ValidationState, Violation
+from repro.gpu.isa import Program
+from repro.gpu.ranges import RangeSet
+
+
+@dataclass
+class ValidationStats:
+    """Counters behind Fig. 15(c): how much instrumentation happened."""
+
+    kernels_seen: set[str] = field(default_factory=set)
+    kernels_instrumented: set[str] = field(default_factory=set)
+    launches_total: int = 0
+    launches_instrumented: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def instrumented_kernel_ratio(self) -> float:
+        if not self.kernels_seen:
+            return 0.0
+        return len(self.kernels_instrumented) / len(self.kernels_seen)
+
+    @property
+    def instrumented_launch_ratio(self) -> float:
+        if self.launches_total == 0:
+            return 0.0
+        return self.launches_instrumented / self.launches_total
+
+
+class TwinCache:
+    """Per-process cache of instrumented twin kernels."""
+
+    def __init__(self) -> None:
+        self._write_twins: dict[str, Program] = {}
+        self._rw_twins: dict[str, Program] = {}
+        self.stats = ValidationStats()
+
+    def twin_for(self, program: Program, check_reads: bool = False) -> Program:
+        """The instrumented twin of ``program`` (built once, then cached)."""
+        cache = self._rw_twins if check_reads else self._write_twins
+        twin = cache.get(program.name)
+        if twin is None:
+            twin = instrument_program(program, check_reads=check_reads)
+            cache[twin.name] = twin
+            self.stats.kernels_instrumented.add(program.name)
+        return twin
+
+    def observe_launch(self, program: Program, instrumented: bool) -> None:
+        self.stats.kernels_seen.add(program.name)
+        self.stats.launches_total += 1
+        if instrumented:
+            self.stats.launches_instrumented += 1
+
+    def make_validation(self, write_ranges: RangeSet,
+                        read_ranges: RangeSet) -> ValidationState:
+        """A fresh per-launch validation descriptor."""
+        return ValidationState(read_ranges=read_ranges, write_ranges=write_ranges)
+
+    def record_violations(self, violations: list[Violation]) -> None:
+        self.stats.violations.extend(violations)

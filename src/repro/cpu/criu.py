@@ -1,0 +1,258 @@
+"""CRIU-equivalent CPU checkpoint and restore.
+
+PHOS delegates CPU state to CRIU (§3); this module reproduces the three
+CRIU behaviours the paper depends on:
+
+* **concurrent CoW dump** — write-protect all pages, copy them to the
+  image while the process runs; a faulting write first preserves the
+  old page content (so the image reflects the dump-start state);
+* **dirty-tracking dump** — clear soft-dirty bits, copy everything,
+  and report the pages dirtied during the copy for a recopy pass
+  (CRIU's memory-changes tracking / incremental dump [19]);
+* **restore** — load pages and control state; optionally *on-demand*
+  (lazy-restore): pages start non-present and are fetched on first
+  touch, with the fetch time charged to the faulting process.
+
+Timing: page copies flow through the target medium's links, capped at
+:data:`CPU_COPY_BW` (a memcpy-bound stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.cpu.memory import FAULT_NOT_PRESENT, FAULT_WRITE_PROTECTED, HostMemory
+from repro.cpu.process import HostProcess
+from repro.errors import CheckpointError
+from repro.sim.engine import Engine
+from repro.storage.image import CheckpointImage
+from repro.storage.media import Medium
+
+#: A single CPU checkpoint stream's own bandwidth limit (memcpy-bound).
+CPU_COPY_BW = 20 * units.GB
+
+#: CRIU dumps with multiple worker threads; their aggregate demand is
+#: what contends with the GPU checkpoint streams in Fig. 9.
+DUMP_THREADS = 8
+
+#: Pages batched per media flow (keeps the event count reasonable).
+PAGES_PER_FLOW = 4096
+
+
+@dataclass
+class CpuDumpResult:
+    """Outcome of a CPU dump."""
+
+    pages_copied: int = 0
+    cow_faults: int = 0
+    dirty_after_copy: list[int] = field(default_factory=list)
+
+
+class CriuEngine:
+    """Checkpoint/restore driver for the CPU half of a process."""
+
+    def __init__(self, engine: Engine, dump_threads: int = DUMP_THREADS) -> None:
+        self.engine = engine
+        self.dump_threads = max(1, dump_threads)
+
+    # -- concurrent CoW dump -------------------------------------------------------
+    def dump_cow(self, process: HostProcess, image: CheckpointImage, medium: Medium):
+        """Generator: CoW dump of all pages while the process runs.
+
+        The image matches the process state at the *start* of the dump:
+        concurrent writes fault first, and the fault handler preserves
+        the pre-write content for the dump to pick up.
+        """
+        mem = process.memory
+        preserved: dict[int, bytes] = {}
+        result = CpuDumpResult()
+        prev_handler = mem.fault_handler
+
+        def on_fault(index: int, kind: str) -> None:
+            if kind != FAULT_WRITE_PROTECTED:
+                if prev_handler is not None:
+                    prev_handler(index, kind)
+                    return
+                raise CheckpointError(f"unexpected CPU fault {kind} on page {index}")
+            preserved[index] = mem.pages[index].snapshot()
+            mem.unprotect(index)
+            result.cow_faults += 1
+
+        mem.protect_all()
+        mem.fault_handler = on_fault
+        try:
+            yield from self._copy_pages(mem, image, medium, preserved, result)
+        finally:
+            mem.unprotect_all()
+            mem.fault_handler = prev_handler
+        image.cpu_control = process.control_state()
+        image.kernel_objects = list(process.kernel_objects)
+        return result
+
+    # -- dirty-tracking dump (for recopy) ---------------------------------------------
+    def dump_tracked(self, process: HostProcess, image: CheckpointImage, medium: Medium):
+        """Generator: copy all pages, reporting pages dirtied meanwhile.
+
+        The caller (the recopy protocol) quiesces and then calls
+        :meth:`recopy_dirty` with the result.
+        """
+        mem = process.memory
+        mem.clear_soft_dirty()
+        result = CpuDumpResult()
+        yield from self._copy_pages(mem, image, medium, {}, result)
+        result.dirty_after_copy = mem.dirty_pages()
+        image.cpu_control = process.control_state()
+        image.kernel_objects = list(process.kernel_objects)
+        return result
+
+    def recopy_dirty(self, process: HostProcess, image: CheckpointImage,
+                     medium: Medium, dirty: list[int]):
+        """Generator: overwrite the image with the dirty pages' content."""
+        mem = process.memory
+        for start in range(0, len(dirty), PAGES_PER_FLOW):
+            batch = dirty[start : start + PAGES_PER_FLOW]
+            for index in batch:
+                image.add_cpu_page(index, mem.pages[index].snapshot())
+            yield from medium.write_flow(
+                len(batch) * mem.page_size, rate_cap=CPU_COPY_BW
+            )
+        # Refresh control state: the recopy point is the image's state.
+        image.cpu_control = process.control_state()
+        return len(dirty)
+
+    def _copy_pages(self, mem: HostMemory, image: CheckpointImage, medium: Medium,
+                    preserved: dict[int, bytes], result: CpuDumpResult):
+        image.cpu_page_size = mem.page_size
+        indices = list(range(mem.n_pages))
+        shard = (len(indices) + self.dump_threads - 1) // self.dump_threads
+
+        def worker(chunk):
+            for start in range(0, len(chunk), PAGES_PER_FLOW):
+                batch = chunk[start : start + PAGES_PER_FLOW]
+                yield from medium.write_flow(
+                    len(batch) * mem.page_size, rate_cap=CPU_COPY_BW
+                )
+                # Content is captured at batch completion; CoW-preserved
+                # pages supply their pre-write bytes.
+                for index in batch:
+                    data = preserved.get(index, mem.pages[index].snapshot())
+                    image.add_cpu_page(index, data)
+                    mem.unprotect(index)
+                    result.pages_copied += 1
+
+        workers = [
+            self.engine.spawn(worker(indices[i : i + shard]), name=f"criu-dump{i}")
+            for i in range(0, len(indices), shard)
+        ]
+        yield self.engine.all_of(workers)
+
+    # -- restore -------------------------------------------------------------------
+    def restore(self, image: CheckpointImage, process: HostProcess, medium: Medium,
+                on_demand: bool = False):
+        """Generator: load CPU state from the image into ``process``.
+
+        With ``on_demand=True`` the process may resume immediately:
+        pages are non-present until loaded, and a touched-but-missing
+        page is fetched synchronously with its cost accumulated in the
+        returned :class:`LazyRestoreSession` (the API runtime charges
+        it to the faulting process's next timed step).
+        """
+        image.require_finalized()
+        mem = process.memory
+        process.restore_control_state(image.cpu_control)
+        process.kernel_objects = list(image.kernel_objects)
+        if not on_demand:
+            indices = sorted(image.cpu_pages)
+            shard = (len(indices) + self.dump_threads - 1) // self.dump_threads
+
+            def worker(chunk):
+                for start in range(0, len(chunk), PAGES_PER_FLOW):
+                    batch = chunk[start : start + PAGES_PER_FLOW]
+                    yield from medium.read_flow(
+                        len(batch) * mem.page_size, rate_cap=CPU_COPY_BW
+                    )
+                    for index in batch:
+                        mem.pages[index].load(image.cpu_pages[index])
+                        mem.mark_present(index)
+
+            if indices:
+                workers = [
+                    self.engine.spawn(worker(indices[i : i + shard]),
+                                      name=f"criu-restore{i}")
+                    for i in range(0, len(indices), shard)
+                ]
+                yield self.engine.all_of(workers)
+            return None
+        session = LazyRestoreSession(self.engine, image, process, medium)
+        session.start()
+        return session
+
+
+class LazyRestoreSession:
+    """On-demand CPU restore: background loader plus fault service."""
+
+    def __init__(self, engine: Engine, image: CheckpointImage,
+                 process: HostProcess, medium: Medium) -> None:
+        self.engine = engine
+        self.image = image
+        self.process = process
+        self.medium = medium
+        self.stall_charge = 0.0
+        self.faults = 0
+        self._done = engine.event(name="cpu-lazy-restore-done")
+        self._prev_handler = None
+
+    @property
+    def done(self):
+        """Fires when every page has been loaded."""
+        return self._done
+
+    def start(self) -> None:
+        mem = self.process.memory
+        mem.mark_all_not_present()
+        self._prev_handler = mem.fault_handler
+        mem.fault_handler = self._on_fault
+        self.engine.spawn(self._background_load(), name="cpu-lazy-load")
+
+    def _on_fault(self, index: int, kind: str) -> None:
+        mem = self.process.memory
+        if kind != FAULT_NOT_PRESENT:
+            if self._prev_handler is not None:
+                self._prev_handler(index, kind)
+                return
+            raise CheckpointError(f"unexpected fault {kind} during lazy restore")
+        data = self.image.cpu_pages.get(index)
+        if data is not None:
+            mem.pages[index].load(data)
+        mem.mark_present(index)
+        self.faults += 1
+        # The faulting access pays the page fetch latency; it is charged
+        # to the process's next timed step by the API runtime.
+        self.stall_charge += mem.page_size / CPU_COPY_BW
+
+    def take_stall_charge(self) -> float:
+        """Drain the accumulated fault latency (charged by the caller)."""
+        charge, self.stall_charge = self.stall_charge, 0.0
+        return charge
+
+    def _background_load(self):
+        mem = self.process.memory
+        indices = sorted(self.image.cpu_pages)
+        for start in range(0, len(indices), PAGES_PER_FLOW):
+            batch = indices[start : start + PAGES_PER_FLOW]
+            pending = [i for i in batch if not mem.pages[i].present]
+            if pending:
+                yield from self.medium.read_flow(
+                    len(pending) * mem.page_size, rate_cap=CPU_COPY_BW
+                )
+            for index in pending:
+                if not mem.pages[index].present:  # may have faulted meanwhile
+                    mem.pages[index].load(self.image.cpu_pages[index])
+                    mem.mark_present(index)
+        mem.fault_handler = self._prev_handler
+        self._done.succeed()
+
+
+#: Re-exported for convenience in tests.
+CpuCheckpoint = CpuDumpResult

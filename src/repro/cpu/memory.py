@@ -1,0 +1,168 @@
+"""Host memory: pages with protection, soft-dirty, and present bits.
+
+Pages carry the three page-table bits the paper's Table 1 names as the
+CPU's information channels for concurrent C/R:
+
+* **write-protected** — a write to a protected page invokes the fault
+  handler *before* the write lands (copy-on-write checkpointing);
+* **soft-dirty** — set on every write, cleared by the checkpointer
+  (recopy/incremental-dump tracking, CRIU's memory-changes tracking);
+* **present** — cleared during restore until the page's bytes have been
+  loaded; a read or write of a non-present page invokes the fault
+  handler (on-demand restore).
+
+As on the GPU side, functional content is real but small: each page
+materializes :data:`PAGE_DATA_SIZE` bytes while its logical size is the
+usual 4 KiB for timing purposes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import InvalidValueError
+from repro.units import PAGE_SIZE
+
+#: Real bytes materialized per page.
+PAGE_DATA_SIZE = 16
+
+#: Fault kinds passed to handlers.
+FAULT_WRITE_PROTECTED = "write-protected"
+FAULT_NOT_PRESENT = "not-present"
+
+FaultHandler = Callable[[int, str], None]
+
+
+class Page:
+    """One 4 KiB page with its functional prefix and page-table bits."""
+
+    __slots__ = ("index", "data", "soft_dirty", "write_protected", "present", "version")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.data = np.zeros(PAGE_DATA_SIZE, dtype=np.uint8)
+        self.soft_dirty = False
+        self.write_protected = False
+        self.present = True
+        self.version = 0
+
+    def snapshot(self) -> bytes:
+        return self.data.tobytes()
+
+    def load(self, raw: bytes) -> None:
+        if len(raw) != PAGE_DATA_SIZE:
+            raise InvalidValueError(
+                f"page snapshot must be {PAGE_DATA_SIZE} bytes, got {len(raw)}"
+            )
+        self.data[:] = np.frombuffer(raw, dtype=np.uint8)
+
+
+class HostMemory:
+    """A process's CPU address space as an array of pages.
+
+    ``fault_handler(page_index, kind)`` is called synchronously when a
+    write hits a protected page or any access hits a non-present page.
+    The handler is expected to resolve the fault (e.g. copy the old
+    content, or load the page) and clear the corresponding bit; the
+    access then proceeds.
+    """
+
+    def __init__(self, n_pages: int, page_size: int = PAGE_SIZE) -> None:
+        if n_pages <= 0:
+            raise InvalidValueError(f"n_pages must be positive, got {n_pages}")
+        if page_size <= 0:
+            raise InvalidValueError(f"page_size must be positive, got {page_size}")
+        self.n_pages = n_pages
+        #: Logical page size; large allocations use 2 MiB huge pages.
+        self.page_size = page_size
+        self.pages = [Page(i) for i in range(n_pages)]
+        self.fault_handler: Optional[FaultHandler] = None
+
+    @property
+    def logical_bytes(self) -> int:
+        """Logical size of the address space (drives copy timing)."""
+        return self.n_pages * self.page_size
+
+    # -- access ------------------------------------------------------------------
+    def _check(self, index: int) -> Page:
+        if not 0 <= index < self.n_pages:
+            raise InvalidValueError(f"page index {index} out of range 0..{self.n_pages - 1}")
+        return self.pages[index]
+
+    def read(self, index: int) -> bytes:
+        """Read a page's functional bytes (faults if not present)."""
+        page = self._check(index)
+        if not page.present:
+            self._fault(index, FAULT_NOT_PRESENT)
+        return page.snapshot()
+
+    def write(self, index: int, raw: bytes) -> None:
+        """Write a page's functional bytes, honoring protection bits."""
+        page = self._check(index)
+        if not page.present:
+            self._fault(index, FAULT_NOT_PRESENT)
+        if page.write_protected:
+            self._fault(index, FAULT_WRITE_PROTECTED)
+        page.load(raw)
+        page.soft_dirty = True
+        page.version += 1
+
+    def write_word(self, index: int, value: int) -> None:
+        """Convenience: write a page's first 8 bytes as a counter value."""
+        raw = bytearray(self.read(index))
+        raw[:8] = (value & (2**64 - 1)).to_bytes(8, "little")
+        self.write(index, bytes(raw))
+
+    def read_word(self, index: int) -> int:
+        return int.from_bytes(self.read(index)[:8], "little")
+
+    def _fault(self, index: int, kind: str) -> None:
+        if self.fault_handler is None:
+            raise InvalidValueError(
+                f"page {index} fault ({kind}) with no fault handler installed"
+            )
+        self.fault_handler(index, kind)
+        page = self.pages[index]
+        if kind == FAULT_NOT_PRESENT and not page.present:
+            raise InvalidValueError(f"fault handler failed to make page {index} present")
+        if kind == FAULT_WRITE_PROTECTED and page.write_protected:
+            raise InvalidValueError(f"fault handler failed to unprotect page {index}")
+
+    # -- bit management (the checkpointer's toolbox) ------------------------------
+    def clear_soft_dirty(self) -> None:
+        """CRIU-style: reset dirty tracking for a new interval."""
+        for page in self.pages:
+            page.soft_dirty = False
+
+    def dirty_pages(self) -> list[int]:
+        """Indices of pages written since the last clear."""
+        return [p.index for p in self.pages if p.soft_dirty]
+
+    def protect_all(self) -> None:
+        """Write-protect every page (start of a CoW checkpoint)."""
+        for page in self.pages:
+            page.write_protected = True
+
+    def unprotect(self, index: int) -> None:
+        self._check(index).write_protected = False
+
+    def unprotect_all(self) -> None:
+        for page in self.pages:
+            page.write_protected = False
+
+    def mark_all_not_present(self) -> None:
+        """Start of an on-demand restore: nothing is loaded yet."""
+        for page in self.pages:
+            page.present = False
+
+    def mark_present(self, index: int) -> None:
+        self._check(index).present = True
+
+    def snapshot_all(self) -> list[bytes]:
+        """Functional snapshot of every page (no timing; used by tests)."""
+        return [p.snapshot() for p in self.pages]
+
+    def __iter__(self) -> Iterator[Page]:
+        return iter(self.pages)

@@ -1,0 +1,65 @@
+"""Host process state: pages plus control state and kernel objects.
+
+The checkpointed CPU state in the paper includes the virtual memory,
+registers (control state), and kernel objects such as network
+connections (§2.2, handled via CRIU's TCP repair mode).  We model the
+control state as a small named-register dict and kernel objects as
+serializable descriptors, enough for images to be complete and for
+restore to be a faithful inverse.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cpu.memory import HostMemory
+
+_pids = itertools.count(1000)
+
+
+@dataclass
+class KernelObject:
+    """A descriptor for an OS object owned by the process."""
+
+    kind: str  # e.g. "tcp-connection", "file", "epoll"
+    description: str
+    state: dict = field(default_factory=dict)
+
+
+class HostProcess:
+    """The CPU half of a GPU process."""
+
+    def __init__(self, n_pages: int, name: str = "proc",
+                 page_size: int | None = None) -> None:
+        self.pid = next(_pids)
+        self.name = name
+        self.memory = (HostMemory(n_pages, page_size=page_size)
+                       if page_size else HostMemory(n_pages))
+        #: Control state: program counter and friends.
+        self.registers: dict[str, int] = {"pc": 0, "sp": 0x7FFF0000}
+        self.kernel_objects: list[KernelObject] = []
+        #: Set by PHOS / CRIU while the process's CPU side is stopped.
+        self.stopped = False
+
+    def open_connection(self, peer: str) -> KernelObject:
+        """Record a TCP connection kernel object (CRIU repairs these)."""
+        obj = KernelObject(
+            kind="tcp-connection", description=peer, state={"seq": 0, "ack": 0}
+        )
+        self.kernel_objects.append(obj)
+        return obj
+
+    def advance_pc(self, delta: int = 1) -> None:
+        """Model forward progress of the control state."""
+        self.registers["pc"] += delta
+
+    def control_state(self) -> dict[str, int]:
+        """A copy of the registers for checkpointing."""
+        return dict(self.registers)
+
+    def restore_control_state(self, regs: dict[str, int]) -> None:
+        self.registers = dict(regs)
+
+    def __repr__(self) -> str:
+        return f"<HostProcess pid={self.pid} {self.name} pages={self.memory.n_pages}>"

@@ -1,0 +1,11 @@
+"""Experiment harness: one module per evaluation table/figure.
+
+Each ``figNN_*``/``tabNN_*`` module exposes ``run() ->
+ExperimentResult`` regenerating the corresponding rows/series of the
+paper's evaluation (§8).  The benchmarks under ``benchmarks/`` invoke
+these and print the tables; EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.experiments.harness import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

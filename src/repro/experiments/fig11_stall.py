@@ -1,0 +1,44 @@
+"""Fig. 11 — application stall time per OS-level C/R system.
+
+(a) checkpoint stall on the training workloads, checkpointing at the
+beginning of an iteration; (b) restore stall (time the application is
+unavailable during restore).  PHOS reduces checkpoint stall by 70-160%
+vs Singularity and restore stall by eliminating the context barrier and
+overlapping the copy; cuda-checkpoint is orders of magnitude slower.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.tasks.fault_tolerance import (
+    SYSTEMS,
+    measure_checkpoint_overhead,
+    measure_restore_time,
+)
+
+#: Paper headline: PHOS ~185 ms vs Singularity 3.2 s on Llama2-13B train.
+CHECKPOINT_APPS = ("resnet152-train", "ppo-train", "sd-train",
+                   "llama2-13b-train")
+RESTORE_APPS = ("resnet152-infer", "llama2-13b-infer")
+
+
+def run(checkpoint_apps=CHECKPOINT_APPS,
+        restore_apps=RESTORE_APPS) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig11",
+        title="Application stall time by C/R system",
+        columns=["direction", "app", "system", "stall_s", "supported"],
+        notes="paper: L13B-train ckpt stall PHOS 0.185 s vs Singularity 3.2 s",
+    )
+    for app in checkpoint_apps:
+        for system in SYSTEMS:
+            m = measure_checkpoint_overhead(system, app)
+            result.add(direction="checkpoint", app=app, system=system,
+                       stall_s=m.checkpoint_stall if m.supported else None,
+                       supported=m.supported)
+    for app in restore_apps:
+        for system in SYSTEMS:
+            stall = measure_restore_time(system, app)
+            result.add(direction="restore", app=app, system=system,
+                       stall_s=stall, supported=stall == stall)
+    return result

@@ -1,0 +1,79 @@
+"""Fig. 17 — recopy breakdown + coordinated CPU/GPU checkpoint ablation.
+
+Llama2-70B inference (8 GPUs).  The recopy protocol's downtime is the
+final quiesce + recopy of the dirty delta; with the coordinated
+CPU-then-GPU ordering (§5, Fig. 9) the GPU copy runs later and without
+medium contention, so fewer buffers are dirtied after their copy — the
+paper measures the recopied volume dropping from 50 to 27 GB per GPU
+(47% less recopy time).
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.baselines.singularity import singularity_checkpoint
+from repro.experiments.harness import ExperimentResult, build_world, setup_app
+from repro.tasks.fault_tolerance import EXPERIMENT_CHUNK
+
+APP = "llama3-70b-infer"
+
+
+def _measure_recopy(coordinated: bool, steps_during: int = 80):
+    world = build_world(APP)
+    eng, phos = world.engine, world.phos
+    setup_app(world, warm=2)
+
+    def driver(eng):
+        handle = phos.checkpoint(world.process, mode="recopy",
+                                 coordinated=coordinated,
+                                 chunk_bytes=2 * EXPERIMENT_CHUNK)
+        runner = eng.spawn(world.workload.run(steps_during))
+        image, session = yield handle
+        yield runner
+        return session
+
+    session = eng.run_process(driver(eng))
+    eng.run()
+    recopy_s = phos.tracer.total("gpu-recopy") / world.spec.n_gpus
+    quiesce_s = phos.tracer.total("quiesce")
+    recopied_gb_per_gpu = (
+        session.stats.bytes_recopied / world.spec.n_gpus / units.GB
+    )
+    return quiesce_s, recopy_s, recopied_gb_per_gpu
+
+
+def _measure_singularity():
+    world = build_world(APP)
+    eng, phos = world.engine, world.phos
+    setup_app(world, warm=1)
+
+    def driver(eng):
+        t0 = eng.now
+        yield from singularity_checkpoint(
+            eng, world.process, phos.medium, phos.criu, tracer=phos.tracer
+        )
+        return eng.now - t0
+
+    downtime = eng.run_process(driver(eng))
+    return downtime
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig17",
+        title="Recopy checkpoint breakdown (Llama3-70B inference, 8 GPUs)",
+        columns=["variant", "quiesce_s", "recopy_s_per_gpu",
+                 "recopied_gb_per_gpu", "stop_world_s"],
+        notes="paper: coordinated ordering cuts the recopied data 50->27 GB "
+              "per GPU (47% less recopy time); recopy downtime 2.1 s vs "
+              "9.7 s stop-the-world",
+    )
+    for variant, coordinated in (("phos-recopy", True),
+                                 ("phos-recopy-uncoordinated", False)):
+        quiesce_s, recopy_s, gb = _measure_recopy(coordinated)
+        result.add(variant=variant, quiesce_s=quiesce_s,
+                   recopy_s_per_gpu=recopy_s, recopied_gb_per_gpu=gb,
+                   stop_world_s=None)
+    result.add(variant="singularity", quiesce_s=None, recopy_s_per_gpu=None,
+               recopied_gb_per_gpu=None, stop_world_s=_measure_singularity())
+    return result

@@ -1,0 +1,123 @@
+"""Common experiment plumbing: results, formatting, and world builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import units
+from repro.apps.base import provision
+from repro.apps.specs import get_spec
+from repro.cluster import Machine
+from repro.core.daemon import Phos
+from repro.sim import Engine
+
+
+@dataclass
+class ExperimentResult:
+    """Rows regenerating one paper table or figure."""
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, **row) -> None:
+        self.rows.append(row)
+
+    def column(self, name: str) -> list:
+        return [row.get(name) for row in self.rows]
+
+    def format(self) -> str:
+        return format_table(self)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()
+
+
+def format_table(result: ExperimentResult) -> str:
+    """Render an experiment as an aligned text table."""
+    cols = result.columns
+    header = [c for c in cols]
+    body = []
+    for row in result.rows:
+        body.append([_fmt(row.get(c)) for c in cols])
+    widths = [max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+              for i, h in enumerate(header)]
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    if result.notes:
+        lines.append(f"-- {result.notes}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def fmt_time(t: float) -> str:
+    return units.fmt_seconds(t)
+
+
+@dataclass
+class World:
+    """A ready experiment world: engine, machine, PHOS, app."""
+
+    engine: Engine
+    machine: Machine
+    phos: Phos
+    process: object
+    workload: object
+    spec: object
+
+
+def build_world(spec_name: str, use_pool: bool = False,
+                always_instrument: bool = False) -> World:
+    """One machine, one attached application process."""
+    engine = Engine()
+    spec = get_spec(spec_name)
+    machine = Machine(engine, n_gpus=spec.n_gpus)
+    phos = Phos(engine, machine, use_context_pool=use_pool)
+    if use_pool:
+        engine.run_process(phos.boot())
+    process, workload = provision(engine, machine, spec)
+    phos.attach(process, always_instrument=always_instrument)
+    return World(engine=engine, machine=machine, phos=phos,
+                 process=process, workload=workload, spec=spec)
+
+
+def run_steps(world: World, n: int, start: Optional[int] = None) -> float:
+    """Run n workload steps inline; returns elapsed virtual time."""
+    eng = world.engine
+
+    def driver(eng):
+        t0 = eng.now
+        yield from world.workload.run(n, start=start)
+        return eng.now - t0
+
+    return eng.run_process(driver(eng))
+
+
+def setup_app(world: World, warm: int = 1) -> None:
+    """Allocate buffers and warm the app (JIT/module loads)."""
+    eng = world.engine
+
+    def driver(eng):
+        yield from world.workload.setup()
+        yield from world.workload.run(warm)
+
+    eng.run_process(driver(eng))

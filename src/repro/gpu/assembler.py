@@ -1,0 +1,135 @@
+"""Assembler for the mini PTX-like ISA: text listings -> Programs.
+
+The inverse of :mod:`repro.gpu.disasm`.  Lets tests and tools author
+kernels as readable assembly instead of builder chains::
+
+    prog = assemble('''
+        // doubler: __global__ void doubler(const long* x, long* y, long n)
+        arg    r0, #0
+        arg    r1, #1
+        arg    r2, #2
+        tid    r3
+        bge    r3, r2, end
+        muli   r4, r3, 8
+        add    r5, r0, r4
+        ld.global  r6, [r5]
+        muli   r6, r6, 2
+        add    r7, r1, r4
+        st.global  [r7], r6
+    end:
+        exit
+    ''')
+
+Round-trip property: ``assemble(disassemble(p))`` behaves identically
+to ``p`` (verified in the tests).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import IsaError
+from repro.gpu.isa import CHK_READ, CHK_WRITE, Instr, Op, Program
+
+_HEADER_RE = re.compile(
+    r"//\s*(?P<name>[A-Za-z_]\w*)\s*:\s*(?P<decl>.+?)\s*$"
+)
+_GLOBAL_RE = re.compile(
+    r"//\s*\.global\s+(?P<sym>[A-Za-z_]\w*)\s*=\s*(?P<addr>0x[0-9a-fA-F]+|\d+)"
+)
+_LABEL_RE = re.compile(r"^(?P<label>[A-Za-z_]\w*):\s*$")
+_ADDR_PREFIX_RE = re.compile(r"^\s*\d+:\s*")
+
+_REG = r"r(\d+)"
+_PATTERNS: list[tuple[re.Pattern, object]] = []
+
+
+def _pat(regex: str, build) -> None:
+    _PATTERNS.append((re.compile(regex + r"\s*(//.*)?$"), build))
+
+
+def _imm(text: str) -> int:
+    return int(text, 0)
+
+
+_pat(rf"seti\s+{_REG},\s*(-?\w+)",
+     lambda m: Instr(op=Op.SETI, rd=int(m[1]), imm=_imm(m[2])))
+_pat(rf"arg\s+{_REG},\s*#(\d+)",
+     lambda m: Instr(op=Op.ARG, rd=int(m[1]), imm=int(m[2])))
+_pat(rf"tid\s+{_REG}", lambda m: Instr(op=Op.TID, rd=int(m[1])))
+_pat(rf"ntid\s+{_REG}", lambda m: Instr(op=Op.NTID, rd=int(m[1])))
+_pat(rf"mov\s+{_REG},\s*{_REG}",
+     lambda m: Instr(op=Op.MOV, rd=int(m[1]), ra=int(m[2])))
+for _name, _op in (("add", Op.ADD), ("sub", Op.SUB), ("mul", Op.MUL),
+                   ("mod", Op.MOD)):
+    _pat(rf"{_name}\s+{_REG},\s*{_REG},\s*{_REG}",
+         lambda m, _op=_op: Instr(op=_op, rd=int(m[1]), ra=int(m[2]),
+                                  rb=int(m[3])))
+for _name, _op in (("addi", Op.ADDI), ("muli", Op.MULI)):
+    _pat(rf"{_name}\s+{_REG},\s*{_REG},\s*(-?\w+)",
+         lambda m, _op=_op: Instr(op=_op, rd=int(m[1]), ra=int(m[2]),
+                                  imm=_imm(m[3])))
+_pat(rf"ld\.global\s+{_REG},\s*\[{_REG}\]",
+     lambda m: Instr(op=Op.LDG, rd=int(m[1]), ra=int(m[2])))
+_pat(rf"st\.global\s+\[{_REG}\],\s*{_REG}",
+     lambda m: Instr(op=Op.STG, ra=int(m[1]), rb=int(m[2])))
+_pat(rf"mov\.global\s+{_REG},\s*&([A-Za-z_]\w*)",
+     lambda m: Instr(op=Op.GLOB, rd=int(m[1]), sym=m[2]))
+_pat(rf"chk\.write\s+\[{_REG}\]",
+     lambda m: Instr(op=Op.CHK, ra=int(m[1]), imm=CHK_WRITE))
+_pat(rf"chk\.read\s+\[{_REG}\]",
+     lambda m: Instr(op=Op.CHK, ra=int(m[1]), imm=CHK_READ))
+for _name, _op in (("blt", Op.BLT), ("bge", Op.BGE), ("beq", Op.BEQ),
+                   ("bne", Op.BNE)):
+    _pat(rf"{_name}\s+{_REG},\s*{_REG},\s*([A-Za-z_]\w*)",
+         lambda m, _op=_op: Instr(op=_op, ra=int(m[1]), rb=int(m[2]),
+                                  label=m[3]))
+_pat(r"jmp\s+([A-Za-z_]\w*)", lambda m: Instr(op=Op.JMP, label=m[1]))
+_pat(r"exit", lambda m: Instr(op=Op.EXIT))
+
+
+def assemble(listing: str, name: str = "", decl: str = "") -> Program:
+    """Parse an assembly listing into a validated :class:`Program`.
+
+    ``name``/``decl`` override the header comment when given; a header
+    of the ``// name: decl`` form (as :func:`disassemble` emits) is
+    otherwise required.
+    """
+    instrs: list[Instr] = []
+    labels: dict[str, int] = {}
+    globals_: dict[str, int] = {}
+    instrumented = False
+    for raw in listing.splitlines():
+        line = _ADDR_PREFIX_RE.sub("", raw).strip()
+        if not line:
+            continue
+        if line.startswith("//"):
+            g = _GLOBAL_RE.match(line)
+            if g:
+                globals_[g["sym"]] = int(g["addr"], 0)
+                continue
+            if "instrumented twin" in line:
+                instrumented = True
+                continue
+            h = _HEADER_RE.match(line)
+            if h and not name:
+                name, decl = h["name"], h["decl"]
+            continue
+        label = _LABEL_RE.match(line)
+        if label:
+            if label["label"] in labels:
+                raise IsaError(f"duplicate label {label['label']!r}")
+            labels[label["label"]] = len(instrs)
+            continue
+        for pattern, build in _PATTERNS:
+            m = pattern.match(line)
+            if m:
+                instrs.append(build(m))
+                break
+        else:
+            raise IsaError(f"cannot assemble line: {raw.strip()!r}")
+    if not name:
+        raise IsaError("no kernel name: add a '// name: decl' header")
+    return Program(name=name, decl=decl or f"void {name}()", instrs=instrs,
+                   labels=labels, globals_=globals_,
+                   instrumented=instrumented)

@@ -1,0 +1,71 @@
+"""Disassembler for the mini PTX-like ISA.
+
+Renders kernel programs as readable assembly listings — the moral
+equivalent of ``cuobjdump``/``nvdisasm`` for our substrate.  Handy when
+debugging instrumentation passes or writing new kernel builders::
+
+    >>> from repro.gpu.program import build_fill
+    >>> from repro.gpu.disasm import disassemble
+    >>> print(disassemble(build_fill()))
+    // fill: __global__ void fill(long* y, long n, long v)
+      0:  arg    r0, #0
+      ...
+"""
+
+from __future__ import annotations
+
+from repro.gpu.isa import CHK_WRITE, Instr, Op, Program
+
+
+def format_instr(ins: Instr, labels_at: dict[int, list[str]] | None = None) -> str:
+    """One instruction as text (without its address)."""
+    op = ins.op
+    if op is Op.SETI:
+        return f"seti   r{ins.rd}, {ins.imm}"
+    if op is Op.ARG:
+        return f"arg    r{ins.rd}, #{ins.imm}"
+    if op is Op.TID:
+        return f"tid    r{ins.rd}"
+    if op is Op.NTID:
+        return f"ntid   r{ins.rd}"
+    if op is Op.MOV:
+        return f"mov    r{ins.rd}, r{ins.ra}"
+    if op in (Op.ADD, Op.SUB, Op.MUL, Op.MOD):
+        return f"{op.value:<6} r{ins.rd}, r{ins.ra}, r{ins.rb}"
+    if op in (Op.ADDI, Op.MULI):
+        return f"{op.value:<6} r{ins.rd}, r{ins.ra}, {ins.imm}"
+    if op is Op.LDG:
+        return f"ld.global  r{ins.rd}, [r{ins.ra}]"
+    if op is Op.STG:
+        return f"st.global  [r{ins.ra}], r{ins.rb}"
+    if op is Op.GLOB:
+        return f"mov.global r{ins.rd}, &{ins.sym}"
+    if op is Op.CHK:
+        kind = "write" if ins.imm == CHK_WRITE else "read"
+        return f"chk.{kind:<5} [r{ins.ra}]    // validator"
+    if op in (Op.BLT, Op.BGE, Op.BEQ, Op.BNE):
+        return f"{op.value:<6} r{ins.ra}, r{ins.rb}, {ins.label}"
+    if op is Op.JMP:
+        return f"jmp    {ins.label}"
+    if op is Op.EXIT:
+        return "exit"
+    raise AssertionError(f"unhandled opcode {op}")  # pragma: no cover
+
+
+def disassemble(program: Program) -> str:
+    """The whole program as a listing with labels and addresses."""
+    labels_at: dict[int, list[str]] = {}
+    for name, pos in program.labels.items():
+        labels_at.setdefault(pos, []).append(name)
+    lines = [f"// {program.name}: {program.decl}"]
+    if program.instrumented:
+        lines.append("// instrumented twin (validator checks inserted)")
+    for sym, addr in sorted(program.globals_.items()):
+        lines.append(f"// .global {sym} = {addr:#x}")
+    for pc, ins in enumerate(program.instrs):
+        for name in labels_at.get(pc, ()):
+            lines.append(f"{name}:")
+        lines.append(f"  {pc:3d}:  {format_instr(ins)}")
+    for name in labels_at.get(len(program.instrs), ()):
+        lines.append(f"{name}:")
+    return "\n".join(lines)

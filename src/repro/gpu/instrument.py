@@ -1,0 +1,55 @@
+"""The validator instrumentation pass (Fig. 6 of the paper).
+
+Given an opaque kernel's program, :func:`instrument_program` produces a
+*twin kernel*: the same program with an address-range check (``CHK``)
+inserted immediately before every global store — and, when read
+validation is requested (concurrent restore, §6), before every global
+load as well.  The check validates the target address against the
+speculated buffer ranges carried by the launch's
+:class:`~repro.gpu.interpreter.ValidationState`; failures are written to
+the validation state's report buffer without disturbing the kernel.
+
+The pass is performed once per kernel binary (PHOS caches twins — see
+:mod:`repro.core.validation`), mirroring the paper's PTX-level rewriter.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.isa import (
+    CHK_READ,
+    CHK_WRITE,
+    Instr,
+    Op,
+    Program,
+    remap_labels,
+)
+
+
+def instrument_program(program: Program, check_reads: bool = False) -> Program:
+    """Return the instrumented twin of ``program``.
+
+    ``check_reads`` additionally guards global loads, which the
+    concurrent-restore protocol needs (it must know when a kernel reads
+    a buffer outside the speculated read set).  Instrumenting an
+    already-instrumented program is rejected to keep the twin cache
+    honest.
+    """
+    if program.instrumented:
+        raise ValueError(f"kernel {program.name!r} is already instrumented")
+    new_instrs: list[Instr] = []
+    old_to_new: dict[int, int] = {}
+    for idx, ins in enumerate(program.instrs):
+        old_to_new[idx] = len(new_instrs)
+        if ins.op is Op.STG:
+            new_instrs.append(Instr(op=Op.CHK, ra=ins.ra, imm=CHK_WRITE))
+        elif ins.op is Op.LDG and check_reads:
+            new_instrs.append(Instr(op=Op.CHK, ra=ins.ra, imm=CHK_READ))
+        new_instrs.append(ins)
+    labels = remap_labels(new_instrs, old_to_new, program.labels)
+    twin = program.with_instrs(new_instrs, labels, instrumented=True)
+    return twin
+
+
+def check_count(program: Program) -> int:
+    """Number of ``CHK`` instructions in a program (0 if uninstrumented)."""
+    return sum(1 for ins in program.instrs if ins.op is Op.CHK)

@@ -1,0 +1,222 @@
+"""The kernel interpreter: per-thread execution over real buffer bytes.
+
+Threads run sequentially in thread-id order (the simulation is
+deterministic), each with its own register file.  Global loads and
+stores go through :class:`~repro.gpu.memory.DeviceMemory`, so kernels
+genuinely mutate buffer contents — the checkpoint protocols are tested
+against these bytes.
+
+When a program has been instrumented (:mod:`repro.gpu.instrument`), its
+``CHK`` instructions consult a :class:`ValidationState`: each failed
+check appends a :class:`Violation` to the validation state's report
+buffer, exactly mirroring the paper's validator that "reports the
+incident to PHOS by writing the address to a pre-allocated PHOS-managed
+CPU buffer" (§4.1).  Execution continues after a violation — stopping
+is PHOS's decision, not the kernel's.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import IsaError, KernelFault
+from repro.gpu.isa import CHK_WRITE, NUM_REGS, Op, Program
+from repro.gpu.ranges import RangeSet
+
+#: Per-thread instruction budget; exceeding it means a runaway loop.
+MAX_STEPS = 100_000
+
+_MASK64 = (1 << 64) - 1
+
+
+class AccessKind(enum.Enum):
+    """Kind of a recorded global-memory access."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One observed global access (ground truth for speculation tests)."""
+
+    addr: int
+    kind: AccessKind
+    tid: int
+    pc: int
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A validator hit: an access outside the speculated ranges."""
+
+    kernel: str
+    addr: int
+    kind: AccessKind
+    tid: int
+
+
+@dataclass
+class ValidationState:
+    """The speculated ranges plus the CPU-visible violation buffer."""
+
+    read_ranges: RangeSet
+    write_ranges: RangeSet
+    violations: list[Violation] = field(default_factory=list)
+
+    def check(self, kernel: str, addr: int, kind: AccessKind, tid: int) -> None:
+        """Record a violation if ``addr`` is outside the speculated set.
+
+        Reads are validated against the union of read and write ranges:
+        a buffer the kernel is known to write may legitimately be read
+        back (partial updates), and it is already protected.
+        """
+        if kind is AccessKind.WRITE:
+            ok = addr in self.write_ranges
+        else:
+            ok = addr in self.read_ranges or addr in self.write_ranges
+        if not ok:
+            self.violations.append(Violation(kernel, addr, kind, tid))
+
+
+@dataclass
+class KernelRun:
+    """The outcome of interpreting a kernel launch."""
+
+    program: Program
+    n_threads: int
+    accesses: list[AccessRecord] = field(default_factory=list)
+    steps: int = 0
+
+    def written_addrs(self) -> set[int]:
+        """Distinct addresses stored to."""
+        return {a.addr for a in self.accesses if a.kind is AccessKind.WRITE}
+
+    def read_addrs(self) -> set[int]:
+        """Distinct addresses loaded from."""
+        return {a.addr for a in self.accesses if a.kind is AccessKind.READ}
+
+
+def run_kernel(
+    program: Program,
+    args: list[int],
+    n_threads: int,
+    memory,
+    validation: Optional[ValidationState] = None,
+    record_accesses: bool = True,
+    max_steps: int = MAX_STEPS,
+) -> KernelRun:
+    """Interpret ``program`` for ``n_threads`` threads.
+
+    ``memory`` is any object with ``load_word(addr)`` / ``store_word(addr,
+    value)`` — normally a :class:`~repro.gpu.memory.DeviceMemory`.
+    ``validation`` must be provided iff the program is instrumented.
+    """
+    if program.instrumented and validation is None:
+        raise KernelFault(
+            f"instrumented kernel {program.name!r} launched without a "
+            "validation descriptor"
+        )
+    if n_threads <= 0:
+        raise KernelFault(f"kernel {program.name!r}: n_threads must be positive")
+    run = KernelRun(program=program, n_threads=n_threads)
+    for tid in range(n_threads):
+        _run_thread(
+            program, args, tid, n_threads, memory, validation, run, max_steps,
+            record_accesses,
+        )
+    return run
+
+
+def _run_thread(
+    program: Program,
+    args: list[int],
+    tid: int,
+    n_threads: int,
+    memory,
+    validation: Optional[ValidationState],
+    run: KernelRun,
+    max_steps: int,
+    record: bool,
+) -> None:
+    regs = [0] * NUM_REGS
+    pc = 0
+    steps = 0
+    instrs = program.instrs
+    labels = program.labels
+    while True:
+        if steps >= max_steps:
+            raise KernelFault(
+                f"kernel {program.name!r} thread {tid}: exceeded "
+                f"{max_steps} steps (runaway loop?)"
+            )
+        ins = instrs[pc]
+        steps += 1
+        op = ins.op
+        if op is Op.EXIT:
+            break
+        elif op is Op.SETI:
+            regs[ins.rd] = ins.imm
+        elif op is Op.ARG:
+            if not 0 <= ins.imm < len(args):
+                raise KernelFault(
+                    f"kernel {program.name!r}: ARG index {ins.imm} out of "
+                    f"range for {len(args)} arguments"
+                )
+            regs[ins.rd] = int(args[ins.imm])
+        elif op is Op.TID:
+            regs[ins.rd] = tid
+        elif op is Op.NTID:
+            regs[ins.rd] = n_threads
+        elif op is Op.MOV:
+            regs[ins.rd] = regs[ins.ra]
+        elif op is Op.ADD:
+            regs[ins.rd] = (regs[ins.ra] + regs[ins.rb]) & _MASK64
+        elif op is Op.SUB:
+            regs[ins.rd] = (regs[ins.ra] - regs[ins.rb]) & _MASK64
+        elif op is Op.MUL:
+            regs[ins.rd] = (regs[ins.ra] * regs[ins.rb]) & _MASK64
+        elif op is Op.MOD:
+            if regs[ins.rb] == 0:
+                raise KernelFault(f"kernel {program.name!r}: modulo by zero")
+            regs[ins.rd] = regs[ins.ra] % regs[ins.rb]
+        elif op is Op.ADDI:
+            regs[ins.rd] = (regs[ins.ra] + ins.imm) & _MASK64
+        elif op is Op.MULI:
+            regs[ins.rd] = (regs[ins.ra] * ins.imm) & _MASK64
+        elif op is Op.LDG:
+            addr = regs[ins.ra]
+            regs[ins.rd] = memory.load_word(addr)
+            if record:
+                run.accesses.append(AccessRecord(addr, AccessKind.READ, tid, pc))
+        elif op is Op.STG:
+            addr = regs[ins.ra]
+            memory.store_word(addr, regs[ins.rb])
+            if record:
+                run.accesses.append(AccessRecord(addr, AccessKind.WRITE, tid, pc))
+        elif op is Op.GLOB:
+            regs[ins.rd] = program.globals_[ins.sym]
+        elif op is Op.CHK:
+            if validation is not None:
+                kind = AccessKind.WRITE if ins.imm == CHK_WRITE else AccessKind.READ
+                validation.check(program.name, regs[ins.ra], kind, tid)
+        elif op in (Op.BLT, Op.BGE, Op.BEQ, Op.BNE):
+            a, b = regs[ins.ra], regs[ins.rb]
+            taken = {
+                Op.BLT: a < b,
+                Op.BGE: a >= b,
+                Op.BEQ: a == b,
+                Op.BNE: a != b,
+            }[op]
+            if taken:
+                pc = labels[ins.label]
+                continue
+        elif op is Op.JMP:
+            pc = labels[ins.label]
+            continue
+        else:  # pragma: no cover - exhaustive over Op
+            raise IsaError(f"unhandled opcode {op}")
+        pc += 1
+    run.steps += steps

@@ -1,0 +1,291 @@
+"""A mini PTX-like instruction set for simulated GPU kernels.
+
+Kernels in this repository are real programs: a per-thread register
+machine whose global loads and stores hit real buffer bytes.  The ISA is
+deliberately tiny but sufficient to express the kernels the paper cares
+about — elementwise updates, strided reductions, gathers through index
+buffers (the indirect-access speculation hazard), and loads through
+module-global pointers (the Rodinia speculation failure of §8.5).
+
+Instruction summary (registers are ``r0..r31``; values are 64-bit ints):
+
+=========  =====================================================
+``SETI``   ``rd = imm``
+``ARG``    ``rd = kernel_argument[imm]``
+``TID``    ``rd = linear thread id``
+``NTID``   ``rd = total thread count``
+``MOV``    ``rd = ra``
+``ADD``    ``rd = ra + rb``  (likewise ``SUB``, ``MUL``)
+``ADDI``   ``rd = ra + imm`` (likewise ``MULI``)
+``MOD``    ``rd = ra % rb``
+``LDG``    ``rd = memory[ra]`` (8-byte global load, address in ra)
+``STG``    ``memory[ra] = rb`` (8-byte global store)
+``GLOB``   ``rd = module_global[sym]`` — the speculation hazard:
+           loads a pointer the OS never sees in the argument list
+``BLT``    ``if ra < rb: jump label`` (likewise ``BGE``, ``BEQ``, ``BNE``)
+``JMP``    unconditional jump
+``CHK``    instrumentation-only: validate the address in ``ra``
+           against the speculated ranges for access kind ``imm``
+``EXIT``   end the thread
+=========  =====================================================
+
+``CHK`` never appears in application programs — it is inserted by the
+validator instrumentation pass (:mod:`repro.gpu.instrument`), producing
+the "twin kernel" of Fig. 6 in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import IsaError
+
+#: Number of general-purpose registers per thread.
+NUM_REGS = 32
+
+
+class Op(enum.Enum):
+    """Opcodes of the mini ISA."""
+
+    SETI = "seti"
+    ARG = "arg"
+    TID = "tid"
+    NTID = "ntid"
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    MOD = "mod"
+    ADDI = "addi"
+    MULI = "muli"
+    LDG = "ldg"
+    STG = "stg"
+    GLOB = "glob"
+    BLT = "blt"
+    BGE = "bge"
+    BEQ = "beq"
+    BNE = "bne"
+    JMP = "jmp"
+    CHK = "chk"
+    EXIT = "exit"
+
+
+#: Access kinds used by ``CHK``'s ``imm`` field.
+CHK_READ = 0
+CHK_WRITE = 1
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One instruction.  Unused fields stay at their defaults."""
+
+    op: Op
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+    label: Optional[str] = None
+    sym: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for reg in (self.rd, self.ra, self.rb):
+            if not 0 <= reg < NUM_REGS:
+                raise IsaError(f"register r{reg} out of range in {self.op}")
+
+
+@dataclass
+class Program:
+    """An assembled kernel program.
+
+    ``decl`` is the kernel's C declaration string — the signature PHOS
+    extracts with its clang-equivalent parser for speculation.
+    ``globals_`` maps module-global symbol names to device addresses;
+    kernels read them with ``GLOB`` (invisible to argument speculation).
+    """
+
+    name: str
+    decl: str
+    instrs: list[Instr]
+    labels: dict[str, int] = field(default_factory=dict)
+    globals_: dict[str, int] = field(default_factory=dict)
+    instrumented: bool = False
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.instrs:
+            raise IsaError(f"kernel {self.name!r} has no instructions")
+        if self.instrs[-1].op is not Op.EXIT:
+            raise IsaError(f"kernel {self.name!r} must end with EXIT")
+        for pc, ins in enumerate(self.instrs):
+            if ins.label is not None and ins.op in _BRANCH_OPS:
+                if ins.label not in self.labels:
+                    raise IsaError(
+                        f"kernel {self.name!r} pc={pc}: undefined label {ins.label!r}"
+                    )
+            if ins.op is Op.GLOB and ins.sym not in self.globals_:
+                raise IsaError(
+                    f"kernel {self.name!r} pc={pc}: undefined global {ins.sym!r}"
+                )
+
+    @property
+    def store_count(self) -> int:
+        """Static number of global-store instructions (pre-instrumentation)."""
+        return sum(1 for ins in self.instrs if ins.op is Op.STG)
+
+    @property
+    def uses_globals(self) -> bool:
+        """True when the program reads module globals (speculation hazard)."""
+        return any(ins.op is Op.GLOB for ins in self.instrs)
+
+    def with_instrs(self, instrs: list[Instr], labels: dict[str, int], *, instrumented: bool) -> "Program":
+        """A copy of this program with a rewritten body (used by instrumentation)."""
+        return Program(
+            name=self.name,
+            decl=self.decl,
+            instrs=instrs,
+            labels=labels,
+            globals_=dict(self.globals_),
+            instrumented=instrumented,
+        )
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+_BRANCH_OPS = {Op.BLT, Op.BGE, Op.BEQ, Op.BNE, Op.JMP}
+
+
+class ProgramBuilder:
+    """Fluent builder that assembles a :class:`Program` with symbolic labels.
+
+    Example — ``y[i] = x[i] * 2`` over all threads::
+
+        b = ProgramBuilder("scale2", "__global__ void scale2(const long* x, long* y)")
+        b.arg(0, 0).arg(1, 1).tid(2)
+        b.muli(3, 2, 8)             # byte offset = tid * 8
+        b.add(4, 0, 3).add(5, 1, 3)
+        b.ldg(6, 4).muli(6, 6, 2).stg(5, 6)
+        prog = b.exit().build()
+    """
+
+    def __init__(self, name: str, decl: str, globals_: Optional[dict[str, int]] = None) -> None:
+        self.name = name
+        self.decl = decl
+        self.globals_ = dict(globals_ or {})
+        self._instrs: list[Instr] = []
+        self._labels: dict[str, int] = {}
+
+    # -- emit helpers ----------------------------------------------------------
+    def _emit(self, **kw) -> "ProgramBuilder":
+        self._instrs.append(Instr(**kw))
+        return self
+
+    def seti(self, rd: int, imm: int) -> "ProgramBuilder":
+        return self._emit(op=Op.SETI, rd=rd, imm=imm)
+
+    def arg(self, rd: int, index: int) -> "ProgramBuilder":
+        return self._emit(op=Op.ARG, rd=rd, imm=index)
+
+    def tid(self, rd: int) -> "ProgramBuilder":
+        return self._emit(op=Op.TID, rd=rd)
+
+    def ntid(self, rd: int) -> "ProgramBuilder":
+        return self._emit(op=Op.NTID, rd=rd)
+
+    def mov(self, rd: int, ra: int) -> "ProgramBuilder":
+        return self._emit(op=Op.MOV, rd=rd, ra=ra)
+
+    def add(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self._emit(op=Op.ADD, rd=rd, ra=ra, rb=rb)
+
+    def sub(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self._emit(op=Op.SUB, rd=rd, ra=ra, rb=rb)
+
+    def mul(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self._emit(op=Op.MUL, rd=rd, ra=ra, rb=rb)
+
+    def mod(self, rd: int, ra: int, rb: int) -> "ProgramBuilder":
+        return self._emit(op=Op.MOD, rd=rd, ra=ra, rb=rb)
+
+    def addi(self, rd: int, ra: int, imm: int) -> "ProgramBuilder":
+        return self._emit(op=Op.ADDI, rd=rd, ra=ra, imm=imm)
+
+    def muli(self, rd: int, ra: int, imm: int) -> "ProgramBuilder":
+        return self._emit(op=Op.MULI, rd=rd, ra=ra, imm=imm)
+
+    def ldg(self, rd: int, ra: int) -> "ProgramBuilder":
+        return self._emit(op=Op.LDG, rd=rd, ra=ra)
+
+    def stg(self, ra: int, rb: int) -> "ProgramBuilder":
+        return self._emit(op=Op.STG, ra=ra, rb=rb)
+
+    def glob(self, rd: int, sym: str) -> "ProgramBuilder":
+        return self._emit(op=Op.GLOB, rd=rd, sym=sym)
+
+    def blt(self, ra: int, rb: int, label: str) -> "ProgramBuilder":
+        return self._emit(op=Op.BLT, ra=ra, rb=rb, label=label)
+
+    def bge(self, ra: int, rb: int, label: str) -> "ProgramBuilder":
+        return self._emit(op=Op.BGE, ra=ra, rb=rb, label=label)
+
+    def beq(self, ra: int, rb: int, label: str) -> "ProgramBuilder":
+        return self._emit(op=Op.BEQ, ra=ra, rb=rb, label=label)
+
+    def bne(self, ra: int, rb: int, label: str) -> "ProgramBuilder":
+        return self._emit(op=Op.BNE, ra=ra, rb=rb, label=label)
+
+    def jmp(self, label: str) -> "ProgramBuilder":
+        return self._emit(op=Op.JMP, label=label)
+
+    def exit(self) -> "ProgramBuilder":
+        return self._emit(op=Op.EXIT)
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Define a label at the next instruction's position."""
+        if name in self._labels:
+            raise IsaError(f"duplicate label {name!r} in kernel {self.name!r}")
+        self._labels[name] = len(self._instrs)
+        return self
+
+    def build(self) -> Program:
+        """Assemble and validate the program."""
+        return Program(
+            name=self.name,
+            decl=self.decl,
+            instrs=list(self._instrs),
+            labels=dict(self._labels),
+            globals_=dict(self.globals_),
+        )
+
+
+def remap_labels(instrs: list[Instr], old_to_new: dict[int, int], labels: dict[str, int]) -> dict[str, int]:
+    """Recompute label positions after instruction insertion.
+
+    ``old_to_new`` maps each original instruction index to its index in
+    the rewritten body.  A label that pointed one past the end keeps
+    pointing one past the new end.
+    """
+    new_labels: dict[str, int] = {}
+    for name, pos in labels.items():
+        if pos in old_to_new:
+            new_labels[name] = old_to_new[pos]
+        else:  # label at the original end
+            new_labels[name] = len(instrs)
+    return new_labels
+
+
+__all__ = [
+    "CHK_READ",
+    "CHK_WRITE",
+    "Instr",
+    "NUM_REGS",
+    "Op",
+    "Program",
+    "ProgramBuilder",
+    "remap_labels",
+    "replace",
+]

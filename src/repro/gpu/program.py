@@ -1,0 +1,253 @@
+"""A library of kernel programs used by workloads and tests.
+
+Each builder returns a fresh :class:`~repro.gpu.isa.Program`.  The
+programs span the access-pattern taxonomy that matters to validated
+speculation:
+
+* plain argument-addressed kernels (``copy``, ``scale``, ``saxpy``,
+  ``fill``, ``inplace_add``) — speculation succeeds;
+* data-dependent accesses *within* argument buffers (``gather``,
+  ``scatter``) — speculation still succeeds because tracing is
+  buffer-granular (§4.1's discussion);
+* partial writes (``partial_fill``) — speculation over-traces
+  (marks the whole buffer written), which is safe;
+* accesses through module-global pointers (``global_reader``,
+  ``global_writer``) — the §8.5 Rodinia failure mode: the accessed
+  buffer never appears in the argument list, so speculation misses it
+  and only the instrumented validator catches it.
+
+All kernels operate on 8-byte words; ``n`` arguments count words.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.isa import Program, ProgramBuilder
+
+WORD = 8
+
+
+def _guard(b: ProgramBuilder, n_arg_reg: int, tid_reg: int) -> None:
+    """Emit the standard `if tid >= n: exit` guard jump to label 'end'."""
+    b.bge(tid_reg, n_arg_reg, "end")
+
+
+def build_copy(name: str = "dev_copy") -> Program:
+    """``y[i] = x[i]`` — reads x, writes y."""
+    b = ProgramBuilder(name, f"__global__ void {name}(const long* x, long* y, long n)")
+    b.arg(0, 0).arg(1, 1).arg(2, 2).tid(3)
+    _guard(b, 2, 3)
+    b.muli(4, 3, WORD)
+    b.add(5, 0, 4).ldg(6, 5)
+    b.add(7, 1, 4).stg(7, 6)
+    b.label("end").exit()
+    return b.build()
+
+
+def build_scale(name: str = "scale", factor: int = 3) -> Program:
+    """``y[i] = x[i] * factor``."""
+    b = ProgramBuilder(name, f"__global__ void {name}(const long* x, long* y, long n)")
+    b.arg(0, 0).arg(1, 1).arg(2, 2).tid(3)
+    _guard(b, 2, 3)
+    b.muli(4, 3, WORD)
+    b.add(5, 0, 4).ldg(6, 5).muli(6, 6, factor)
+    b.add(7, 1, 4).stg(7, 6)
+    b.label("end").exit()
+    return b.build()
+
+
+def build_saxpy(name: str = "saxpy") -> Program:
+    """``z[i] = a * x[i] + y[i]`` — the canonical 3-buffer kernel."""
+    b = ProgramBuilder(
+        name,
+        f"__global__ void {name}(long a, const long* x, const long* y, long* z, long n)",
+    )
+    b.arg(0, 0)          # a
+    b.arg(1, 1).arg(2, 2).arg(3, 3).arg(4, 4)
+    b.tid(5)
+    _guard(b, 4, 5)
+    b.muli(6, 5, WORD)
+    b.add(7, 1, 6).ldg(8, 7)      # x[i]
+    b.mul(8, 8, 0)                # a * x[i]
+    b.add(9, 2, 6).ldg(10, 9)     # y[i]
+    b.add(8, 8, 10)
+    b.add(11, 3, 6).stg(11, 8)    # z[i] = ...
+    b.label("end").exit()
+    return b.build()
+
+
+def build_fill(name: str = "fill") -> Program:
+    """``y[i] = v`` — write-only kernel (no reads at all)."""
+    b = ProgramBuilder(name, f"__global__ void {name}(long* y, long n, long v)")
+    b.arg(0, 0).arg(1, 1).arg(2, 2).tid(3)
+    _guard(b, 1, 3)
+    b.muli(4, 3, WORD).add(5, 0, 4).stg(5, 2)
+    b.label("end").exit()
+    return b.build()
+
+
+def build_inplace_add(name: str = "inplace_add", delta: int = 1) -> Program:
+    """``y[i] += delta`` — reads and writes the same buffer."""
+    b = ProgramBuilder(name, f"__global__ void {name}(long* y, long n)")
+    b.arg(0, 0).arg(1, 1).tid(2)
+    _guard(b, 1, 2)
+    b.muli(3, 2, WORD).add(4, 0, 3)
+    b.ldg(5, 4).addi(5, 5, delta).stg(4, 5)
+    b.label("end").exit()
+    return b.build()
+
+
+def build_axpy_into(name: str = "axpy_into") -> Program:
+    """``y[i] += a * x[i]`` — gradient-accumulation shape."""
+    b = ProgramBuilder(
+        name, f"__global__ void {name}(long a, const long* x, long* y, long n)"
+    )
+    b.arg(0, 0).arg(1, 1).arg(2, 2).arg(3, 3).tid(4)
+    _guard(b, 3, 4)
+    b.muli(5, 4, WORD)
+    b.add(6, 1, 5).ldg(7, 6).mul(7, 7, 0)
+    b.add(8, 2, 5).ldg(9, 8).add(9, 9, 7).stg(8, 9)
+    b.label("end").exit()
+    return b.build()
+
+
+def build_reduce_sum(name: str = "reduce_sum") -> Program:
+    """``out[0] = sum(x[0..n))`` — loop in thread 0, single-word write."""
+    b = ProgramBuilder(name, f"__global__ void {name}(const long* x, long* out, long n)")
+    b.arg(0, 0).arg(1, 1).arg(2, 2).tid(3)
+    b.seti(4, 0)               # only thread 0 reduces
+    b.bne(3, 4, "end")
+    b.seti(5, 0)               # i = 0
+    b.seti(6, 0)               # acc = 0
+    b.label("loop")
+    b.bge(5, 2, "store")
+    b.muli(7, 5, WORD).add(8, 0, 7).ldg(9, 8)
+    b.add(6, 6, 9)
+    b.addi(5, 5, 1)
+    b.jmp("loop")
+    b.label("store")
+    b.stg(1, 6)
+    b.label("end").exit()
+    return b.build()
+
+
+def build_gather(name: str = "gather") -> Program:
+    """``y[i] = x[idx[i]]`` — data-dependent reads *within* buffer x.
+
+    Buffer-granular speculation remains exact: every read lands inside
+    ``x``, which is a const-pointer argument.
+    """
+    b = ProgramBuilder(
+        name,
+        f"__global__ void {name}(const long* x, const long* idx, long* y, long n)",
+    )
+    b.arg(0, 0).arg(1, 1).arg(2, 2).arg(3, 3).tid(4)
+    _guard(b, 3, 4)
+    b.muli(5, 4, WORD)
+    b.add(6, 1, 5).ldg(7, 6)       # j = idx[i]
+    b.muli(7, 7, WORD).add(8, 0, 7).ldg(9, 8)  # x[j]
+    b.add(10, 2, 5).stg(10, 9)
+    b.label("end").exit()
+    return b.build()
+
+
+def build_scatter(name: str = "scatter") -> Program:
+    """``y[idx[i]] = x[i]`` — data-dependent writes *within* buffer y."""
+    b = ProgramBuilder(
+        name,
+        f"__global__ void {name}(const long* x, const long* idx, long* y, long n)",
+    )
+    b.arg(0, 0).arg(1, 1).arg(2, 2).arg(3, 3).tid(4)
+    _guard(b, 3, 4)
+    b.muli(5, 4, WORD)
+    b.add(6, 0, 5).ldg(7, 6)       # v = x[i]
+    b.add(8, 1, 5).ldg(9, 8)       # j = idx[i]
+    b.muli(9, 9, WORD).add(10, 2, 9).stg(10, 7)
+    b.label("end").exit()
+    return b.build()
+
+
+def build_partial_fill(name: str = "partial_fill") -> Program:
+    """``y[i] = v`` for ``i < n/2`` only — exercises over-tracing.
+
+    Speculation marks the whole buffer written even though only the
+    first half is; the CoW/recopy protocols must stay correct (safe
+    over-approximation), merely less efficient.
+    """
+    b = ProgramBuilder(name, f"__global__ void {name}(long* y, long n, long v)")
+    b.arg(0, 0).arg(1, 1).arg(2, 2).tid(3)
+    b.muli(4, 3, 2)
+    b.bge(4, 1, "end")            # only threads with 2*tid < n write
+    b.muli(5, 3, WORD).add(6, 0, 5).stg(6, 2)
+    b.label("end").exit()
+    return b.build()
+
+
+def build_global_reader(name: str, symbol: str, target_addr: int) -> Program:
+    """Reads through a module-global pointer — the §8.5 failure mode.
+
+    ``target_addr`` is the device address the global symbol holds; it
+    never appears in the argument list, so argument speculation cannot
+    see it.  Output still goes to an argument buffer.
+    """
+    b = ProgramBuilder(
+        name,
+        f"__global__ void {name}(long* y, long n)",
+        globals_={symbol: target_addr},
+    )
+    b.arg(0, 0).arg(1, 1).tid(2)
+    _guard(b, 1, 2)
+    b.glob(3, symbol)             # hidden base pointer
+    b.muli(4, 2, WORD)
+    b.add(5, 3, 4).ldg(6, 5)      # read hidden buffer
+    b.add(7, 0, 4).stg(7, 6)
+    b.label("end").exit()
+    return b.build()
+
+
+def build_global_writer(name: str, symbol: str, target_addr: int) -> Program:
+    """Writes through a module-global pointer — a checkpoint-side hazard."""
+    b = ProgramBuilder(
+        name,
+        f"__global__ void {name}(const long* x, long n)",
+        globals_={symbol: target_addr},
+    )
+    b.arg(0, 0).arg(1, 1).tid(2)
+    _guard(b, 1, 2)
+    b.glob(3, symbol)
+    b.muli(4, 2, WORD)
+    b.add(5, 0, 4).ldg(6, 5)
+    b.add(7, 3, 4).stg(7, 6)      # write hidden buffer
+    b.label("end").exit()
+    return b.build()
+
+
+def build_struct_kernel(name: str = "struct_kernel") -> Program:
+    """A kernel whose pointer arrives inside an opaque C struct.
+
+    The declaration hides the pointer behind ``struct Params``, so the
+    signature filter cannot classify it; PHOS conservatively treats
+    every 8-byte chunk of the struct as a potential buffer pointer
+    (§4.1).  At the ISA level the struct is flattened into the argument
+    list: arg0 = params.out (pointer), arg1 = params.n, arg2 = params.v.
+    """
+    b = ProgramBuilder(name, f"__global__ void {name}(struct Params p)")
+    b.arg(0, 0).arg(1, 1).arg(2, 2).tid(3)
+    _guard(b, 1, 3)
+    b.muli(4, 3, WORD).add(5, 0, 4).stg(5, 2)
+    b.label("end").exit()
+    return b.build()
+
+
+STANDARD_BUILDERS = {
+    "dev_copy": build_copy,
+    "scale": build_scale,
+    "saxpy": build_saxpy,
+    "fill": build_fill,
+    "inplace_add": build_inplace_add,
+    "axpy_into": build_axpy_into,
+    "reduce_sum": build_reduce_sum,
+    "gather": build_gather,
+    "scatter": build_scatter,
+    "partial_fill": build_partial_fill,
+    "struct_kernel": build_struct_kernel,
+}

@@ -1,0 +1,193 @@
+"""The discrete-event engine: virtual clock, scheduler, and processes.
+
+A :class:`Process` wraps a generator.  The generator yields
+:class:`~repro.sim.events.Event` objects; when a yielded event fires the
+process resumes with the event's value (or the event's exception is
+thrown into the generator).  Returning from the generator fires the
+process's ``done`` event with the return value.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+ProcessBody = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process *is* an event: it fires when the generator returns, which
+    lets other processes wait for its completion simply by yielding it.
+    """
+
+    def __init__(self, engine: "Engine", body: ProcessBody, name: str = "") -> None:
+        super().__init__(engine, name=name or getattr(body, "__name__", "proc"))
+        if not hasattr(body, "send"):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(body).__name__}; "
+                "did you forget to call the process function?"
+            )
+        self._body = body
+        self._waiting_on: Optional[Event] = None
+        engine._schedule_at(engine.now, lambda: self._step(None, None))
+
+    @property
+    def result(self) -> Any:
+        """The generator's return value.  Only valid once finished."""
+        return self.value
+
+    def interrupt(self, exc: Optional[BaseException] = None) -> None:
+        """Throw an exception into the process at the current time.
+
+        The default exception is :class:`Interrupt`.  A process that is
+        mid-wait stops waiting on its event (the event itself still fires
+        normally for other waiters).
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        exc = exc if exc is not None else Interrupt()
+        self.engine._schedule_at(self.engine.now, lambda: self._step(None, exc))
+
+    # -- internal stepping ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return  # interrupted and finished before the event fired
+        if self._waiting_on is not event:
+            return  # stale wakeup after an interrupt re-targeted the process
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, None)
+        else:
+            self._step(None, event.value)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self._body.throw(exc)
+            else:
+                target = self._body.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate via the event
+            self.fail(err)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event objects"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that was interrupted."""
+
+
+class Engine:
+    """Virtual clock plus event queue.
+
+    The engine is single-threaded and deterministic: events scheduled for
+    the same timestamp run in FIFO scheduling order.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- factory helpers -----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def all_of(self, events) -> AllOf:
+        """An event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """An event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def spawn(self, body: ProcessBody, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, body, name=name)
+
+    # -- scheduling ------------------------------------------------------------
+    def _schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past ({when} < {self._now})")
+        heapq.heappush(self._queue, (when, next(self._seq), fn))
+
+    def _schedule_callback(self, event: Event, cb: Callable[[Event], None]) -> None:
+        self._schedule_at(self._now, lambda: cb(event))
+
+    # -- main loop ---------------------------------------------------------------
+    def run(self, until: Optional[Event | float] = None) -> Any:
+        """Run until the queue drains, a deadline, or an event fires.
+
+        ``until`` may be a virtual-time deadline (float), an event to run
+        up to, or None to drain the queue.  Returns the event's value when
+        an event was given.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        deadline: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(f"deadline {deadline} is in the past")
+        self._running = True
+        try:
+            while self._queue:
+                when, _, fn = self._queue[0]
+                if deadline is not None and when > deadline:
+                    self._now = deadline
+                    return None
+                heapq.heappop(self._queue)
+                self._now = when
+                fn()
+                if stop_event is not None and stop_event.triggered:
+                    if not stop_event.ok:
+                        raise stop_event.value
+                    return stop_event.value
+            if stop_event is not None and not stop_event.triggered:
+                raise DeadlockError(
+                    f"event queue drained at t={self._now:g} but "
+                    f"{stop_event.name!r} never fired"
+                )
+            if deadline is not None:
+                self._now = deadline
+            return None
+        finally:
+            self._running = False
+
+    def run_process(self, body: ProcessBody, name: str = "") -> Any:
+        """Spawn ``body`` and run the engine until it finishes."""
+        return self.run(self.spawn(body, name=name))

@@ -1,0 +1,154 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` is a one-shot synchronization cell: it starts pending,
+is fired exactly once with :meth:`Event.succeed` (or :meth:`Event.fail`),
+and then invokes its callbacks.  Processes wait on events by yielding
+them from their generator body.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    Events are created against an engine; firing one schedules its
+    callbacks to run immediately (at the current virtual time).
+    """
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:  # noqa: F821
+        self.engine = engine
+        self.name = name
+        self._fired = False
+        self._ok: Optional[bool] = None
+        self._value: Any = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    # -- state -------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been fired (succeeded or failed)."""
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired yet")
+        assert self._ok is not None
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception carried by the event."""
+        if not self._fired:
+            raise SimulationError(f"event {self.name!r} has not fired yet")
+        return self._value
+
+    # -- firing ------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully, waking all waiters."""
+        self._fire(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event with an exception that waiters will re-raise."""
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._fire(False, exc)
+        return self
+
+    def _fire(self, ok: bool, value: Any) -> None:
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.engine._schedule_callback(self, cb)
+
+    # -- waiting -----------------------------------------------------------
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register ``cb(event)``; runs now if the event already fired."""
+        if self._fired:
+            self.engine._schedule_callback(self, cb)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:
+        state = "fired" if self._fired else "pending"
+        return f"<Event {self.name or id(self):} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a virtual-time delay."""
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:  # noqa: F821
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(engine, name=f"timeout({delay:g})")
+        self.delay = delay
+        engine._schedule_at(engine.now + delay, lambda: self.succeed(value))
+
+
+class _Composite(Event):
+    """Shared machinery for :class:`AllOf` and :class:`AnyOf`."""
+
+    def __init__(self, engine: "Engine", events: Iterable[Event], name: str) -> None:  # noqa: F821
+        super().__init__(engine, name=name)
+        self.events = list(events)
+        if not self.events:
+            # An empty conjunction/disjunction is immediately satisfied.
+            self.succeed([])
+            return
+        for ev in self.events:
+            ev.add_callback(self._child_fired)
+
+    def _child_fired(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Composite):
+    """Fires when every child event has fired.
+
+    Succeeds with the list of child values in the original order; fails
+    as soon as any child fails.
+    """
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:  # noqa: F821
+        self._remaining = 0
+        super().__init__(engine, events, name="all_of")
+        self._remaining = sum(1 for ev in self.events if not ev.triggered)
+        # Children that were already fired at construction never call back,
+        # so account for them here.
+        if not self.triggered and all(ev.triggered for ev in self.events):
+            self.succeed([ev.value for ev in self.events])
+
+    def _child_fired(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        if all(child.triggered for child in self.events):
+            self.succeed([child.value for child in self.events])
+
+
+class AnyOf(_Composite):
+    """Fires as soon as any child event fires, with ``(index, value)``."""
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:  # noqa: F821
+        super().__init__(engine, events, name="any_of")
+
+    def _child_fired(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self.succeed((self.events.index(ev), ev.value))

@@ -1,0 +1,175 @@
+"""Contended resources for the discrete-event engine.
+
+:class:`Resource` models a pool of identical slots (e.g. a GPU's DMA
+engines) with FIFO queueing.  :class:`PriorityResource` adds a priority
+to each request — lower numbers acquire first — which is how the
+prioritized application PCIe transfer (§5 of the paper) preempts bulk
+checkpoint traffic at chunk boundaries.  :class:`Store` is an unbounded
+FIFO mailbox used for IPC between the PHOS frontend and daemon.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+
+class Request(Event):
+    """A pending acquisition.  Fires with the request itself as value."""
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.engine, name=f"req({resource.name})")
+        self.resource = resource
+        self.priority = priority
+        self.released = False
+
+
+class Resource:
+    """A FIFO resource with ``capacity`` identical slots.
+
+    Usage from a process::
+
+        req = yield resource.acquire()
+        try:
+            yield engine.timeout(work)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._users: list[Request] = []
+        self._waiters: deque[Request] = deque()
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    @property
+    def busy(self) -> bool:
+        """True when all slots are held."""
+        return len(self._users) >= self.capacity
+
+    # -- acquire / release -----------------------------------------------------
+    def acquire(self, priority: int = 0) -> Request:
+        """Request a slot.  The returned event fires when granted."""
+        req = Request(self, priority=priority)
+        self._enqueue(req)
+        self._grant()
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return a previously granted slot to the pool."""
+        if req.released:
+            raise SimulationError(f"double release on {self.name}")
+        if req in self._users:
+            self._users.remove(req)
+        elif req in self._waiters:
+            self._waiters.remove(req)  # cancelled before being granted
+        else:
+            raise SimulationError(f"release of unknown request on {self.name}")
+        req.released = True
+        self._grant()
+
+    # -- queue policy (overridden by PriorityResource) ---------------------------
+    def _enqueue(self, req: Request) -> None:
+        self._waiters.append(req)
+
+    def _pop_next(self) -> Optional[Request]:
+        return self._waiters.popleft() if self._waiters else None
+
+    def _grant(self) -> None:
+        while len(self._users) < self.capacity:
+            req = self._pop_next()
+            if req is None:
+                return
+            self._users.append(req)
+            req.succeed(req)
+
+
+class PriorityResource(Resource):
+    """A resource whose waiters are served lowest-priority-number first.
+
+    Ties are broken FIFO, so equal-priority traffic behaves exactly like
+    the base :class:`Resource`.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1, name: str = "presource") -> None:
+        super().__init__(engine, capacity=capacity, name=name)
+        self._heap: list[tuple[int, int, Request]] = []
+        self._counter = itertools.count()
+
+    def _enqueue(self, req: Request) -> None:
+        heapq.heappush(self._heap, (req.priority, next(self._counter), req))
+
+    def _pop_next(self) -> Optional[Request]:
+        while self._heap:
+            _, _, req = heapq.heappop(self._heap)
+            if not req.released:
+                return req
+        return None
+
+    @property
+    def queue_len(self) -> int:
+        return sum(1 for _, _, req in self._heap if not req.released)
+
+    def release(self, req: Request) -> None:
+        if req.released:
+            raise SimulationError(f"double release on {self.name}")
+        if req in self._users:
+            self._users.remove(req)
+            req.released = True
+        else:
+            # Cancelled while waiting: mark released; _pop_next skips it.
+            req.released = True
+        self._grant()
+
+
+class Store:
+    """An unbounded FIFO mailbox of items.
+
+    ``put`` never blocks; ``get`` returns an event that fires with the
+    next item (immediately if one is queued).
+    """
+
+    def __init__(self, engine: Engine, name: str = "store") -> None:
+        self.engine = engine
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that fires with the next available item."""
+        ev = Event(self.engine, name=f"get({self.name})")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)

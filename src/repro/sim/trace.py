@@ -1,0 +1,101 @@
+"""Timeline tracing.
+
+The experiment harness reconstructs the paper's breakdown figures
+(Figs. 16-18) from spans recorded here: every protocol phase (quiesce,
+concurrent copy, recopy, context create, ...) opens a :class:`Span` on
+the engine's tracer, and the harness aggregates span durations by label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.sim.engine import Engine
+
+
+@dataclass
+class Span:
+    """A labelled interval of virtual time."""
+
+    label: str
+    start: float
+    end: Optional[float] = None
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length; raises if the span is still open."""
+        if self.end is None:
+            raise ValueError(f"span {self.label!r} is still open")
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans and point events on a virtual timeline."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.spans: list[Span] = []
+        self.points: list[tuple[float, str, dict]] = []
+
+    def begin(self, label: str, **meta) -> Span:
+        """Open a span at the current virtual time."""
+        span = Span(label=label, start=self.engine.now, meta=meta)
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close a span at the current virtual time."""
+        if span.end is not None:
+            raise ValueError(f"span {span.label!r} already closed")
+        span.end = self.engine.now
+        return span
+
+    def mark(self, label: str, **meta) -> None:
+        """Record an instantaneous event."""
+        self.points.append((self.engine.now, label, meta))
+
+    # -- aggregation -----------------------------------------------------------
+    def spans_named(self, label: str) -> Iterator[Span]:
+        """All closed spans with the given label."""
+        return (s for s in self.spans if s.label == label and s.end is not None)
+
+    def total(self, label: str) -> float:
+        """Sum of durations of all closed spans with the given label."""
+        return sum(s.duration for s in self.spans_named(label))
+
+    def breakdown(self) -> dict[str, float]:
+        """Total duration per label, over all closed spans."""
+        out: dict[str, float] = {}
+        for span in self.spans:
+            if span.end is not None:
+                out[span.label] = out.get(span.label, 0.0) + span.duration
+        return out
+
+    def to_chrome_trace(self) -> list[dict]:
+        """The timeline in Chrome trace-event format.
+
+        Dump with ``json.dump(tracer.to_chrome_trace(), f)`` and open in
+        ``chrome://tracing`` / Perfetto.  Virtual seconds map to trace
+        microseconds; spans become complete ('X') events and points
+        become instant ('i') events, with span metadata in ``args``.
+        """
+        events: list[dict] = []
+        for span in self.spans:
+            if span.end is None:
+                continue
+            events.append({
+                "name": span.label, "ph": "X", "pid": 1,
+                "tid": span.meta.get("gpu", 0),
+                "ts": span.start * 1e6, "dur": span.duration * 1e6,
+                "args": {k: v for k, v in span.meta.items()},
+            })
+        for ts, label, meta in self.points:
+            events.append({
+                "name": label, "ph": "i", "pid": 1, "tid": 0,
+                "ts": ts * 1e6, "s": "g",
+                "args": {k: v for k, v in meta.items()},
+            })
+        events.sort(key=lambda e: e["ts"])
+        return events

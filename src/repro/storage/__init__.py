@@ -1,0 +1,20 @@
+"""Checkpoint media and the checkpoint image format.
+
+PHOS "supports a wide range of checkpoint media: local SSD, CPU DRAM
+and even the DRAM of another machine via RDMA" (§3).  Media here are
+bandwidth-modelled sinks/sources built on
+:class:`~repro.sim.fluid.FluidLink`, so concurrent CPU and GPU
+checkpoint streams genuinely interfere (Fig. 9).
+"""
+
+from repro.storage.image import CheckpointImage, GpuBufferRecord
+from repro.storage.media import DramMedia, Medium, RemoteDramMedia, SsdMedia
+
+__all__ = [
+    "CheckpointImage",
+    "DramMedia",
+    "GpuBufferRecord",
+    "Medium",
+    "RemoteDramMedia",
+    "SsdMedia",
+]

@@ -1,0 +1,100 @@
+"""The checkpoint image: everything needed to recreate a process.
+
+Matches Fig. 1(d): data state (CPU pages, GPU buffers) plus control
+state (registers, stream configuration) plus the execution-environment
+metadata (kernel binaries loaded, context requirements) that restore
+needs before it can launch anything.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CheckpointError
+
+_image_ids = itertools.count(1)
+
+
+@dataclass
+class GpuBufferRecord:
+    """One checkpointed GPU buffer: metadata plus its functional bytes."""
+
+    buffer_id: int
+    addr: int
+    size: int
+    data: bytes
+    tag: str = ""
+
+
+@dataclass
+class CheckpointImage:
+    """A complete process image.
+
+    GPU state is keyed by GPU index (multi-GPU processes checkpoint
+    each device's buffers).  ``finalize()`` seals the image; restore
+    refuses unfinalized images, which is how tests catch protocols that
+    forget state.
+    """
+
+    name: str = ""
+    id: int = field(default_factory=lambda: next(_image_ids))
+    #: CPU pages: page index -> bytes (functional content).
+    cpu_pages: dict[int, bytes] = field(default_factory=dict)
+    cpu_control: dict[str, int] = field(default_factory=dict)
+    kernel_objects: list = field(default_factory=list)
+    #: GPU buffers: gpu index -> buffer id -> record.
+    gpu_buffers: dict[int, dict[int, GpuBufferRecord]] = field(default_factory=dict)
+    #: Kernel module names each GPU context had loaded.
+    gpu_modules: dict[int, list[str]] = field(default_factory=dict)
+    #: Context requirements captured at checkpoint time.
+    context_meta: dict = field(default_factory=dict)
+    #: Logical size of one checkpointed CPU page (set by the CPU dump).
+    cpu_page_size: int = 4096
+    #: Virtual time at which the checkpoint logically happened.
+    checkpoint_time: Optional[float] = None
+    finalized: bool = False
+
+    def add_gpu_buffer(self, gpu_index: int, record: GpuBufferRecord) -> None:
+        """Insert/overwrite one buffer's record (recopy overwrites)."""
+        if self.finalized:
+            raise CheckpointError(f"image {self.name!r} is finalized")
+        self.gpu_buffers.setdefault(gpu_index, {})[record.buffer_id] = record
+
+    def add_cpu_page(self, index: int, data: bytes) -> None:
+        if self.finalized:
+            raise CheckpointError(f"image {self.name!r} is finalized")
+        self.cpu_pages[index] = data
+
+    def finalize(self, checkpoint_time: float) -> None:
+        """Seal the image; it now represents a consistent process state."""
+        if self.finalized:
+            raise CheckpointError(f"image {self.name!r} finalized twice")
+        self.checkpoint_time = checkpoint_time
+        self.finalized = True
+
+    def require_finalized(self) -> None:
+        if not self.finalized:
+            raise CheckpointError(
+                f"image {self.name!r} is not finalized; cannot restore from it"
+            )
+
+    # -- sizes (what the cost model charges) ---------------------------------------
+    def gpu_bytes(self, gpu_index: Optional[int] = None) -> int:
+        """Logical bytes of checkpointed GPU state."""
+        if gpu_index is not None:
+            return sum(r.size for r in self.gpu_buffers.get(gpu_index, {}).values())
+        return sum(
+            r.size for per_gpu in self.gpu_buffers.values() for r in per_gpu.values()
+        )
+
+    def cpu_bytes(self) -> int:
+        """Logical bytes of checkpointed CPU state."""
+        return len(self.cpu_pages) * self.cpu_page_size
+
+    def total_bytes(self) -> int:
+        return self.gpu_bytes() + self.cpu_bytes()
+
+    def buffer_count(self, gpu_index: int) -> int:
+        return len(self.gpu_buffers.get(gpu_index, {}))

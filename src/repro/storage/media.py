@@ -1,0 +1,79 @@
+"""Checkpoint media: DRAM, SSD, and remote DRAM over RDMA.
+
+A :class:`Medium` owns two fluid links (write and read) shared by all
+concurrent checkpoint streams touching it.  Writers/readers flow their
+bytes through the link with an optional per-flow rate cap representing
+the *source* path's own limit (e.g. a GPU stream is capped by PCIe even
+when the medium is faster).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.sim.engine import Engine
+from repro.sim.fluid import FluidLink
+
+
+class Medium:
+    """A checkpoint storage target with separate read/write bandwidth."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        write_bw: float,
+        read_bw: float,
+        latency: float = 0.0,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.latency = latency
+        self.write_link = FluidLink(engine, write_bw, name=f"{name}-write")
+        self.read_link = FluidLink(engine, read_bw, name=f"{name}-read")
+
+    def write_flow(self, nbytes: float, rate_cap: Optional[float] = None):
+        """Generator: persist ``nbytes`` to this medium."""
+        if self.latency:
+            yield self.engine.timeout(self.latency)
+        yield from self.write_link.flow(nbytes, rate_cap=rate_cap)
+
+    def read_flow(self, nbytes: float, rate_cap: Optional[float] = None):
+        """Generator: fetch ``nbytes`` from this medium."""
+        if self.latency:
+            yield self.engine.timeout(self.latency)
+        yield from self.read_link.flow(nbytes, rate_cap=rate_cap)
+
+
+class DramMedia(Medium):
+    """Host DRAM as checkpoint storage (the paper's default for speed).
+
+    Bandwidth approximates a two-socket DDR complex: a lone GPU stream
+    stays PCIe-bound (25 GBps), while eight GPU streams plus a CPU
+    stream oversubscribe the medium and genuinely interfere (Fig. 9).
+    """
+
+    def __init__(self, engine: Engine, name: str = "host-dram") -> None:
+        super().__init__(engine, name, write_bw=180 * units.GB, read_bw=180 * units.GB)
+
+
+class SsdMedia(Medium):
+    """A local NVMe SSD ("slow storage" the paper avoids for hot paths)."""
+
+    def __init__(self, engine: Engine, name: str = "local-ssd") -> None:
+        super().__init__(
+            engine, name, write_bw=units.SSD_BW, read_bw=2 * units.SSD_BW,
+            latency=100 * units.USEC,
+        )
+
+
+class RemoteDramMedia(Medium):
+    """Another machine's DRAM reached via 100 Gbps RDMA (§3, §7)."""
+
+    def __init__(self, engine: Engine, name: str = "remote-dram") -> None:
+        super().__init__(
+            engine, name,
+            write_bw=units.RDMA_100GBPS, read_bw=units.RDMA_100GBPS,
+            latency=5 * units.USEC,
+        )

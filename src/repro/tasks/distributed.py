@@ -1,0 +1,189 @@
+"""Distributed (multi-machine) training jobs and consistent C/R (§7).
+
+Fault tolerance for distributed computing is the paper's first
+downstream task: "we need to ensure the checkpoint from all the
+involved processes is consistent.  Thus, we extended the quiescing
+phase across all involved processes.  After the quiesce, we can
+checkpoint each process with CoW separately."  Fig. 16's breakdown
+notes that "coordinating between threads with RDMA to reach a global
+quiesce is extremely efficient".
+
+:class:`DistributedJob` runs one data-parallel replica per machine
+(each replica may itself span several GPUs), averages gradients over
+the inter-machine RDMA links every step, and offers:
+
+* :meth:`checkpoint_all` — a globally-consistent CoW checkpoint of all
+  replicas (one cross-machine quiesce barrier, then per-process CoW);
+* :meth:`recover` — the paper's failure response: stop everything,
+  restore every replica from the latest consistent cut, resume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import units
+from repro.apps.base import provision
+from repro.apps.specs import AppSpec, get_spec
+from repro.cluster import Cluster
+from repro.core.daemon import Phos
+from repro.core.quiesce import quiesce
+from repro.errors import CheckpointError, InvalidValueError
+from repro.sim.engine import Engine
+
+#: One RDMA round-trip per machine joining the global quiesce barrier.
+CROSS_MACHINE_BARRIER_RTT = 10 * units.USEC
+
+
+class DistributedJob:
+    """A data-parallel job: one replica process per machine."""
+
+    def __init__(self, engine: Engine, cluster: Cluster, spec_name: str) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        self.spec: AppSpec = get_spec(spec_name)
+        if self.spec.kind != "train":
+            raise InvalidValueError("distributed jobs are training jobs")
+        self.replicas: list = []   # (machine, phos, process, workload)
+        self.images: list = []     # latest consistent cut
+        self.steps_done = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+    def setup(self):
+        """Generator: provision and initialize one replica per machine."""
+        for machine in self.cluster.machines:
+            phos = Phos(self.engine, machine, use_context_pool=False)
+            process, workload = provision(
+                self.engine, machine, self.spec,
+                name=f"{self.spec.name}@{machine.name}",
+            )
+            phos.attach(process)
+            self.replicas.append((machine, phos, process, workload))
+        for _, _, _, workload in self.replicas:
+            yield from workload.setup()
+
+    @property
+    def processes(self):
+        return [proc for _, _, proc, _ in self.replicas]
+
+    # -- training ----------------------------------------------------------------
+    def run_steps(self, n: int):
+        """Generator: n data-parallel steps with cross-machine averaging."""
+        for _ in range(n):
+            step_procs = [
+                self.engine.spawn(
+                    workload.run(1, start=self.steps_done),
+                    name=f"step-{machine.name}",
+                )
+                for machine, _, _, workload in self.replicas
+            ]
+            yield self.engine.all_of(step_procs)
+            yield from self._allreduce_across_machines()
+            self.steps_done += 1
+
+    def _allreduce_across_machines(self):
+        """Average the first gradient buffer of GPU 0 across machines.
+
+        Timing: a ring over the inter-machine RDMA links; functional:
+        an elementwise sum applied to every replica (so replicas agree,
+        which the recovery test verifies).
+        """
+        if len(self.replicas) < 2:
+            return
+        grads = []
+        for _, _, _, workload in self.replicas:
+            gpu0 = workload.process.gpu_indices[0]
+            grads.append(workload.groups[gpu0]["grads"].buffers[0])
+        nbytes = grads[0].size
+        machines = [machine for machine, _, _, _ in self.replicas]
+        n = len(machines)
+        # Ring: each link moves 2(n-1)/n of the data.
+        flows = []
+        for i, src in enumerate(machines):
+            dst = machines[(i + 1) % n]
+            link = self.cluster.link(src, dst)
+            flows.append(self.engine.spawn(
+                link.flow(src, dst, 2 * (n - 1) / n * nbytes),
+                name=f"ring-{src.name}",
+            ))
+        yield self.engine.all_of(flows)
+        views = [g.data.view(np.uint64) for g in grads]
+        with np.errstate(over="ignore"):
+            total = views[0].copy()
+            for v in views[1:]:
+                total += v
+        for g, v in zip(grads, views):
+            v[:] = total
+            g.touch()
+
+    # -- consistent checkpoint -----------------------------------------------------
+    def checkpoint_all(self, name: str = ""):
+        """Generator: one globally-consistent CoW cut of every replica.
+
+        Returns the list of images (one per replica, same cut).
+        """
+        if not self.replicas:
+            raise CheckpointError("job has no replicas to checkpoint")
+        # The global quiesce barrier spans machines over RDMA.
+        yield self.engine.timeout(
+            CROSS_MACHINE_BARRIER_RTT * len(self.replicas)
+        )
+        yield from quiesce(self.engine, self.processes)
+        handles = [
+            phos.checkpoint(process, mode="cow",
+                            name=f"{name or 'dist'}-{machine.name}")
+            for machine, phos, process, _ in self.replicas
+        ]
+        results = yield self.engine.all_of(handles)
+        images = []
+        for image, session in results:
+            if session.aborted:
+                raise CheckpointError(
+                    f"replica checkpoint aborted: {session.abort_reason}"
+                )
+            images.append(image)
+        self.images = images
+        return images
+
+    # -- failure recovery ----------------------------------------------------------
+    def recover(self):
+        """Generator: stop everything, restore every replica from the
+        latest consistent cut, and rebind the workloads (§7)."""
+        if not self.images:
+            raise CheckpointError("no consistent checkpoint to recover from")
+        # "PHOS stops all GPU processes" — the survivors quiesce, the
+        # failed ones are gone; all device memory is reclaimed.
+        for i, (machine, phos, process, workload) in enumerate(self.replicas):
+            phos.kill(process)
+        new_replicas = []
+        restore_procs = []
+        for (machine, phos, _, workload), image in zip(self.replicas, self.images):
+            def one(machine=machine, phos=phos, workload=workload, image=image):
+                result = yield from phos.restore(
+                    image, gpu_indices=list(range(self.spec.n_gpus)),
+                    machine=machine, concurrent=True,
+                )
+                process, _, session = result
+                workload.bind_restored(process)
+                return machine, phos, process, workload, session
+
+            restore_procs.append(self.engine.spawn(one(), name="dist-restore"))
+        results = yield self.engine.all_of(restore_procs)
+        sessions = []
+        for machine, phos, process, workload, session in results:
+            new_replicas.append((machine, phos, process, workload))
+            sessions.append(session)
+        self.replicas = new_replicas
+        return sessions
+
+    # -- introspection -------------------------------------------------------------
+    def replica_states(self) -> list[dict[str, bytes]]:
+        """Functional snapshot of each replica's GPU state, by tag."""
+        out = []
+        for _, _, process, _ in self.replicas:
+            state = {}
+            for gpu_index, bufs in process.runtime.allocations.items():
+                for buf in bufs:
+                    state[buf.tag] = buf.snapshot()
+            out.append(state)
+        return out

@@ -1,0 +1,174 @@
+"""Fault tolerance via periodic checkpointing (§7, Figs. 11a and 12).
+
+Metrics follow §8.1:
+
+* **checkpoint overhead** — the application stall caused by one
+  checkpoint taken at the beginning of an iteration, computed by
+  differencing total training time with and without the checkpoint;
+* **wasted GPU time** — the §A.1 model evaluated at each system's
+  optimal checkpoint frequency f* = sqrt(NF/2O), with F = 1 failure
+  per GPU-hour (the rate §8.1 takes from industry reports).
+
+Checkpoints land in host DRAM ("to avoid slow storage").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.apps.base import provision
+from repro.apps.specs import get_spec
+from repro.baselines.cuda_checkpoint import (
+    cuda_checkpoint_checkpoint,
+    cuda_checkpoint_restore,
+)
+from repro.baselines.singularity import singularity_checkpoint, singularity_restore
+from repro.cluster import Machine
+from repro.core.daemon import Phos
+from repro.core.frequency import optimal_frequency, wasted_gpu_hours
+from repro.errors import CheckpointError, InvalidValueError
+from repro.sim import Engine
+
+SYSTEMS = ("phos", "singularity", "cuda-checkpoint")
+
+#: Coarser copy chunk for full-scale experiments (preemption granularity
+#: of ~1.3 ms instead of 160 us; same behaviour, 8x fewer sim events).
+EXPERIMENT_CHUNK = 32 * units.MIB
+
+
+@dataclass
+class FtMeasurement:
+    """One (system, app) fault-tolerance measurement."""
+
+    system: str
+    app: str
+    iter_time: float
+    #: Application stall caused by one checkpoint (seconds).
+    checkpoint_stall: float
+    #: Time to bring the app back after a failure (seconds).
+    restore_time: float = 0.0
+    supported: bool = True
+
+
+def _world(spec_name: str):
+    eng = Engine()
+    spec = get_spec(spec_name)
+    machine = Machine(eng, n_gpus=spec.n_gpus)
+    phos = Phos(eng, machine, use_context_pool=False)
+    process, workload = provision(eng, machine, spec)
+    phos.attach(process)
+    return eng, machine, phos, process, workload, spec
+
+
+def measure_checkpoint_overhead(system: str, spec_name: str,
+                                warm_iters: int = 2, span_iters: int = 3,
+                                chunk_bytes: int = EXPERIMENT_CHUNK) -> FtMeasurement:
+    """Measure per-checkpoint application stall for one system/app.
+
+    The checkpoint is requested at the beginning of an iteration — the
+    optimal timing §8.3 establishes.  ``span_iters`` iterations run
+    while the checkpoint proceeds; stall = elapsed - baseline.
+    """
+    if system not in SYSTEMS:
+        raise InvalidValueError(f"unknown system {system!r}")
+    spec = get_spec(spec_name)
+    if system == "cuda-checkpoint" and spec.n_gpus > 1:
+        return FtMeasurement(system=system, app=spec_name, iter_time=0.0,
+                             checkpoint_stall=0.0, supported=False)
+    eng, machine, phos, process, workload, spec = _world(spec_name)
+
+    def driver(eng):
+        yield from workload.setup()
+        yield from workload.run(warm_iters)
+        t0 = eng.now
+        yield from workload.run(span_iters)
+        baseline = eng.now - t0
+        # Checkpoint at the beginning of the next iteration.
+        if system == "phos":
+            handle = phos.checkpoint(process, mode="cow",
+                                     chunk_bytes=chunk_bytes)
+        elif system == "singularity":
+            handle = eng.spawn(singularity_checkpoint(
+                eng, process, phos.medium, phos.criu, tracer=phos.tracer))
+        else:
+            handle = eng.spawn(cuda_checkpoint_checkpoint(
+                eng, process, phos.medium, phos.criu, tracer=phos.tracer))
+        t1 = eng.now
+        yield from workload.run(span_iters)
+        elapsed = eng.now - t1
+        result = yield handle
+        if system == "phos":
+            image, session = result
+            if session.aborted:
+                raise CheckpointError("unexpected CoW abort in experiment")
+        return baseline / span_iters, elapsed - baseline
+
+    iter_time, stall = eng.run_process(driver(eng))
+    eng.run()
+    return FtMeasurement(system=system, app=spec_name, iter_time=iter_time,
+                         checkpoint_stall=max(0.0, stall))
+
+
+def measure_restore_time(system: str, spec_name: str,
+                         chunk_bytes: int = EXPERIMENT_CHUNK) -> float:
+    """Time from restore request until the app completes a full step."""
+    spec = get_spec(spec_name)
+    if system == "cuda-checkpoint" and spec.n_gpus > 1:
+        return float("nan")
+    eng, machine, phos, process, workload, spec = _world(spec_name)
+    use_pool = system == "phos"
+    if use_pool:
+        phos.pool = None  # keep the checkpoint-side service simple
+    phos_dst = Phos(eng, machine=Machine(eng, name="nodeR", n_gpus=spec.n_gpus),
+                    use_context_pool=use_pool)
+    if use_pool:
+        eng.run_process(phos_dst.boot())
+
+    def driver(eng):
+        yield from workload.setup()
+        yield from workload.run(1)
+        image, _ = yield phos.checkpoint(process, mode="cow",
+                                         chunk_bytes=chunk_bytes)
+        t0 = eng.now
+        if system == "phos":
+            result = yield from phos_dst.restore(
+                image, gpu_indices=list(range(spec.n_gpus)), concurrent=True
+            )
+            new_process, _frontend, session = result
+        elif system == "singularity":
+            new_process = yield from singularity_restore(
+                eng, image, phos_dst.machine, list(range(spec.n_gpus)),
+                phos_dst.medium, phos_dst.criu)
+        else:
+            new_process = yield from cuda_checkpoint_restore(
+                eng, image, phos_dst.machine, list(range(spec.n_gpus)),
+                phos_dst.medium, phos_dst.criu)
+        workload.bind_restored(new_process)
+        yield from workload.run(1)
+        return eng.now - t0
+
+    restore_time = eng.run_process(driver(eng))
+    eng.run()
+    return restore_time
+
+
+def wasted_fraction(measurement: FtMeasurement, restore_time: float,
+                    failures_per_gpu_hour: float = 1.0) -> tuple[float, float]:
+    """(wasted fraction of total GPU time, optimal frequency per hour).
+
+    Evaluates the §A.1 model at the system's own optimal frequency.
+    The fraction normalizes the model's waste by the N*T GPU-hours of
+    the job, giving Fig. 12's per-system bar before cross-system
+    normalization.
+    """
+    spec = get_spec(measurement.app)
+    n = spec.n_gpus
+    overhead_h = measurement.checkpoint_stall / units.HOUR
+    restore_h = restore_time / units.HOUR
+    f_star = optimal_frequency(n, failures_per_gpu_hour, overhead_h)
+    total_hours = 1.0
+    waste = wasted_gpu_hours(
+        n, failures_per_gpu_hour, total_hours, overhead_h, restore_h, f_star
+    )
+    return waste / (n * total_hours), f_star

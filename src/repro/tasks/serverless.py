@@ -1,0 +1,99 @@
+"""Serverless GPU function cold start (§7, Fig. 14).
+
+A checkpoint is taken just before the function's entry point; each cold
+start restores from it and serves the request.  The metric is
+end-to-end execution time: startup (restore) plus function execution,
+per §8.1's "considering both startup and application function execution
+time".  Function checkpoints live in host DRAM.
+
+PHOS wins twice: the context pool removes the creation barrier, and
+concurrent restore overlaps the remaining data copy with the first
+tokens' execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import provision
+from repro.apps.specs import get_spec
+from repro.baselines.cuda_checkpoint import cuda_checkpoint_restore
+from repro.baselines.singularity import singularity_restore
+from repro.cluster import Machine
+from repro.core.daemon import Phos
+from repro.errors import InvalidValueError
+from repro.sim import Engine
+from repro.tasks.fault_tolerance import EXPERIMENT_CHUNK
+
+
+@dataclass
+class ColdStartResult:
+    system: str
+    app: str
+    #: End-to-end time: restore + function execution (Fig. 14's bar).
+    end_to_end: float
+    #: The function-execution-only component.
+    exec_time: float
+    supported: bool = True
+
+
+def cold_start(system: str, spec_name: str, n_requests: int = 8,
+               chunk_bytes: int = EXPERIMENT_CHUNK) -> ColdStartResult:
+    """One serverless cold start: restore, then serve ``n_requests``."""
+    spec = get_spec(spec_name)
+    if spec.kind != "infer":
+        raise InvalidValueError(
+            "serverless cold start evaluates inference workloads only"
+        )
+    if system == "cuda-checkpoint" and spec.n_gpus > 1:
+        return ColdStartResult(system=system, app=spec_name,
+                               end_to_end=float("nan"), exec_time=float("nan"),
+                               supported=False)
+    eng = Engine()
+    machine = Machine(eng, n_gpus=spec.n_gpus)
+    phos = Phos(eng, machine, use_context_pool=False)
+    process, workload = provision(eng, machine, spec)
+    phos.attach(process)
+    # The restore target machine models a worker with a running PHOS
+    # daemon (pool pre-filled at boot, before any request arrives).
+    worker = Machine(eng, name="worker", n_gpus=spec.n_gpus)
+    phos_worker = Phos(eng, worker, use_context_pool=(system == "phos"))
+    if system == "phos":
+        eng.run_process(phos_worker.boot())
+
+    def driver(eng):
+        # Initialize the function up to its entry point, checkpoint it.
+        yield from workload.setup()
+        yield from workload.run(1)  # warm the runtime (JIT caches etc.)
+        image, _ = yield phos.checkpoint(process, mode="cow",
+                                         chunk_bytes=chunk_bytes)
+        # A request arrives: cold-start from the checkpoint.
+        t0 = eng.now
+        if system == "phos":
+            result = yield from phos_worker.restore(
+                image, gpu_indices=list(range(spec.n_gpus)),
+                concurrent=True, machine=worker,
+            )
+            new_process = result[0]
+        elif system == "singularity":
+            new_process = yield from singularity_restore(
+                eng, image, worker, list(range(spec.n_gpus)),
+                phos_worker.medium, phos_worker.criu,
+            )
+        elif system == "cuda-checkpoint":
+            new_process = yield from cuda_checkpoint_restore(
+                eng, image, worker, list(range(spec.n_gpus)),
+                phos_worker.medium, phos_worker.criu,
+            )
+        else:
+            raise InvalidValueError(f"unknown system {system!r}")
+        t_exec = eng.now
+        workload.bind_restored(new_process)
+        yield from workload.run(n_requests)
+        t_end = eng.now
+        return t_end - t0, t_end - t_exec
+
+    end_to_end, exec_time = eng.run_process(driver(eng))
+    eng.run()
+    return ColdStartResult(system=system, app=spec_name,
+                           end_to_end=end_to_end, exec_time=exec_time)

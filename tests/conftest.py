@@ -1,0 +1,35 @@
+"""Shared fixtures: a small testbed machine and a ready-to-run process."""
+
+import pytest
+
+from repro.api.runtime import GpuProcess
+from repro.cluster import Machine
+from repro.gpu.context import ContextRequirements, GpuContext
+from repro.sim import Engine
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture
+def machine(eng):
+    return Machine(eng, name="node0", n_gpus=2)
+
+
+@pytest.fixture
+def process(eng, machine):
+    """A single-GPU process with a context already installed."""
+    proc = GpuProcess(eng, machine, name="app", gpu_indices=[0], cpu_pages=16)
+    proc.runtime.adopt_context(0, GpuContext(gpu_index=0))
+    return proc
+
+
+@pytest.fixture
+def dual_process(eng, machine):
+    """A process owning both GPUs, contexts installed."""
+    proc = GpuProcess(eng, machine, name="dual", gpu_indices=[0, 1], cpu_pages=16)
+    for i in (0, 1):
+        proc.runtime.adopt_context(i, GpuContext(gpu_index=i, nccl_scope=2))
+    return proc

@@ -1,0 +1,63 @@
+"""Unit tests for the §8.5 speculation feasibility study (Table 3)."""
+
+import pytest
+
+from repro.apps.suites import build_suites, run_speculation_study
+from repro.core.tracker import BufferTable
+from repro.gpu.memory import DeviceMemory
+from repro.units import GIB
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_speculation_study()
+
+
+def test_suite_kernel_counts_match_table3(rows):
+    counts = {r.suite: r.kernels for r in rows}
+    assert counts == {"rodinia": 44, "parboil": 18, "vllm": 66,
+                      "tvm": 607, "flashinfer": 69}
+
+
+def test_only_rodinia_has_a_failing_kernel(rows):
+    failed = {r.suite: r.kernels_failed for r in rows}
+    assert failed == {"rodinia": 1, "parboil": 0, "vllm": 0,
+                      "tvm": 0, "flashinfer": 0}
+
+
+def test_rodinia_failed_instances_match_its_kernel(rows):
+    rodinia = next(r for r in rows if r.suite == "rodinia")
+    # Exactly the legacy kernel's instances fail — 20, as in Table 3.
+    assert rodinia.instances_failed == 20
+
+
+def test_non_rodinia_suites_have_zero_failed_instances(rows):
+    for r in rows:
+        if r.suite != "rodinia":
+            assert r.instances_failed == 0, r.suite
+
+
+def test_instances_counted(rows):
+    for r in rows:
+        assert r.instances == r.kernels * {
+            "rodinia": 20, "parboil": 40, "vllm": 12, "tvm": 3,
+            "flashinfer": 12,
+        }[r.suite]
+
+
+def test_paper_reference_numbers_attached(rows):
+    tvm = next(r for r in rows if r.suite == "tvm")
+    assert tvm.paper_kernels == (607, 0)
+    assert tvm.paper_instances == (186244, 0)
+
+
+def test_failing_kernel_uses_module_global(rows):
+    mem = DeviceMemory(capacity=1 * GIB)
+    table = BufferTable(0)
+    suites, _ = build_suites(mem, table)
+    rodinia = next(s for s in suites if s.name == "rodinia")
+    legacy = [k for k in rodinia.kernels if k.program.uses_globals]
+    assert len(legacy) == 1
+    others = [k for s in suites for k in s.kernels
+              if s.name != "rodinia" and k.program.uses_globals]
+    assert others == []

@@ -1,0 +1,130 @@
+"""Unit tests for the workload models (Table 4 fidelity, determinism)."""
+
+import pytest
+
+from repro.apps.base import make_workload, provision
+from repro.apps.specs import APP_SPECS, get_spec
+from repro.cluster import Machine
+from repro.errors import InvalidValueError
+from repro.sim import Engine
+
+
+def run_app(spec_name, steps=2, warm=1):
+    eng = Engine()
+    spec = get_spec(spec_name)
+    machine = Machine(eng, n_gpus=max(spec.n_gpus, 1))
+    process, workload = provision(eng, machine, spec)
+
+    def driver(eng):
+        yield from workload.setup()
+        yield from workload.run(warm)  # JIT/module loads happen here
+        t0 = eng.now
+        yield from workload.run(steps)
+        return (eng.now - t0) / steps
+
+    step_time = eng.run_process(driver(eng))
+    return eng, process, workload, step_time
+
+
+def test_unknown_spec_rejected():
+    with pytest.raises(InvalidValueError):
+        get_spec("nonexistent-app")
+
+
+def test_gpu_count_mismatch_rejected():
+    eng = Engine()
+    machine = Machine(eng, n_gpus=1)
+    from repro.api.runtime import GpuProcess
+
+    process = GpuProcess(eng, machine, "p", [0])
+    with pytest.raises(InvalidValueError):
+        make_workload(process, get_spec("llama2-13b-train"))
+
+
+@pytest.mark.parametrize("spec_name", ["resnet152-train", "ppo-train"])
+def test_buffer_inventory_matches_table4(spec_name):
+    eng, process, workload, _ = run_app(spec_name, steps=1)
+    spec = get_spec(spec_name)
+    for gpu_index in process.gpu_indices:
+        count = len(process.runtime.allocations[gpu_index])
+        assert count == pytest.approx(spec.n_buffers, rel=0.06)
+        total = sum(b.size for b in process.runtime.allocations[gpu_index])
+        assert total <= spec.mem_per_gpu
+        assert total >= 0.75 * spec.mem_per_gpu
+
+
+def test_step_time_calibration_single_gpu():
+    _, _, _, measured = run_app("resnet152-train", steps=3)
+    assert measured == pytest.approx(get_spec("resnet152-train").step_time, rel=0.25)
+
+
+def test_llama_13b_infer_token_time():
+    _, _, _, measured = run_app("llama2-13b-infer", steps=4)
+    assert measured == pytest.approx(get_spec("llama2-13b-infer").step_time, rel=0.3)
+
+
+def test_multi_gpu_training_runs():
+    eng, process, workload, step = run_app("llama2-13b-train", steps=1)
+    assert len(process.gpu_indices) == 8
+    assert step == pytest.approx(6.9, rel=0.35)
+    assert workload.comm is not None
+
+
+def test_training_writes_most_buffers_each_step():
+    eng, process, workload, _ = run_app("resnet152-train", steps=1)
+    g = workload.groups[0]
+    # weights, optimizer state and activations were all touched.
+    for name in ("weights", "opt_m", "opt_v", "act"):
+        group = g[name]
+        written = sum(
+            1 for b in group.buffers if b.snapshot() != bytes(b.data_size)
+        )
+        assert written > 0, name
+
+
+def test_workload_determinism_across_runs():
+    def final_state():
+        eng, process, workload, _ = run_app("ppo-train", steps=2)
+        return {
+            b.tag: b.snapshot() for b in process.runtime.allocations[0]
+        }
+
+    assert final_state() == final_state()
+
+
+def test_inference_appends_kv_cache():
+    eng, process, workload, _ = run_app("llama2-13b-infer", steps=2)
+    kv = workload.groups[0]["kv"]
+    touched = sum(1 for b in kv.buffers if b.snapshot() != bytes(b.data_size))
+    assert touched > 0
+
+
+def test_bind_restored_finds_all_buffers():
+    eng, process, workload, _ = run_app("resnet152-train", steps=1)
+    # Rebinding to the same process must reconstruct identical groups.
+    before = {
+        name: [b.id for b in group.buffers]
+        for name, group in workload.groups[0].items()
+    }
+    workload.bind_restored(process)
+    after = {
+        name: [b.id for b in group.buffers]
+        for name, group in workload.groups[0].items()
+    }
+    assert before == after
+
+
+def test_cpu_pages_are_huge_pages():
+    eng, process, workload, _ = run_app("resnet152-train", steps=1)
+    from repro.apps.base import CPU_PAGE_SIZE
+
+    assert process.host.memory.page_size == CPU_PAGE_SIZE
+    assert process.host.memory.logical_bytes >= 1 * 2**30  # >= 1 GiB
+
+
+def test_all_specs_construct():
+    for name, spec in APP_SPECS.items():
+        eng = Engine()
+        machine = Machine(eng, n_gpus=spec.n_gpus)
+        process, workload = provision(eng, machine, spec)
+        assert workload.spec.name == name

@@ -1,0 +1,163 @@
+"""Edge-case tests for the frontend: sessions, heat tracking, guards."""
+
+import pytest
+
+from repro.api.calls import ApiCall, ApiCategory
+from repro.api.runtime import GpuProcess
+from repro.cluster import Machine
+from repro.core.frontend import IPC_OVERHEAD, PhosFrontend
+from repro.core.session import BufState, CheckpointSession
+from repro.errors import CheckpointError
+from repro.gpu.context import GpuContext
+from repro.gpu.program import build_fill
+from repro.sim import Engine
+from repro.storage.image import CheckpointImage
+
+
+@pytest.fixture
+def world(eng):
+    machine = Machine(eng, n_gpus=1)
+    process = GpuProcess(eng, machine, name="p", gpu_indices=[0], cpu_pages=4)
+    process.runtime.adopt_context(0, GpuContext(gpu_index=0))
+    frontend = PhosFrontend(eng, process)
+    process.runtime.interceptor = frontend
+    return machine, process, frontend
+
+
+def test_invalid_mode_rejected(eng):
+    machine = Machine(eng, n_gpus=1)
+    process = GpuProcess(eng, machine, name="p", gpu_indices=[0])
+    with pytest.raises(CheckpointError, match="mode"):
+        PhosFrontend(eng, process, mode="rpc")
+
+
+def test_ipc_mode_adds_overhead(eng, world):
+    machine, process, _ = world
+    frontend = PhosFrontend(eng, process, mode="ipc")
+    call = ApiCall(ApiCategory.OPAQUE_KERNEL, "k", 0,
+                   program=build_fill(), args=[0, 0, 0], n_threads=1)
+    plan = frontend.plan(call)
+    assert plan.frontend_overhead == IPC_OVERHEAD
+
+
+def test_double_begin_checkpoint_rejected(eng, world):
+    _, _, frontend = world
+    s1 = CheckpointSession(eng, "cow", CheckpointImage())
+    frontend.begin_checkpoint(s1)
+    s2 = CheckpointSession(eng, "cow", CheckpointImage())
+    with pytest.raises(CheckpointError, match="already active"):
+        frontend.begin_checkpoint(s2)
+    frontend.end_checkpoint()
+    with pytest.raises(CheckpointError, match="no checkpoint session"):
+        frontend.end_checkpoint()
+
+
+def test_bad_hot_order_rejected(eng, world):
+    _, _, frontend = world
+    with pytest.raises(CheckpointError, match="hot_order"):
+        frontend.begin_checkpoint(
+            CheckpointSession(eng, "cow", CheckpointImage()),
+            hot_order="random",
+        )
+
+
+def test_end_restore_without_begin_rejected(eng, world):
+    _, _, frontend = world
+    with pytest.raises(CheckpointError, match="no restore session"):
+        frontend.end_restore()
+
+
+def test_predicted_next_write_tracks_period(eng, world):
+    machine, process, frontend = world
+
+    def app(rt):
+        buf = yield from rt.malloc(0, 512, tag="b")
+        # Two writes 1 s apart establish the period.
+        yield from rt.memcpy_h2d(0, buf, payload=1, sync=True)
+        yield eng.timeout(1.0 - (eng.now % 1.0))
+        t_second = eng.now
+        yield from rt.memcpy_h2d(0, buf, payload=2, sync=True)
+        return buf, t_second
+
+    buf, t_second = eng.run_process(app(process.runtime))
+    predicted = frontend.predicted_next_write(buf)
+    history = frontend.write_history[buf.id]
+    assert predicted == pytest.approx(history[1] + (history[1] - history[0]))
+    assert predicted > history[1]
+
+
+def test_predicted_next_write_unwritten_is_inf(eng, world):
+    machine, process, frontend = world
+
+    def app(rt):
+        buf = yield from rt.malloc(0, 512)
+        return buf
+
+    buf = eng.run_process(app(process.runtime))
+    assert frontend.predicted_next_write(buf) == float("inf")
+
+
+def test_single_write_is_inf(eng, world):
+    machine, process, frontend = world
+
+    def app(rt):
+        buf = yield from rt.malloc(0, 512)
+        yield from rt.memcpy_h2d(0, buf, payload=1, sync=True)
+        return buf
+
+    buf = eng.run_process(app(process.runtime))
+    assert frontend.predicted_next_write(buf) == float("inf")
+
+
+def test_hot_first_plan_orders_by_prediction(eng, world):
+    machine, process, frontend = world
+
+    def app(rt):
+        cold = yield from rt.malloc(0, 512, tag="cold")
+        hot = yield from rt.malloc(0, 512, tag="hot")
+        slow = yield from rt.malloc(0, 512, tag="slow")
+        # hot: written every ~1 ms; slow: every ~1 s; cold: never.
+        for i in range(2):
+            yield from rt.memcpy_h2d(0, hot, payload=i, sync=True)
+            yield eng.timeout(1e-3)
+        yield from rt.memcpy_h2d(0, slow, payload=1, sync=True)
+        yield eng.timeout(1.0)
+        yield from rt.memcpy_h2d(0, slow, payload=2, sync=True)
+        return cold, hot, slow
+
+    cold, hot, slow = eng.run_process(app(process.runtime))
+    session = CheckpointSession(eng, "cow", CheckpointImage())
+    frontend.begin_checkpoint(session, hot_order="hot-first")
+    plan_tags = [b.tag for b in session.plan[0]]
+    assert plan_tags.index("hot") < plan_tags.index("slow") < plan_tags.index("cold")
+    frontend.end_checkpoint()
+
+
+def test_on_free_outside_session_is_not_deferred(eng, world):
+    machine, process, frontend = world
+
+    def app(rt):
+        buf = yield from rt.malloc(0, 512)
+        yield from rt.free(0, buf)
+        return buf
+
+    buf = eng.run_process(app(process.runtime))
+    assert buf.freed  # physically freed right away
+    assert machine.gpu(0).memory.used == 0
+
+
+def test_new_buffer_state_is_new_during_session(eng, world):
+    machine, process, frontend = world
+
+    def app(rt):
+        old = yield from rt.malloc(0, 512, tag="old")
+        session = CheckpointSession(eng, "cow", CheckpointImage())
+        frontend.begin_checkpoint(session)
+        new = yield from rt.malloc(0, 512, tag="new")
+        states = (session.state_of(old), session.state_of(new))
+        frontend.end_checkpoint()
+        return states
+
+    old_state, new_state = eng.run_process(app(process.runtime))
+    assert old_state is BufState.NOT_STARTED
+    assert new_state is BufState.NEW

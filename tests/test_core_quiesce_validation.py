@@ -1,0 +1,128 @@
+"""Unit tests for quiesce and the twin-kernel cache."""
+
+import pytest
+
+from repro.api.runtime import GpuProcess
+from repro.cluster import Machine
+from repro.core.quiesce import QUIESCE_COORDINATION, quiesce, resume
+from repro.core.validation import TwinCache
+from repro.gpu.context import GpuContext
+from repro.gpu.cost_model import KernelCost
+from repro.gpu.program import build_fill, build_scale
+from repro.gpu.ranges import RangeSet
+from repro.sim import Engine
+
+
+def make_process(eng, machine, name="p", gpus=(0,)):
+    proc = GpuProcess(eng, machine, name=name, gpu_indices=list(gpus))
+    for i in gpus:
+        proc.runtime.adopt_context(i, GpuContext(gpu_index=i))
+    return proc
+
+
+# --- quiesce --------------------------------------------------------------------
+
+
+def test_quiesce_stops_cpu_and_drains_gpu():
+    eng = Engine()
+    machine = Machine(eng, n_gpus=1)
+    proc = make_process(eng, machine)
+
+    def driver(eng):
+        buf = yield from proc.runtime.malloc(0, 512)
+        # A long-running kernel is in flight when the quiesce begins.
+        yield from proc.runtime.launch_kernel(
+            0, build_fill(), [buf.addr, 4, 1], 4,
+            cost=KernelCost(flops=3e14),  # ~1 s
+        )
+        t0 = eng.now
+        yield from quiesce(eng, [proc])
+        drained_at = eng.now
+        assert proc.runtime.cpu_stopped
+        assert machine.gpu(0).pending_ops == 0
+        resume([proc])
+        assert not proc.runtime.cpu_stopped
+        return drained_at - t0
+
+    elapsed = eng.run_process(driver(eng))
+    # The quiesce waited for the in-flight kernel plus coordination.
+    assert elapsed > 0.9
+
+
+def test_quiesce_on_idle_process_costs_only_coordination():
+    eng = Engine()
+    machine = Machine(eng, n_gpus=1)
+    proc = make_process(eng, machine)
+
+    def driver(eng):
+        t0 = eng.now
+        yield from quiesce(eng, [proc])
+        resume([proc])
+        return eng.now - t0
+
+    assert eng.run_process(driver(eng)) == pytest.approx(QUIESCE_COORDINATION)
+
+
+def test_multi_process_quiesce_stops_all():
+    eng = Engine()
+    machine = Machine(eng, n_gpus=2)
+    p1 = make_process(eng, machine, "p1", (0,))
+    p2 = make_process(eng, machine, "p2", (1,))
+
+    def driver(eng):
+        yield from quiesce(eng, [p1, p2])
+        assert p1.runtime.cpu_stopped and p2.runtime.cpu_stopped
+        resume([p1, p2])
+        assert not p1.runtime.cpu_stopped and not p2.runtime.cpu_stopped
+
+    eng.run_process(driver(eng))
+
+
+# --- twin cache ----------------------------------------------------------------------
+
+
+def test_twin_cache_instruments_once():
+    cache = TwinCache()
+    prog = build_fill()
+    t1 = cache.twin_for(prog)
+    t2 = cache.twin_for(prog)
+    assert t1 is t2
+    assert t1.instrumented
+    assert prog.name in cache.stats.kernels_instrumented
+
+
+def test_twin_cache_separates_read_checking_twins():
+    cache = TwinCache()
+    prog = build_scale()
+    write_twin = cache.twin_for(prog, check_reads=False)
+    rw_twin = cache.twin_for(prog, check_reads=True)
+    assert write_twin is not rw_twin
+    assert len(rw_twin.instrs) > len(write_twin.instrs)
+
+
+def test_launch_stats_and_ratios():
+    cache = TwinCache()
+    prog_a, prog_b = build_fill(), build_scale()
+    cache.observe_launch(prog_a, instrumented=True)
+    cache.observe_launch(prog_a, instrumented=True)
+    cache.observe_launch(prog_b, instrumented=False)
+    cache.twin_for(prog_a)
+    stats = cache.stats
+    assert stats.launches_total == 3
+    assert stats.launches_instrumented == 2
+    assert stats.instrumented_launch_ratio == pytest.approx(2 / 3)
+    assert stats.instrumented_kernel_ratio == pytest.approx(1 / 2)
+
+
+def test_empty_stats_ratios_are_zero():
+    stats = TwinCache().stats
+    assert stats.instrumented_kernel_ratio == 0.0
+    assert stats.instrumented_launch_ratio == 0.0
+
+
+def test_make_validation_carries_ranges():
+    cache = TwinCache()
+    v = cache.make_validation(RangeSet([(0, 10)]), RangeSet([(20, 30)]))
+    assert 5 in v.write_ranges
+    assert 25 in v.read_ranges
+    assert v.violations == []

@@ -1,0 +1,117 @@
+"""Unit tests for reports and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.api.runtime import GpuProcess
+from repro.cluster import Machine
+from repro.core.daemon import Phos
+from repro.core.report import checkpoint_report, restore_report
+from repro.gpu.context import GpuContext
+from repro.sim import Engine, Tracer
+
+from tests.toyapp import ToyApp
+
+
+@pytest.fixture
+def world(eng):
+    machine = Machine(eng, n_gpus=1)
+    phos = Phos(eng, machine, use_context_pool=False)
+    process = GpuProcess(eng, machine, name="app", gpu_indices=[0], cpu_pages=4)
+    process.runtime.adopt_context(0, GpuContext(gpu_index=0))
+    phos.attach(process)
+    return machine, phos, process
+
+
+def run_checkpoint(eng, phos, process, mode="cow"):
+    app = ToyApp(process)
+
+    def driver(eng):
+        yield from app.setup()
+        yield from app.run(2)
+        image, session = yield phos.checkpoint(process, mode=mode)
+        return image, session
+
+    image, session = eng.run_process(driver(eng))
+    eng.run()
+    return image, session
+
+
+def test_checkpoint_report_renders_core_facts(eng, world):
+    machine, phos, process = world
+    image, session = run_checkpoint(eng, phos, process)
+    text = checkpoint_report(image, session, phos.tracer)
+    assert image.name in text
+    assert "GPU state" in text and "buffers" in text
+    assert "protocol           : cow" in text
+    assert "CoW shadows" in text
+    assert "phase breakdown" in text
+    assert "quiesce" in text
+
+
+def test_recopy_report_includes_recopied_bytes(eng, world):
+    machine, phos, process = world
+    image, session = run_checkpoint(eng, phos, process, mode="recopy")
+    session.stats.bytes_recopied = 12345678  # exercise the branch
+    session.stats.dirty_marks = 3
+    text = checkpoint_report(image, session)
+    assert "bytes recopied" in text
+    assert "dirty marks" in text
+
+
+def test_report_shows_abort(eng, world):
+    machine, phos, process = world
+    image, session = run_checkpoint(eng, phos, process)
+    session.aborted = True
+    session.abort_reason = "test-abort"
+    assert "ABORTED: test-abort" in checkpoint_report(image, session)
+
+
+def test_restore_report(eng, world):
+    machine, phos, process = world
+    image, _ = run_checkpoint(eng, phos, process)
+    machine2 = Machine(eng, name="m2", n_gpus=1)
+    phos2 = Phos(eng, machine2, use_context_pool=False)
+
+    def driver(eng):
+        result = yield from phos2.restore(image, gpu_indices=[0],
+                                          machine=machine2)
+        yield result[2].done
+        return result[2]
+
+    session = eng.run_process(driver(eng))
+    eng.run()
+    text = restore_report(session, resume_time=0.01, total_time=0.5)
+    assert "runnable" in text
+    assert "on-demand fetches" in text
+    assert "rollback" not in text
+
+
+def test_chrome_trace_export(eng):
+    tracer = Tracer(eng)
+
+    def proc(eng):
+        span = tracer.begin("copy", gpu=3)
+        yield eng.timeout(2.0)
+        tracer.end(span)
+        tracer.mark("done", reason="test")
+
+    eng.run_process(proc(eng))
+    events = tracer.to_chrome_trace()
+    assert len(events) == 2
+    json.dumps(events)  # serializable
+    complete = next(e for e in events if e["ph"] == "X")
+    assert complete["name"] == "copy"
+    assert complete["dur"] == pytest.approx(2e6)
+    assert complete["tid"] == 3
+    instant = next(e for e in events if e["ph"] == "i")
+    assert instant["args"]["reason"] == "test"
+    # Sorted by timestamp.
+    assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+
+
+def test_chrome_trace_skips_open_spans(eng):
+    tracer = Tracer(eng)
+    tracer.begin("never-closed")
+    assert tracer.to_chrome_trace() == []

@@ -1,0 +1,68 @@
+"""Unit tests for the experiment harness and fast experiment sanity."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentResult,
+    World,
+    build_world,
+    format_table,
+    run_steps,
+    setup_app,
+)
+
+
+def test_experiment_result_add_and_column():
+    r = ExperimentResult(exp_id="x", title="t", columns=["a", "b"])
+    r.add(a=1, b=2.0)
+    r.add(a=3, b=None)
+    assert r.column("a") == [1, 3]
+    assert r.column("b") == [2.0, None]
+
+
+def test_format_table_aligns_and_handles_nan():
+    r = ExperimentResult(exp_id="x", title="Demo", columns=["name", "v"])
+    r.add(name="long-name-here", v=0.1234)
+    r.add(name="s", v=float("nan"))
+    r.add(name="big", v=1234.5)
+    text = format_table(r)
+    lines = text.splitlines()
+    assert lines[0] == "== x: Demo =="
+    assert "0.1234" in text
+    assert "n/a" in text
+    assert "1234" in text  # wide values rendered without decimals
+    # Aligned columns: header and rows share the separator width.
+    assert len(lines[1]) == len(lines[2])
+
+
+def test_format_table_includes_notes():
+    r = ExperimentResult(exp_id="x", title="t", columns=["a"], notes="hello")
+    r.add(a=1)
+    assert "-- hello" in r.format()
+
+
+def test_build_world_attaches_frontend():
+    world = build_world("resnet152-infer")
+    frontend = world.phos.frontend_of(world.process)
+    assert frontend.process is world.process
+    assert world.process.runtime.interceptor is frontend
+
+
+def test_setup_and_run_steps_advance_clock():
+    world = build_world("resnet152-infer")
+    setup_app(world, warm=1)
+    elapsed = run_steps(world, 2)
+    assert elapsed > 0
+    assert world.engine.now > 0
+
+
+def test_build_world_always_instrument_flag():
+    world = build_world("resnet152-infer", always_instrument=True)
+    frontend = world.phos.frontend_of(world.process)
+    assert frontend.always_instrument
+
+
+def test_build_world_with_pool_boots_daemon():
+    world = build_world("resnet152-infer", use_pool=True)
+    assert world.phos.pool is not None
+    assert world.phos.pool.prefilled

@@ -1,0 +1,131 @@
+"""Failure injection: kernel faults and engine errors during C/R."""
+
+import pytest
+
+from repro.api.runtime import GpuProcess
+from repro.cluster import Machine
+from repro.core.daemon import Phos
+from repro.core.quiesce import quiesce
+from repro.errors import KernelFault
+from repro.gpu.context import GpuContext
+from repro.gpu.cost_model import KernelCost
+from repro.gpu.isa import ProgramBuilder
+from repro.sim import Engine
+from repro.units import MIB
+
+from tests.toyapp import ToyApp, image_gpu_state, snapshot_process
+
+
+def make_world(buf_size=4096, kernel_flops=5e9):
+    eng = Engine()
+    machine = Machine(eng, n_gpus=1)
+    phos = Phos(eng, machine, use_context_pool=False)
+    process = GpuProcess(eng, machine, name="app", gpu_indices=[0], cpu_pages=8)
+    process.runtime.adopt_context(0, GpuContext(gpu_index=0))
+    phos.attach(process)
+    app = ToyApp(process, buf_size=buf_size, kernel_flops=kernel_flops)
+    return eng, machine, phos, process, app
+
+
+def crashing_kernel():
+    """A kernel that dereferences an unmapped address."""
+    b = ProgramBuilder("crasher", "__global__ void crasher(long* y, long n)")
+    b.seti(0, 0xDEAD0000)
+    b.ldg(1, 0)  # faults: unmapped
+    b.exit()
+    return b.build()
+
+
+def test_kernel_fault_surfaces_to_the_caller():
+    eng, machine, phos, process, app = make_world()
+
+    def driver(eng):
+        yield from app.setup()
+        try:
+            yield from process.runtime.launch_kernel(
+                0, crashing_kernel(), [app.bufs["out"].addr, 4], 4, sync=True
+            )
+        except Exception as err:
+            return type(err).__name__
+        return "no error"
+
+    name = eng.run_process(driver(eng))
+    assert name == "InvalidAddressError"
+
+
+def test_kernel_fault_during_cow_does_not_corrupt_checkpoint():
+    """An app kernel crashing mid-checkpoint must not damage the image
+    — the checkpoint captures t1 regardless."""
+    eng, machine, phos, process, app = make_world(buf_size=128 * MIB,
+                                                  kernel_flops=1e9)
+    state = {}
+
+    def driver(eng):
+        yield from app.setup()
+        yield from app.run(2)
+        yield from quiesce(eng, [process])
+        state["gpu"], _ = snapshot_process(process)
+        handle = phos.checkpoint(process, mode="cow")
+        # The app crashes one kernel during the copy window ...
+        try:
+            yield from process.runtime.launch_kernel(
+                0, crashing_kernel(), [app.bufs["out"].addr, 4], 4, sync=True
+            )
+        except Exception:
+            pass
+        # ... and keeps going.
+        yield from app.run(2, start=2)
+        image, session = yield handle
+        return image, session
+
+    image, session = eng.run_process(driver(eng))
+    eng.run()
+    assert not session.aborted
+    got = image_gpu_state(image)
+    for key in state["gpu"]:
+        assert got[key] == state["gpu"][key]
+
+
+def test_runaway_kernel_fault_during_checkpoint():
+    eng, machine, phos, process, app = make_world(buf_size=64 * MIB,
+                                                  kernel_flops=1e9)
+    spin = ProgramBuilder("spin", "__global__ void spin(long* y, long n)")
+    spin.label("top").jmp("top").exit()
+    spin_prog = spin.build()
+
+    def driver(eng):
+        yield from app.setup()
+        handle = phos.checkpoint(process, mode="cow")
+        try:
+            yield from process.runtime.launch_kernel(
+                0, spin_prog, [app.bufs["out"].addr, 4], 4, sync=True
+            )
+        except KernelFault:
+            pass
+        image, session = yield handle
+        return image, session
+
+    image, session = eng.run_process(driver(eng))
+    eng.run()
+    assert image.finalized
+
+
+def test_failed_op_does_not_wedge_the_stream_under_checkpoint():
+    """After a kernel fault, subsequent work and checkpoints proceed."""
+    eng, machine, phos, process, app = make_world()
+
+    def driver(eng):
+        yield from app.setup()
+        try:
+            yield from process.runtime.launch_kernel(
+                0, crashing_kernel(), [app.bufs["out"].addr, 4], 4, sync=True
+            )
+        except Exception:
+            pass
+        yield from app.run(2)
+        image, session = yield phos.checkpoint(process, mode="recopy")
+        return image, session
+
+    image, session = eng.run_process(driver(eng))
+    eng.run()
+    assert image.finalized

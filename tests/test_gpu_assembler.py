@@ -1,0 +1,103 @@
+"""Unit and round-trip tests for the ISA assembler."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.gpu.assembler import assemble
+from repro.gpu.disasm import disassemble
+from repro.gpu.instrument import instrument_program
+from repro.gpu.interpreter import run_kernel
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.program import STANDARD_BUILDERS, build_global_reader
+from repro.units import MIB
+
+DOUBLER = """
+// doubler: __global__ void doubler(const long* x, long* y, long n)
+arg    r0, #0
+arg    r1, #1
+arg    r2, #2
+tid    r3
+bge    r3, r2, end
+muli   r4, r3, 8
+add    r5, r0, r4
+ld.global  r6, [r5]
+muli   r6, r6, 2
+add    r7, r1, r4
+st.global  [r7], r6
+end:
+exit
+"""
+
+
+@pytest.fixture
+def mem():
+    return DeviceMemory(capacity=16 * MIB, default_data_size=512)
+
+
+def test_assemble_and_run(mem):
+    prog = assemble(DOUBLER)
+    assert prog.name == "doubler"
+    x, y = mem.alloc(512), mem.alloc(512)
+    for i in range(4):
+        x.store_word(x.addr + 8 * i, i + 1)
+    run_kernel(prog, [x.addr, y.addr, 4], n_threads=4, memory=mem)
+    assert [y.load_word(y.addr + 8 * i) for i in range(4)] == [2, 4, 6, 8]
+
+
+def test_roundtrip_every_standard_program(mem):
+    """assemble(disassemble(p)) must behave identically to p."""
+    for builder_name, builder in STANDARD_BUILDERS.items():
+        prog = builder()
+        clone = assemble(disassemble(prog))
+        assert clone.name == prog.name
+        assert len(clone.instrs) == len(prog.instrs)
+        assert clone.labels == prog.labels
+        assert [i.op for i in clone.instrs] == [i.op for i in prog.instrs]
+
+
+def test_roundtrip_preserves_globals(mem):
+    hidden = mem.alloc(512)
+    prog = build_global_reader("gr", "table", hidden.addr)
+    clone = assemble(disassemble(prog))
+    assert clone.globals_ == {"table": hidden.addr}
+    y = mem.alloc(512)
+    hidden.store_word(hidden.addr, 42)
+    run_kernel(clone, [y.addr, 1], n_threads=1, memory=mem)
+    assert y.load_word(y.addr) == 42
+
+
+def test_roundtrip_instrumented_twin(mem):
+    twin = instrument_program(STANDARD_BUILDERS["saxpy"](), check_reads=True)
+    clone = assemble(disassemble(twin))
+    assert clone.instrumented
+    assert [i.op for i in clone.instrs] == [i.op for i in twin.instrs]
+    assert [i.imm for i in clone.instrs] == [i.imm for i in twin.instrs]
+
+
+def test_name_decl_override():
+    prog = assemble("exit", name="noop", decl="void noop()")
+    assert prog.name == "noop"
+    assert len(prog.instrs) == 1
+
+
+def test_missing_header_rejected():
+    with pytest.raises(IsaError, match="header"):
+        assemble("exit")
+
+
+def test_bad_line_rejected():
+    with pytest.raises(IsaError, match="cannot assemble"):
+        assemble("frobnicate r1, r2", name="x")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(IsaError, match="duplicate"):
+        assemble("a:\na:\nexit", name="x")
+
+
+def test_hex_immediates_and_comments():
+    prog = assemble("""
+    seti r0, 0x10   // sixteen
+    exit
+    """, name="h")
+    assert prog.instrs[0].imm == 16

@@ -1,0 +1,66 @@
+"""Unit tests for the ISA disassembler."""
+
+from repro.gpu.disasm import disassemble, format_instr
+from repro.gpu.instrument import instrument_program
+from repro.gpu.isa import Instr, Op
+from repro.gpu.program import (
+    STANDARD_BUILDERS,
+    build_global_reader,
+    build_reduce_sum,
+    build_saxpy,
+)
+
+
+def test_disassemble_saxpy_lists_every_instruction():
+    prog = build_saxpy()
+    listing = disassemble(prog)
+    assert listing.splitlines()[0].startswith("// saxpy:")
+    # One line per instruction (plus header and label lines).
+    body = [l for l in listing.splitlines() if ":  " in l]
+    assert len(body) == len(prog.instrs)
+    assert "st.global" in listing
+    assert "ld.global" in listing
+
+
+def test_labels_rendered():
+    listing = disassemble(build_reduce_sum())
+    assert "loop:" in listing
+    assert "store:" in listing
+    assert "end:" in listing
+
+
+def test_globals_rendered():
+    prog = build_global_reader("gr", "lookup_table", 0xBEEF00)
+    listing = disassemble(prog)
+    assert ".global lookup_table = 0xbeef00" in listing
+    assert "&lookup_table" in listing
+
+
+def test_instrumented_twin_shows_checks():
+    twin = instrument_program(build_saxpy(), check_reads=True)
+    listing = disassemble(twin)
+    assert "instrumented twin" in listing
+    assert "chk.write" in listing
+    assert "chk.read" in listing
+
+
+def test_every_standard_program_disassembles():
+    for builder in STANDARD_BUILDERS.values():
+        listing = disassemble(builder())
+        assert "exit" in listing
+
+
+def test_format_instr_covers_all_shapes():
+    samples = [
+        Instr(op=Op.SETI, rd=1, imm=5),
+        Instr(op=Op.MOV, rd=1, ra=2),
+        Instr(op=Op.ADD, rd=0, ra=1, rb=2),
+        Instr(op=Op.ADDI, rd=0, ra=1, imm=8),
+        Instr(op=Op.TID, rd=3),
+        Instr(op=Op.NTID, rd=3),
+        Instr(op=Op.JMP, label="x"),
+        Instr(op=Op.BLT, ra=1, rb=2, label="x"),
+        Instr(op=Op.EXIT),
+    ]
+    for ins in samples:
+        assert format_instr(ins)

@@ -1,0 +1,79 @@
+"""Unit tests for the ISA, builder, and program validation."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.gpu.isa import Instr, Op, Program, ProgramBuilder
+from repro.gpu.program import (
+    STANDARD_BUILDERS,
+    build_copy,
+    build_global_writer,
+    build_reduce_sum,
+)
+
+
+def test_builder_produces_valid_program():
+    prog = build_copy()
+    assert prog.name == "dev_copy"
+    assert prog.instrs[-1].op is Op.EXIT
+    assert not prog.instrumented
+
+
+def test_program_requires_exit():
+    with pytest.raises(IsaError):
+        Program(name="bad", decl="void bad()", instrs=[Instr(op=Op.SETI, rd=0, imm=1)])
+
+
+def test_program_requires_instructions():
+    with pytest.raises(IsaError):
+        Program(name="empty", decl="void empty()", instrs=[])
+
+
+def test_undefined_label_rejected():
+    b = ProgramBuilder("jumpy", "void jumpy()")
+    b.jmp("nowhere").exit()
+    with pytest.raises(IsaError):
+        b.build()
+
+
+def test_duplicate_label_rejected():
+    b = ProgramBuilder("dup", "void dup()")
+    b.label("x")
+    with pytest.raises(IsaError):
+        b.label("x")
+
+
+def test_register_range_validated():
+    with pytest.raises(IsaError):
+        Instr(op=Op.SETI, rd=32, imm=0)
+    with pytest.raises(IsaError):
+        Instr(op=Op.ADD, rd=0, ra=0, rb=-1)
+
+
+def test_undefined_global_rejected():
+    b = ProgramBuilder("g", "void g()")
+    b.glob(0, "missing").exit()
+    with pytest.raises(IsaError):
+        b.build()
+
+
+def test_global_writer_declares_global():
+    prog = build_global_writer("gw", "hidden", 0x1000)
+    assert prog.uses_globals
+    assert prog.globals_["hidden"] == 0x1000
+
+
+def test_store_count():
+    assert build_copy().store_count == 1
+    assert build_reduce_sum().store_count == 1
+
+
+def test_standard_builders_all_assemble():
+    for name, builder in STANDARD_BUILDERS.items():
+        prog = builder()
+        assert prog.instrs[-1].op is Op.EXIT, name
+
+
+def test_labels_resolve_to_positions():
+    prog = build_copy()
+    assert prog.labels["end"] == len(prog.instrs) - 1

@@ -1,0 +1,164 @@
+"""Unit tests for device memory: allocator, buffers, word access."""
+
+import pytest
+
+from repro.errors import InvalidAddressError, InvalidValueError, OutOfMemoryError
+from repro.gpu.memory import Buffer, DeviceMemory
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def mem():
+    return DeviceMemory(capacity=1 * GIB)
+
+
+def test_alloc_returns_buffer_with_logical_size(mem):
+    buf = mem.alloc(10 * MIB, tag="weights")
+    assert buf.size >= 10 * MIB
+    assert buf.tag == "weights"
+    assert buf.data_size == mem.default_data_size
+
+
+def test_alloc_small_buffer_materializes_fully(mem):
+    buf = mem.alloc(64)
+    assert buf.data_size == 64
+
+
+def test_alloc_rejects_nonpositive(mem):
+    with pytest.raises(InvalidValueError):
+        mem.alloc(0)
+    with pytest.raises(InvalidValueError):
+        mem.alloc(-5)
+
+
+def test_allocations_are_disjoint(mem):
+    bufs = [mem.alloc(1 * MIB) for _ in range(20)]
+    ranges = sorted((b.addr, b.end) for b in bufs)
+    for (_, end1), (start2, _) in zip(ranges, ranges[1:]):
+        assert end1 <= start2
+
+
+def test_out_of_memory(mem):
+    mem.alloc(1 * GIB - 256)
+    with pytest.raises(OutOfMemoryError):
+        mem.alloc(1 * MIB)
+
+
+def test_free_allows_reuse(mem):
+    buf = mem.alloc(512 * MIB)
+    mem.alloc(400 * MIB)
+    mem.free(buf)
+    again = mem.alloc(512 * MIB)  # fits only if the hole was reclaimed
+    assert again.addr == buf.addr
+
+
+def test_double_free_rejected(mem):
+    buf = mem.alloc(1 * MIB)
+    mem.free(buf)
+    with pytest.raises(InvalidValueError):
+        mem.free(buf)
+
+
+def test_free_coalesces_adjacent_holes(mem):
+    a = mem.alloc(300 * MIB)
+    b = mem.alloc(300 * MIB)
+    c = mem.alloc(300 * MIB)
+    mem.free(a)
+    mem.free(b)
+    # a+b coalesced: a 600 MiB allocation must fit in front of c.
+    big = mem.alloc(600 * MIB)
+    assert big.end <= c.addr
+
+
+def test_used_accounting(mem):
+    assert mem.used == 0
+    buf = mem.alloc(1 * MIB)
+    assert mem.used == buf.size
+    mem.free(buf)
+    assert mem.used == 0
+    assert mem.free_bytes == mem.capacity
+
+
+def test_resolve_maps_addresses_to_buffers(mem):
+    a = mem.alloc(1 * MIB)
+    b = mem.alloc(1 * MIB)
+    assert mem.resolve(a.addr) is a
+    assert mem.resolve(a.addr + 100) is a
+    assert mem.resolve(b.end - 1) is b
+    assert mem.resolve(b.end) is None
+    assert mem.resolve(a.addr - 1) is None
+
+
+def test_resolve_after_free(mem):
+    a = mem.alloc(1 * MIB)
+    mem.free(a)
+    assert mem.resolve(a.addr) is None
+
+
+def test_buffers_iterates_in_address_order(mem):
+    bufs = [mem.alloc(1 * MIB) for _ in range(5)]
+    assert list(mem.buffers()) == sorted(bufs, key=lambda b: b.addr)
+
+
+def test_store_and_load_word(mem):
+    buf = mem.alloc(256)
+    buf.store_word(buf.addr + 16, 0xDEADBEEF)
+    assert buf.load_word(buf.addr + 16) == 0xDEADBEEF
+
+
+def test_word_access_wraps_to_64_bits(mem):
+    buf = mem.alloc(64)
+    buf.store_word(buf.addr, -1)
+    assert buf.load_word(buf.addr) == 2**64 - 1
+
+
+def test_access_outside_buffer_faults(mem):
+    buf = mem.alloc(64)
+    with pytest.raises(InvalidAddressError):
+        buf.load_word(buf.addr - 8)
+    with pytest.raises(InvalidAddressError):
+        buf.store_word(buf.end, 1)
+
+
+def test_access_beyond_materialized_prefix_faults(mem):
+    buf = mem.alloc(10 * MIB)  # prefix is default_data_size bytes
+    with pytest.raises(InvalidAddressError):
+        buf.load_word(buf.addr + buf.data_size)
+
+
+def test_memory_level_word_access(mem):
+    buf = mem.alloc(256)
+    mem.store_word(buf.addr + 8, 77)
+    assert mem.load_word(buf.addr + 8) == 77
+
+
+def test_memory_level_unmapped_access_faults(mem):
+    with pytest.raises(InvalidAddressError):
+        mem.load_word(0x1234)
+    with pytest.raises(InvalidAddressError):
+        mem.store_word(0x1234, 1)
+
+
+def test_snapshot_roundtrip(mem):
+    buf = mem.alloc(128)
+    buf.store_word(buf.addr, 42)
+    snap = buf.snapshot()
+    buf.store_word(buf.addr, 99)
+    buf.load_bytes(snap)
+    assert buf.load_word(buf.addr) == 42
+
+
+def test_load_bytes_size_mismatch_rejected(mem):
+    buf = mem.alloc(128)
+    with pytest.raises(InvalidValueError):
+        buf.load_bytes(b"\x00" * 7)
+
+
+def test_fresh_buffer_is_zeroed(mem):
+    buf = mem.alloc(64)
+    assert buf.snapshot() == b"\x00" * buf.data_size
+
+
+def test_capacity_validation():
+    with pytest.raises(InvalidValueError):
+        DeviceMemory(capacity=0)

@@ -1,0 +1,75 @@
+"""Unit tests for RangeSet."""
+
+import pytest
+
+from repro.errors import InvalidValueError
+from repro.gpu.ranges import RangeSet
+
+
+def test_membership():
+    rs = RangeSet([(10, 20), (30, 40)])
+    assert 10 in rs and 19 in rs and 30 in rs
+    assert 20 not in rs and 29 not in rs and 9 not in rs
+
+
+def test_empty_set():
+    rs = RangeSet()
+    assert 5 not in rs
+    assert not rs
+    assert len(rs) == 0
+
+
+def test_add_merges_overlapping():
+    rs = RangeSet([(10, 20)])
+    rs.add(15, 25)
+    assert list(rs) == [(10, 25)]
+
+
+def test_add_merges_touching():
+    rs = RangeSet([(10, 20)])
+    rs.add(20, 30)
+    assert list(rs) == [(10, 30)]
+
+
+def test_add_keeps_disjoint():
+    rs = RangeSet([(10, 20)])
+    rs.add(30, 40)
+    assert list(rs) == [(10, 20), (30, 40)]
+
+
+def test_add_bridges_multiple():
+    rs = RangeSet([(0, 5), (10, 15), (20, 25)])
+    rs.add(4, 21)
+    assert list(rs) == [(0, 25)]
+
+
+def test_add_before_existing():
+    rs = RangeSet([(10, 20)])
+    rs.add(0, 5)
+    assert list(rs) == [(0, 5), (10, 20)]
+
+
+def test_empty_range_rejected():
+    rs = RangeSet()
+    with pytest.raises(InvalidValueError):
+        rs.add(5, 5)
+    with pytest.raises(InvalidValueError):
+        rs.add(7, 3)
+
+
+def test_covers():
+    rs = RangeSet([(10, 20), (30, 40)])
+    assert rs.covers(10, 20)
+    assert rs.covers(12, 15)
+    assert not rs.covers(15, 35)
+    assert not rs.covers(0, 5)
+
+
+def test_total_bytes():
+    rs = RangeSet([(0, 10), (20, 25)])
+    assert rs.total_bytes() == 15
+
+
+def test_equality():
+    assert RangeSet([(1, 5), (5, 9)]) == RangeSet([(1, 9)])
+    assert RangeSet([(1, 5)]) != RangeSet([(1, 6)])

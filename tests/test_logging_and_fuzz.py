@@ -1,0 +1,97 @@
+"""Logging behaviour and fuzz tests."""
+
+import logging
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.runtime import GpuProcess
+from repro.cluster import Machine
+from repro.core.daemon import Phos
+from repro.core.signatures import Signature, parse_signature
+from repro.errors import SignatureError
+from repro.gpu.context import GpuContext
+from repro.sim import Engine
+
+from tests.toyapp import ToyApp
+
+
+def test_daemon_logs_checkpoint_lifecycle(caplog):
+    eng = Engine()
+    machine = Machine(eng, n_gpus=1)
+    phos = Phos(eng, machine, use_context_pool=False)
+    process = GpuProcess(eng, machine, name="app", gpu_indices=[0], cpu_pages=4)
+    process.runtime.adopt_context(0, GpuContext(gpu_index=0))
+    phos.attach(process)
+    app = ToyApp(process)
+
+    def driver(eng):
+        yield from app.setup()
+        yield from app.run(1)
+        image, session = yield phos.checkpoint(process, mode="cow", name="log-me")
+        return image
+
+    with caplog.at_level(logging.INFO, logger="repro.phos"):
+        eng.run_process(driver(eng))
+        eng.run()
+    messages = [r.getMessage() for r in caplog.records]
+    assert any("checkpoint requested" in m and "app" in m for m in messages)
+    assert any("checkpoint done" in m and "log-me" in m for m in messages)
+
+
+def test_daemon_logs_restore_request(caplog):
+    eng = Engine()
+    machine = Machine(eng, n_gpus=1)
+    phos = Phos(eng, machine, use_context_pool=False)
+    process = GpuProcess(eng, machine, name="app", gpu_indices=[0], cpu_pages=4)
+    process.runtime.adopt_context(0, GpuContext(gpu_index=0))
+    phos.attach(process)
+    app = ToyApp(process)
+
+    def driver(eng):
+        yield from app.setup()
+        image, _ = yield phos.checkpoint(process, mode="cow")
+        machine2 = Machine(eng, name="m2", n_gpus=1)
+        phos2 = Phos(eng, machine2, use_context_pool=False)
+        result = yield from phos2.restore(image, gpu_indices=[0],
+                                          machine=machine2)
+        yield result[2].done
+
+    with caplog.at_level(logging.INFO, logger="repro.phos"):
+        eng.run_process(driver(eng))
+        eng.run()
+    assert any("restore requested" in r.getMessage() for r in caplog.records)
+
+
+# --- signature parser fuzz -----------------------------------------------------------
+
+
+@given(st.text(alphabet=st.characters(codec="ascii"), max_size=120))
+@settings(max_examples=200)
+def test_parser_never_crashes_on_garbage(text):
+    """Any input yields either a Signature or a SignatureError — never an
+    unhandled exception (the frontend must survive weird declarations)."""
+    try:
+        sig = parse_signature(text)
+    except SignatureError:
+        return
+    assert isinstance(sig, Signature)
+
+
+@given(
+    st.lists(
+        st.sampled_from([
+            "int", "long", "float", "double", "const float*", "float*",
+            "unsigned long long", "struct Params", "const struct P*",
+            "float* const", "int8_t*", "const void*",
+        ]),
+        min_size=0, max_size=8,
+    )
+)
+@settings(max_examples=100)
+def test_parser_handles_all_type_combinations(params):
+    decl = f"__global__ void kern({', '.join(params)})"
+    sig = parse_signature(decl)
+    assert sig.kernel_name == "kern"
+    assert len(sig) == len(params)

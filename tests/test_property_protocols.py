@@ -1,0 +1,207 @@
+"""Property-based tests of the §4 correctness claims (hypothesis).
+
+For randomized workloads and randomized checkpoint timings:
+
+* the CoW image equals the quiesced state at t1 (stop-the-world-at-t1
+  equivalence, §4.2);
+* the recopy image equals the live state at t2 (stop-the-world-at-t2
+  equivalence, §4.3);
+* a concurrently-restored process computes the same final state as a
+  stop-the-world-restored one (§6).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.runtime import GpuProcess
+from repro.cluster import Machine
+from repro.core.daemon import Phos
+from repro.core.protocols.recopy import checkpoint_recopy
+from repro.core.quiesce import quiesce, resume
+from repro.gpu.context import GpuContext
+from repro.gpu.cost_model import KernelCost
+from repro.gpu.program import (
+    build_copy,
+    build_fill,
+    build_inplace_add,
+    build_scale,
+    build_scatter,
+)
+from repro.sim import Engine
+from repro.units import MIB
+
+from tests.toyapp import image_gpu_state, snapshot_process
+
+N_BUFS = 5
+N_WORDS = 8
+
+_PROGRAMS = [build_fill(), build_scale(), build_copy(), build_inplace_add(),
+             build_scatter()]
+
+op_strategy = st.tuples(
+    st.integers(0, len(_PROGRAMS) + 1),  # program index; extras = memcpy/lib
+    st.integers(0, N_BUFS - 1),          # src buffer
+    st.integers(0, N_BUFS - 1),          # dst buffer
+    st.integers(1, 40),                  # payload / cost scale
+)
+
+workload_strategy = st.lists(op_strategy, min_size=3, max_size=16)
+
+
+def build_process():
+    eng = Engine()
+    machine = Machine(eng, n_gpus=1)
+    phos = Phos(eng, machine, use_context_pool=False)
+    process = GpuProcess(eng, machine, name="prop", gpu_indices=[0], cpu_pages=4)
+    process.runtime.adopt_context(0, GpuContext(gpu_index=0))
+    phos.attach(process)
+    return eng, machine, phos, process
+
+
+def setup_buffers(rt, size):
+    bufs = []
+
+    def gen():
+        for i in range(N_BUFS):
+            buf = yield from rt.malloc(0, size, tag=f"p{i}")
+            yield from rt.memcpy_h2d(0, buf, payload=i + 1, sync=True)
+            bufs.append(buf)
+        # A permutation for the scatter kernel.
+        for j in range(N_WORDS):
+            bufs[0].store_word(bufs[0].addr + 8 * j, (j * 3 + 1) % N_WORDS)
+
+    return gen, bufs
+
+
+def apply_op(rt, bufs, op, cost):
+    kind, src_i, dst_i, payload = op
+    src, dst = bufs[src_i], bufs[dst_i]
+
+    def gen():
+        if kind < len(_PROGRAMS):
+            prog = _PROGRAMS[kind]
+            if prog.name == "fill":
+                args = [dst.addr, N_WORDS, payload]
+            elif prog.name == "inplace_add":
+                args = [dst.addr, N_WORDS]
+            elif prog.name == "scatter":
+                args = [src.addr, bufs[0].addr, dst.addr, N_WORDS]
+            else:  # copy / scale
+                args = [src.addr, dst.addr, N_WORDS]
+            yield from rt.launch_kernel(0, prog, args, N_WORDS, cost=cost)
+        elif kind == len(_PROGRAMS):
+            yield from rt.memcpy_h2d(0, dst, payload=payload)
+        else:
+            yield from rt.lib_compute(
+                0, "gemm", reads=[src], writes=[dst], cost=cost, salt=payload
+            )
+        yield from rt.cpu_work(1e-5, write_pages=[payload % 4], value=payload)
+
+    return gen
+
+
+@given(workload_strategy, st.integers(0, 2), st.integers(1, 30))
+@settings(max_examples=25, deadline=None)
+def test_cow_image_always_equals_t1_state(ops, warm_ops, cost_scale):
+    eng, machine, phos, process = build_process()
+    rt = process.runtime
+    cost = KernelCost(flops=cost_scale * 1e11, bytes_moved=0, memory_intensity=0.5)
+    setup_gen, bufs = setup_buffers(rt, 8 * MIB)
+    state = {}
+
+    def driver(eng):
+        yield from setup_gen()
+        for op in ops[:warm_ops]:
+            yield from apply_op(rt, bufs, op, cost)()
+        yield from quiesce(eng, [process])
+        state["gpu"], state["cpu"] = snapshot_process(process)
+        handle = phos.checkpoint(process, mode="cow")
+        for op in ops[warm_ops:]:
+            yield from apply_op(rt, bufs, op, cost)()
+        image, session = yield handle
+        return image, session
+
+    image, session = eng.run_process(driver(eng))
+    eng.run()
+    assert not session.aborted
+    got = image_gpu_state(image)
+    assert set(got) == set(state["gpu"])
+    for key, expected in state["gpu"].items():
+        assert got[key] == expected
+    for idx, page in enumerate(state["cpu"]):
+        assert image.cpu_pages[idx] == page
+
+
+@given(workload_strategy, st.integers(1, 30))
+@settings(max_examples=25, deadline=None)
+def test_recopy_image_always_equals_t2_state(ops, cost_scale):
+    eng, machine, phos, process = build_process()
+    rt = process.runtime
+    cost = KernelCost(flops=cost_scale * 1e11, bytes_moved=0, memory_intensity=0.5)
+    setup_gen, bufs = setup_buffers(rt, 8 * MIB)
+    state = {}
+
+    def driver(eng):
+        yield from setup_gen()
+        frontend = phos.frontend_of(process)
+        handle = eng.spawn(checkpoint_recopy(
+            eng, frontend, phos.medium, phos.criu, keep_stopped=True,
+        ))
+        for op in ops:
+            yield from apply_op(rt, bufs, op, cost)()
+        image, session = yield handle
+        state["gpu"], state["cpu"] = snapshot_process(process)
+        resume([process])
+        return image, session
+
+    image, session = eng.run_process(driver(eng))
+    eng.run()
+    got = image_gpu_state(image)
+    assert set(got) == set(state["gpu"])
+    for key, expected in state["gpu"].items():
+        assert got[key] == expected
+    for idx, page in enumerate(state["cpu"]):
+        assert image.cpu_pages[idx] == page
+
+
+@given(workload_strategy, st.integers(1, 20))
+@settings(max_examples=15, deadline=None)
+def test_restore_concurrent_equals_stop_world(ops, cost_scale):
+    cost = KernelCost(flops=cost_scale * 1e11, bytes_moved=0, memory_intensity=0.5)
+
+    def run_variant(concurrent):
+        eng, machine, phos, process = build_process()
+        rt = process.runtime
+        setup_gen, bufs = setup_buffers(rt, 8 * MIB)
+
+        def make_image(eng):
+            yield from setup_gen()
+            image, session = yield phos.checkpoint(process, mode="cow")
+            assert not session.aborted
+            return image
+
+        image = eng.run_process(make_image(eng))
+        eng.run()
+        machine2 = Machine(eng, name="node1", n_gpus=1)
+        phos2 = Phos(eng, machine2, use_context_pool=False)
+
+        def restored(eng):
+            result = yield from phos2.restore(
+                image, gpu_indices=[0], concurrent=concurrent, machine=machine2
+            )
+            new_process = result[0]
+            session = result[2]
+            by_tag = {b.tag: b for b in new_process.runtime.allocations[0]}
+            new_bufs = [by_tag[f"p{i}"] for i in range(N_BUFS)]
+            for op in ops:
+                yield from apply_op(new_process.runtime, new_bufs, op, cost)()
+            yield from new_process.runtime.device_synchronize(0)
+            if session is not None:
+                yield session.done
+            return {b.tag: b.snapshot() for b in new_process.runtime.allocations[0]}
+
+        final = eng.run_process(restored(eng))
+        eng.run()
+        return final
+
+    assert run_variant(True) == run_variant(False)

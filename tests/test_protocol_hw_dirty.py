@@ -1,0 +1,134 @@
+"""Integration tests: the hypothetical hardware-dirty-bit recopy (§9)."""
+
+import pytest
+
+from repro.api.runtime import GpuProcess
+from repro.cluster import Machine
+from repro.core.protocols.hw_dirty import checkpoint_recopy_hw
+from repro.core.quiesce import resume
+from repro.cpu.criu import CriuEngine
+from repro.gpu.context import GpuContext
+from repro.sim import Engine
+from repro.units import MIB
+
+from tests.toyapp import ToyApp, image_gpu_state, snapshot_process
+
+
+def make_world(buf_size=64 * MIB):
+    eng = Engine()
+    machine = Machine(eng, n_gpus=1)
+    criu = CriuEngine(eng)
+    process = GpuProcess(eng, machine, name="app", gpu_indices=[0], cpu_pages=8)
+    process.runtime.adopt_context(0, GpuContext(gpu_index=0))
+    app = ToyApp(process, buf_size=buf_size, kernel_flops=1e9)
+    return eng, machine, criu, process, app
+
+
+def test_hw_dirty_bits_set_by_all_write_paths():
+    eng, machine, criu, process, app = make_world(buf_size=4096)
+
+    def driver(eng):
+        yield from app.setup()
+        for buf in app.bufs.values():
+            buf.hw_dirty = False
+        yield from app.run(1)
+
+    eng.run_process(driver(eng))
+    # The iteration writes act (kernel), grad (lib), out (kernel),
+    # weight (kernel), input (memcpy) — all must be marked.
+    for name in ("act", "grad", "out", "weight", "input"):
+        assert app.bufs[name].hw_dirty, name
+    # idx is read-only in the loop.
+    assert not app.bufs["idx"].hw_dirty
+
+
+def test_hw_recopy_image_equals_t2_state():
+    eng, machine, criu, process, app = make_world()
+    state = {}
+
+    def driver(eng):
+        yield from app.setup()
+        yield from app.run(2)
+        handle = eng.spawn(checkpoint_recopy_hw(
+            eng, process, machine.dram, criu, keep_stopped=True,
+        ))
+        runner = eng.spawn(app.run(8, start=2))
+        image, recopied = yield handle
+        state["gpu"], _ = snapshot_process(process)
+        resume([process])
+        yield runner
+        return image, recopied
+
+    image, recopied = eng.run_process(driver(eng))
+    eng.run()
+    got = image_gpu_state(image)
+    assert set(got) == set(state["gpu"])
+    for key in state["gpu"]:
+        assert got[key] == state["gpu"][key]
+
+
+def test_hw_recopy_needs_no_frontend():
+    """The hypothetical hardware path runs without any PHOS attachment
+    (no speculation, no twins) — §9's simplification claim."""
+    eng, machine, criu, process, app = make_world()
+    assert process.runtime.interceptor is None
+
+    def driver(eng):
+        yield from app.setup()
+        image, recopied = yield from checkpoint_recopy_hw(
+            eng, process, machine.dram, criu
+        )
+        return image, recopied
+
+    image, recopied = eng.run_process(driver(eng))
+    assert image.finalized
+
+
+def test_hw_and_soft_recopy_agree_on_dirty_volume():
+    """Hardware bits and validated speculation must identify dirty sets
+    of the same scale for the same workload window."""
+    from repro.core.daemon import Phos
+
+    def soft():
+        eng, machine, criu, process, app = make_world()
+        phos = Phos(eng, machine, use_context_pool=False)
+        phos.attach(process)
+
+        def driver(eng):
+            yield from app.setup()
+            yield from app.run(2)
+            handle = phos.checkpoint(process, mode="recopy", keep_stopped=True)
+            runner = eng.spawn(app.run(8, start=2))
+            image, session = yield handle
+            resume([process])
+            yield runner
+            return session.stats.bytes_recopied
+
+        result = eng.run_process(driver(eng))
+        eng.run()
+        return result
+
+    def hw():
+        eng, machine, criu, process, app = make_world()
+
+        def driver(eng):
+            yield from app.setup()
+            yield from app.run(2)
+            handle = eng.spawn(checkpoint_recopy_hw(
+                eng, process, machine.dram, criu, keep_stopped=True,
+            ))
+            runner = eng.spawn(app.run(8, start=2))
+            image, recopied = yield handle
+            resume([process])
+            yield runner
+            return recopied
+
+        result = eng.run_process(driver(eng))
+        eng.run()
+        return result
+
+    soft_bytes, hw_bytes = soft(), hw()
+    assert hw_bytes > 0
+    # Speculation is buffer-granular and over-approximate; hardware bits
+    # are exact.  They may differ, but not by orders of magnitude.
+    assert 0.3 <= (soft_bytes / hw_bytes) <= 3.0

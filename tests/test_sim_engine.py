@@ -1,0 +1,273 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Engine
+from repro.sim.engine import Interrupt
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+def test_clock_starts_at_zero(eng):
+    assert eng.now == 0.0
+
+
+def test_timeout_advances_clock(eng):
+    def proc(eng):
+        yield eng.timeout(2.5)
+        return eng.now
+
+    assert eng.run_process(proc(eng)) == 2.5
+    assert eng.now == 2.5
+
+
+def test_timeout_carries_value(eng):
+    def proc(eng):
+        got = yield eng.timeout(1.0, value="payload")
+        return got
+
+    assert eng.run_process(proc(eng)) == "payload"
+
+
+def test_negative_timeout_rejected(eng):
+    with pytest.raises(SimulationError):
+        eng.timeout(-1.0)
+
+
+def test_process_return_value(eng):
+    def proc(eng):
+        yield eng.timeout(0)
+        return 42
+
+    p = eng.spawn(proc(eng))
+    eng.run()
+    assert p.result == 42
+
+
+def test_spawn_requires_generator(eng):
+    with pytest.raises(SimulationError):
+        eng.spawn(lambda: None)  # type: ignore[arg-type]
+
+
+def test_processes_interleave_deterministically(eng):
+    order = []
+
+    def worker(eng, name, delay):
+        yield eng.timeout(delay)
+        order.append(name)
+
+    eng.spawn(worker(eng, "b", 2.0))
+    eng.spawn(worker(eng, "a", 1.0))
+    eng.spawn(worker(eng, "c", 2.0))
+    eng.run()
+    assert order == ["a", "b", "c"]  # ties broken by spawn order
+
+
+def test_same_time_fifo(eng):
+    order = []
+
+    def worker(eng, name):
+        yield eng.timeout(1.0)
+        order.append(name)
+
+    for name in "xyz":
+        eng.spawn(worker(eng, name))
+    eng.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_wait_on_another_process(eng):
+    def child(eng):
+        yield eng.timeout(3.0)
+        return "child-result"
+
+    def parent(eng):
+        c = eng.spawn(child(eng))
+        got = yield c
+        return (got, eng.now)
+
+    assert eng.run_process(parent(eng)) == ("child-result", 3.0)
+
+
+def test_wait_on_finished_process(eng):
+    def child(eng):
+        yield eng.timeout(1.0)
+        return 7
+
+    def parent(eng):
+        c = eng.spawn(child(eng))
+        yield eng.timeout(5.0)
+        got = yield c  # already finished: resumes immediately
+        return (got, eng.now)
+
+    assert eng.run_process(parent(eng)) == (7, 5.0)
+
+
+def test_exception_propagates_through_wait(eng):
+    def child(eng):
+        yield eng.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent(eng):
+        try:
+            yield eng.spawn(child(eng))
+        except ValueError as err:
+            return str(err)
+        return "no error"
+
+    assert eng.run_process(parent(eng)) == "boom"
+
+
+def test_unhandled_exception_raises_from_run(eng):
+    def child(eng):
+        yield eng.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    with pytest.raises(RuntimeError, match="unhandled"):
+        eng.run_process(child(eng))
+
+
+def test_run_until_deadline(eng):
+    hits = []
+
+    def ticker(eng):
+        while True:
+            yield eng.timeout(1.0)
+            hits.append(eng.now)
+
+    eng.spawn(ticker(eng))
+    eng.run(until=3.5)
+    assert hits == [1.0, 2.0, 3.0]
+    assert eng.now == 3.5
+
+
+def test_run_until_past_deadline_rejected(eng):
+    def proc(eng):
+        yield eng.timeout(5.0)
+
+    eng.run_process(proc(eng))
+    with pytest.raises(SimulationError):
+        eng.run(until=1.0)
+
+
+def test_deadlock_detection(eng):
+    def waiter(eng):
+        yield eng.event("never")
+
+    with pytest.raises(DeadlockError):
+        eng.run_process(waiter(eng))
+
+
+def test_interrupt_mid_wait(eng):
+    def victim(eng):
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt:
+            return ("interrupted", eng.now)
+        return "not interrupted"
+
+    def attacker(eng, victim_proc):
+        yield eng.timeout(2.0)
+        victim_proc.interrupt()
+
+    v = eng.spawn(victim(eng))
+    eng.spawn(attacker(eng, v))
+    eng.run()
+    assert v.result == ("interrupted", 2.0)
+
+
+def test_interrupt_finished_process_rejected(eng):
+    def quick(eng):
+        yield eng.timeout(0)
+
+    p = eng.spawn(quick(eng))
+    eng.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_yield_non_event_fails_process(eng):
+    def bad(eng):
+        yield 42  # type: ignore[misc]
+
+    with pytest.raises(SimulationError):
+        eng.run_process(bad(eng))
+
+
+def test_event_fire_twice_rejected(eng):
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_fire_rejected(eng):
+    ev = eng.event("pending")
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_all_of_collects_values_in_order(eng):
+    def proc(eng):
+        evs = [eng.timeout(2.0, "b"), eng.timeout(1.0, "a")]
+        vals = yield eng.all_of(evs)
+        return (vals, eng.now)
+
+    assert eng.run_process(proc(eng)) == (["b", "a"], 2.0)
+
+
+def test_all_of_empty_fires_immediately(eng):
+    def proc(eng):
+        vals = yield eng.all_of([])
+        return (vals, eng.now)
+
+    assert eng.run_process(proc(eng)) == ([], 0.0)
+
+
+def test_any_of_returns_first(eng):
+    def proc(eng):
+        evs = [eng.timeout(5.0, "slow"), eng.timeout(1.0, "fast")]
+        idx, val = yield eng.any_of(evs)
+        return (idx, val, eng.now)
+
+    assert eng.run_process(proc(eng)) == (1, "fast", 1.0)
+
+
+def test_all_of_with_pre_fired_events(eng):
+    ev = eng.event()
+    ev.succeed("already")
+
+    def proc(eng):
+        vals = yield eng.all_of([ev, eng.timeout(1.0, "later")])
+        return vals
+
+    assert eng.run_process(proc(eng)) == ["already", "later"]
+
+
+def test_schedule_in_past_rejected(eng):
+    def proc(eng):
+        yield eng.timeout(5.0)
+
+    eng.run_process(proc(eng))
+    with pytest.raises(SimulationError):
+        eng._schedule_at(1.0, lambda: None)
+
+
+def test_nested_spawn_depth(eng):
+    def leaf(eng):
+        yield eng.timeout(1.0)
+        return 1
+
+    def middle(eng):
+        got = yield eng.spawn(leaf(eng))
+        return got + 1
+
+    def root(eng):
+        got = yield eng.spawn(middle(eng))
+        return got + 1
+
+    assert eng.run_process(root(eng)) == 3

@@ -1,0 +1,183 @@
+"""Unit tests for Resource, PriorityResource, and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, PriorityResource, Resource, Store
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+def hold(eng, res, log, name, work, priority=0):
+    """A process that acquires, works, and releases."""
+    req = yield res.acquire(priority=priority)
+    log.append(("start", name, eng.now))
+    yield eng.timeout(work)
+    res.release(req)
+    log.append(("end", name, eng.now))
+
+
+def test_single_slot_serializes(eng):
+    res = Resource(eng, capacity=1)
+    log = []
+    eng.spawn(hold(eng, res, log, "a", 2.0))
+    eng.spawn(hold(eng, res, log, "b", 3.0))
+    eng.run()
+    assert log == [
+        ("start", "a", 0.0),
+        ("end", "a", 2.0),
+        ("start", "b", 2.0),
+        ("end", "b", 5.0),
+    ]
+
+
+def test_two_slots_run_in_parallel(eng):
+    res = Resource(eng, capacity=2)
+    log = []
+    for name in ("a", "b", "c"):
+        eng.spawn(hold(eng, res, log, name, 2.0))
+    eng.run()
+    starts = {name: t for kind, name, t in log if kind == "start"}
+    assert starts == {"a": 0.0, "b": 0.0, "c": 2.0}
+
+
+def test_fifo_ordering(eng):
+    res = Resource(eng, capacity=1)
+    log = []
+    for name in ("a", "b", "c", "d"):
+        eng.spawn(hold(eng, res, log, name, 1.0))
+    eng.run()
+    started = [name for kind, name, _ in log if kind == "start"]
+    assert started == ["a", "b", "c", "d"]
+
+
+def test_capacity_validation(eng):
+    with pytest.raises(SimulationError):
+        Resource(eng, capacity=0)
+
+
+def test_double_release_rejected(eng):
+    res = Resource(eng, capacity=1)
+
+    def proc(eng):
+        req = yield res.acquire()
+        res.release(req)
+        res.release(req)
+
+    with pytest.raises(SimulationError):
+        eng.run_process(proc(eng))
+
+
+def test_in_use_and_queue_len(eng):
+    res = Resource(eng, capacity=1)
+    snapshots = []
+
+    def holder(eng):
+        req = yield res.acquire()
+        yield eng.timeout(2.0)
+        res.release(req)
+
+    def observer(eng):
+        yield eng.timeout(1.0)
+        snapshots.append((res.in_use, res.queue_len, res.busy))
+
+    eng.spawn(holder(eng))
+    eng.spawn(holder(eng))
+    eng.spawn(observer(eng))
+    eng.run()
+    assert snapshots == [(1, 1, True)]
+    assert res.in_use == 0 and res.queue_len == 0
+
+
+def test_priority_resource_orders_by_priority(eng):
+    res = PriorityResource(eng, capacity=1)
+    log = []
+
+    def submit(eng):
+        # Occupy the slot, then submit low/high priority waiters.
+        req = yield res.acquire()
+        eng.spawn(hold(eng, res, log, "low", 1.0, priority=10))
+        eng.spawn(hold(eng, res, log, "high", 1.0, priority=0))
+        yield eng.timeout(1.0)
+        res.release(req)
+
+    eng.run_process(submit(eng))
+    eng.run()
+    started = [name for kind, name, _ in log if kind == "start"]
+    assert started == ["high", "low"]
+
+
+def test_priority_ties_are_fifo(eng):
+    res = PriorityResource(eng, capacity=1)
+    log = []
+
+    def submit(eng):
+        req = yield res.acquire()
+        for name in ("first", "second", "third"):
+            eng.spawn(hold(eng, res, log, name, 1.0, priority=5))
+        yield eng.timeout(1.0)
+        res.release(req)
+
+    eng.run_process(submit(eng))
+    eng.run()
+    started = [name for kind, name, _ in log if kind == "start"]
+    assert started == ["first", "second", "third"]
+
+
+def test_store_put_then_get(eng):
+    store = Store(eng)
+    store.put("x")
+
+    def getter(eng):
+        item = yield store.get()
+        return item
+
+    assert eng.run_process(getter(eng)) == "x"
+
+
+def test_store_get_blocks_until_put(eng):
+    store = Store(eng)
+
+    def getter(eng):
+        item = yield store.get()
+        return (item, eng.now)
+
+    def putter(eng):
+        yield eng.timeout(3.0)
+        store.put("late")
+
+    g = eng.spawn(getter(eng))
+    eng.spawn(putter(eng))
+    eng.run()
+    assert g.result == ("late", 3.0)
+
+
+def test_store_fifo_order(eng):
+    store = Store(eng)
+    got = []
+
+    def getter(eng):
+        item = yield store.get()
+        got.append(item)
+
+    eng.spawn(getter(eng))
+    eng.spawn(getter(eng))
+
+    def putter(eng):
+        yield eng.timeout(1.0)
+        store.put(1)
+        store.put(2)
+
+    eng.spawn(putter(eng))
+    eng.run()
+    assert got == [1, 2]
+
+
+def test_store_len(eng):
+    store = Store(eng)
+    store.put("a")
+    store.put("b")
+    assert len(store) == 2

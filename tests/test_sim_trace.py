@@ -1,0 +1,70 @@
+"""Unit tests for the timeline tracer."""
+
+import pytest
+
+from repro.sim import Engine, Tracer
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+def test_span_duration(eng):
+    tracer = Tracer(eng)
+
+    def proc(eng):
+        span = tracer.begin("copy")
+        yield eng.timeout(2.0)
+        tracer.end(span)
+
+    eng.run_process(proc(eng))
+    assert tracer.total("copy") == 2.0
+
+
+def test_open_span_duration_rejected(eng):
+    tracer = Tracer(eng)
+    span = tracer.begin("open")
+    with pytest.raises(ValueError):
+        _ = span.duration
+
+
+def test_double_close_rejected(eng):
+    tracer = Tracer(eng)
+    span = tracer.begin("x")
+    tracer.end(span)
+    with pytest.raises(ValueError):
+        tracer.end(span)
+
+
+def test_breakdown_aggregates_by_label(eng):
+    tracer = Tracer(eng)
+
+    def proc(eng):
+        for label, dt in [("a", 1.0), ("b", 2.0), ("a", 3.0)]:
+            span = tracer.begin(label)
+            yield eng.timeout(dt)
+            tracer.end(span)
+
+    eng.run_process(proc(eng))
+    assert tracer.breakdown() == {"a": 4.0, "b": 2.0}
+
+
+def test_marks_record_time_and_meta(eng):
+    tracer = Tracer(eng)
+
+    def proc(eng):
+        yield eng.timeout(1.5)
+        tracer.mark("quiesce-done", gpus=8)
+
+    eng.run_process(proc(eng))
+    assert tracer.points == [(1.5, "quiesce-done", {"gpus": 8})]
+
+
+def test_spans_named_filters_open_spans(eng):
+    tracer = Tracer(eng)
+    tracer.begin("never-closed")
+    closed = tracer.begin("closed")
+    tracer.end(closed)
+    assert list(tracer.spans_named("never-closed")) == []
+    assert len(list(tracer.spans_named("closed"))) == 1

@@ -1,0 +1,130 @@
+"""Unit tests for on-disk image serialization."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.storage.image import CheckpointImage
+from repro.storage.serial import FORMAT_VERSION, load_image, save_image
+
+from tests.toyapp import ToyApp, image_gpu_state
+
+
+@pytest.fixture
+def image(eng, process):
+    """A real checkpoint image from a toy run."""
+    from repro.core.daemon import Phos
+
+    phos = Phos(eng, process.machine, use_context_pool=False)
+    phos.attach(process)
+    app = ToyApp(process)
+
+    def driver(eng):
+        yield from app.setup()
+        yield from app.run(2)
+        img, session = yield phos.checkpoint(process, mode="cow")
+        assert not session.aborted
+        return img
+
+    img = eng.run_process(driver(eng))
+    eng.run()
+    return img
+
+
+def test_roundtrip_preserves_everything(image, tmp_path):
+    path = tmp_path / "ckpt.phos"
+    size = save_image(image, path)
+    assert size == path.stat().st_size
+    loaded = load_image(path)
+    assert loaded.finalized
+    assert loaded.name == image.name
+    assert loaded.checkpoint_time == image.checkpoint_time
+    assert loaded.cpu_page_size == image.cpu_page_size
+    assert loaded.cpu_control == image.cpu_control
+    assert loaded.cpu_pages == image.cpu_pages
+    assert image_gpu_state(loaded) == image_gpu_state(image)
+    assert loaded.gpu_modules == image.gpu_modules
+    assert loaded.context_meta == image.context_meta
+    # Buffer metadata survives (tags drive workload rebinding).
+    for gpu, records in image.gpu_buffers.items():
+        for buf_id, rec in records.items():
+            got = loaded.gpu_buffers[gpu][buf_id]
+            assert (got.addr, got.size, got.tag) == (rec.addr, rec.size, rec.tag)
+
+
+def test_restore_from_loaded_image(image, tmp_path, eng):
+    """A loaded image is restorable exactly like the in-memory one."""
+    from repro.cluster import Machine
+    from repro.core.daemon import Phos
+
+    path = tmp_path / "ckpt.phos"
+    save_image(image, path)
+    loaded = load_image(path)
+    machine2 = Machine(eng, name="m2", n_gpus=1)
+    phos2 = Phos(eng, machine2, use_context_pool=False)
+
+    def driver(eng):
+        result = yield from phos2.restore(
+            loaded, gpu_indices=[0], machine=machine2, concurrent=True
+        )
+        process2, _, session = result
+        yield session.done
+        return process2
+
+    process2 = eng.run_process(driver(eng))
+    eng.run()
+    by_addr = {b.addr: b.snapshot() for b in process2.runtime.allocations[0]}
+    for rec in image.gpu_buffers[0].values():
+        assert by_addr[rec.addr] == rec.data
+
+
+def test_unfinalized_image_rejected(tmp_path):
+    with pytest.raises(CheckpointError):
+        save_image(CheckpointImage(), tmp_path / "x.phos")
+
+
+def test_corruption_detected(image, tmp_path):
+    path = tmp_path / "ckpt.phos"
+    save_image(image, path)
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF  # flip a bit in the middle
+    path.write_bytes(bytes(raw))
+    with pytest.raises(CheckpointError, match="CRC"):
+        load_image(path)
+
+
+def test_truncation_detected(image, tmp_path):
+    path = tmp_path / "ckpt.phos"
+    save_image(image, path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(CheckpointError):
+        load_image(path)
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "junk.phos"
+    import struct
+    import zlib
+
+    body = struct.pack("<8sII", b"NOTPHOS!", FORMAT_VERSION, 2) + b"{}"
+    path.write_bytes(body + struct.pack("<I", zlib.crc32(body)))
+    with pytest.raises(CheckpointError, match="magic"):
+        load_image(path)
+
+
+def test_future_version_rejected(tmp_path):
+    path = tmp_path / "future.phos"
+    import struct
+    import zlib
+
+    body = struct.pack("<8sII", b"PHOSIMG1", FORMAT_VERSION + 9, 2) + b"{}"
+    path.write_bytes(body + struct.pack("<I", zlib.crc32(body)))
+    with pytest.raises(CheckpointError, match="version"):
+        load_image(path)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.phos"
+    path.write_bytes(b"")
+    with pytest.raises(CheckpointError, match="too short"):
+        load_image(path)

@@ -1,0 +1,127 @@
+"""Integration tests for the downstream task drivers (§7)."""
+
+import math
+
+import pytest
+
+from repro.tasks.fault_tolerance import (
+    measure_checkpoint_overhead,
+    measure_restore_time,
+    wasted_fraction,
+)
+from repro.tasks.live_migration import migrate
+from repro.tasks.serverless import cold_start
+
+
+# --- fault tolerance -----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def resnet_overheads():
+    return {
+        system: measure_checkpoint_overhead(system, "resnet152-train")
+        for system in ("phos", "singularity", "cuda-checkpoint")
+    }
+
+
+def test_phos_checkpoint_stall_is_smallest(resnet_overheads):
+    phos = resnet_overheads["phos"].checkpoint_stall
+    sing = resnet_overheads["singularity"].checkpoint_stall
+    cuda = resnet_overheads["cuda-checkpoint"].checkpoint_stall
+    assert phos < sing < cuda
+
+
+def test_singularity_stall_matches_copy_time(resnet_overheads):
+    """Stop-the-world stall ~= (GPU + CPU data) / their copy bandwidths."""
+    from repro.apps.base import CPU_PAGE_SIZE
+    from repro.apps.specs import get_spec
+    from repro.cpu.criu import CPU_COPY_BW, DUMP_THREADS
+    from repro import units
+
+    spec = get_spec("resnet152-train")
+    stall = resnet_overheads["singularity"].checkpoint_stall
+    gpu_s = spec.mem_per_gpu / units.PCIE_GEN4_MEASURED
+    # CRIU dumps with multiple worker threads.
+    cpu_s = spec.cpu_pages * CPU_PAGE_SIZE / (CPU_COPY_BW * DUMP_THREADS)
+    assert stall == pytest.approx(gpu_s + cpu_s, rel=0.25)
+
+
+def test_cuda_checkpoint_unsupported_for_multi_gpu():
+    m = measure_checkpoint_overhead("cuda-checkpoint", "llama2-13b-train")
+    assert not m.supported
+
+
+def test_wasted_fraction_phos_less_than_singularity(resnet_overheads):
+    waste = {}
+    for system in ("phos", "singularity"):
+        m = resnet_overheads[system]
+        restore = measure_restore_time(system, "resnet152-train")
+        waste[system], f_star = wasted_fraction(m, restore)
+        assert f_star > 0
+    assert waste["phos"] < waste["singularity"]
+
+
+def test_phos_enables_higher_checkpoint_frequency(resnet_overheads):
+    f = {}
+    for system in ("phos", "singularity"):
+        m = resnet_overheads[system]
+        _, f[system] = wasted_fraction(m, restore_time=10.0)
+    assert f["phos"] > f["singularity"]
+
+
+# --- live migration -------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def resnet_migrations():
+    return {
+        system: migrate(system, "resnet152-train")
+        for system in ("phos", "singularity")
+    }
+
+
+def test_migration_downtime_phos_smaller(resnet_migrations):
+    assert (resnet_migrations["phos"].downtime
+            < resnet_migrations["singularity"].downtime)
+
+
+def test_migration_downtime_positive_and_bounded(resnet_migrations):
+    for result in resnet_migrations.values():
+        assert 0 < result.downtime <= result.total_time
+
+
+def test_migration_cuda_checkpoint_unsupported_multi_gpu():
+    result = migrate("cuda-checkpoint", "llama2-13b-train")
+    assert not result.supported
+    assert math.isnan(result.downtime)
+
+
+# --- serverless ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def resnet_cold_starts():
+    return {
+        system: cold_start(system, "resnet152-infer", n_requests=4)
+        for system in ("phos", "singularity", "cuda-checkpoint")
+    }
+
+
+def test_cold_start_ordering(resnet_cold_starts):
+    phos = resnet_cold_starts["phos"].end_to_end
+    sing = resnet_cold_starts["singularity"].end_to_end
+    cuda = resnet_cold_starts["cuda-checkpoint"].end_to_end
+    assert phos < sing < cuda
+
+
+def test_cold_start_phos_beats_context_barrier(resnet_cold_starts):
+    """Baselines pay the multi-second context barrier; PHOS does not."""
+    assert resnet_cold_starts["phos"].end_to_end < 1.0
+    assert resnet_cold_starts["singularity"].end_to_end > 2.0
+
+
+def test_cold_start_rejects_training_apps():
+    from repro.errors import InvalidValueError
+
+    with pytest.raises(InvalidValueError):
+        cold_start("phos", "resnet152-train")

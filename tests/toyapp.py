@@ -1,0 +1,117 @@
+"""A small deterministic application used by protocol tests.
+
+The app allocates a handful of buffers, initializes them over PCIe, and
+runs an iteration loop that exercises every API category: opaque
+kernels (scale, in-place add, scatter), a library kernel, host->device
+input loading, and CPU work that dirties host pages.  Given the same
+iteration count it always produces the same functional state, which is
+what lets tests phrase checkpoint correctness as byte equality.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.cost_model import KernelCost
+from repro.gpu.program import (
+    build_inplace_add,
+    build_scale,
+    build_scatter,
+)
+
+N_WORDS = 16  # words touched per kernel (fits every buffer prefix)
+
+
+class ToyApp:
+    """Deterministic iteration loop over one GPU."""
+
+    def __init__(self, process, gpu_index=0, buf_size=4096,
+                 kernel_flops=5e9, cpu_ms=0.2):
+        self.process = process
+        self.rt = process.runtime
+        self.gpu_index = gpu_index
+        self.buf_size = buf_size
+        self.cost = KernelCost(flops=kernel_flops, bytes_moved=buf_size,
+                               memory_intensity=0.8)
+        self.cpu_seconds = cpu_ms * 1e-3
+        self.scale = build_scale(factor=3)
+        self.inplace = build_inplace_add()
+        self.scatter = build_scatter()
+        self.bufs = {}
+        self.iterations_done = 0
+
+    def setup(self):
+        """Generator: allocate and initialize all buffers."""
+        names = ["input", "act", "weight", "grad", "idx", "out"]
+        for name in names:
+            self.bufs[name] = yield from self.rt.malloc(
+                self.gpu_index, self.buf_size, tag=name
+            )
+        for i, name in enumerate(names):
+            yield from self.rt.memcpy_h2d(
+                self.gpu_index, self.bufs[name], payload=i + 1, sync=True
+            )
+        # idx holds a permutation for the scatter kernel.
+        idx = self.bufs["idx"]
+        for i in range(N_WORDS):
+            idx.store_word(idx.addr + 8 * i, (i * 7 + 3) % N_WORDS)
+
+    def one_iteration(self, i):
+        """Generator: one deterministic iteration."""
+        b = self.bufs
+        yield from self.rt.cpu_work(
+            self.cpu_seconds, write_pages=[i % self.process.host.memory.n_pages],
+            value=i + 1,
+        )
+        yield from self.rt.memcpy_h2d(
+            self.gpu_index, b["input"], payload=1000 + i
+        )
+        yield from self.rt.launch_kernel(
+            self.gpu_index, self.scale,
+            [b["input"].addr, b["act"].addr, N_WORDS], N_WORDS, cost=self.cost,
+        )
+        yield from self.rt.lib_compute(
+            self.gpu_index, "gemm",
+            reads=[b["act"], b["weight"]], writes=[b["grad"]],
+            cost=self.cost, salt=i,
+        )
+        yield from self.rt.launch_kernel(
+            self.gpu_index, self.scatter,
+            [b["grad"].addr, b["idx"].addr, b["out"].addr, N_WORDS],
+            N_WORDS, cost=self.cost,
+        )
+        yield from self.rt.launch_kernel(
+            self.gpu_index, self.inplace,
+            [b["weight"].addr, N_WORDS], N_WORDS, cost=self.cost,
+        )
+        yield from self.rt.device_synchronize(self.gpu_index)
+        self.iterations_done = i + 1
+
+    def run(self, n_iters, start=0):
+        """Generator: run ``n_iters`` iterations."""
+        for i in range(start, start + n_iters):
+            yield from self.one_iteration(i)
+
+    def bind_restored(self, process):
+        """Continue on a restored process (buffers re-found by tag)."""
+        self.process = process
+        self.rt = process.runtime
+        by_tag = {b.tag: b for b in process.runtime.allocations[self.gpu_index]}
+        self.bufs = {name: by_tag[name] for name in self.bufs}
+
+
+def snapshot_process(process):
+    """Functional snapshot: {(gpu, addr): bytes} plus CPU pages."""
+    gpu_state = {}
+    for gpu_index, bufs in process.runtime.allocations.items():
+        for buf in bufs:
+            gpu_state[(gpu_index, buf.addr)] = buf.snapshot()
+    cpu_state = process.host.memory.snapshot_all()
+    return gpu_state, cpu_state
+
+
+def image_gpu_state(image):
+    """{(gpu, addr): bytes} from a checkpoint image."""
+    out = {}
+    for gpu_index, records in image.gpu_buffers.items():
+        for record in records.values():
+            out[(gpu_index, record.addr)] = record.data
+    return out
