@@ -27,7 +27,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from repro import units
+from repro import obs, units
 from repro.api.calls import PASSTHROUGH_PLAN, ApiCall, ApiCategory, LaunchPlan
 from repro.cluster import Machine
 from repro.cpu.process import HostProcess
@@ -138,8 +138,14 @@ class CudaRuntime:
         return self._stopped
 
     def _gate(self):
+        if not self._stopped:
+            return
+        t0 = self.engine.now
         while self._stopped:
             yield self._resume_event
+        # The app-visible quiesce stall: time this call spent blocked
+        # at the closed API gate (§4.2 "first stops the CPU").
+        obs.record("gate-stall", t0, process=self.process.name)
 
     def _frontend(self, call: ApiCall) -> LaunchPlan:
         if self.interceptor is None:
@@ -332,6 +338,12 @@ class CudaRuntime:
 
         def body():
             duration = kernel_duration(cost, gpu.spec, instrumented=to_run.instrumented)
+            if to_run.instrumented and obs.enabled():
+                # The validator twin's extra runtime (§8.2) — an app
+                # stall component Fig. 16 cannot see without this.
+                obs.counter("validator/overhead-seconds", gpu=gpu_index).inc(
+                    duration - kernel_duration(cost, gpu.spec)
+                )
             if program.name not in ctx.loaded_modules:
                 duration += DEFAULT_CONTEXT_COSTS.per_module_load
                 ctx.load_module(program.name)

@@ -70,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("cow", "recopy", "stop-world"))
     p.add_argument("--steps", type=int, default=3,
                    help="iterations to run concurrently with the checkpoint")
+    p.add_argument("--obs", action="store_true",
+                   help="print the observability report (phases, DMA, counters)")
+    p.add_argument("--obs-json", metavar="FILE",
+                   help="also dump the observability snapshot as JSON")
     p.set_defaults(func=cmd_checkpoint)
 
     p = sub.add_parser("restore", help="checkpoint then cold-restore an app")
@@ -78,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use the stop-the-world restore instead of concurrent")
     p.add_argument("--no-pool", action="store_true",
                    help="create contexts from scratch (no context pool)")
+    p.add_argument("--obs", action="store_true",
+                   help="print the observability report (phases, DMA, counters)")
+    p.add_argument("--obs-json", metavar="FILE",
+                   help="also dump the observability snapshot as JSON")
     p.set_defaults(func=cmd_restore)
 
     p = sub.add_parser("migrate", help="live-migrate an app between machines")
@@ -91,8 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="regenerate one paper figure/table")
     p.add_argument("--exp", required=True, choices=sorted(_EXPERIMENTS))
+    p.add_argument("--obs", action="store_true",
+                   help="print one observability report per simulated world")
     p.set_defaults(func=cmd_bench)
     return parser
+
+
+def _emit_obs(observer, label: str = "", json_path: str | None = None) -> None:
+    """Print the obs report (and optionally dump JSON) for one observer."""
+    from repro.obs import export
+
+    print()
+    print(export.render(observer, label=label))
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as fh:
+            fh.write(export.to_json(observer))
+        print(f"(observability snapshot written to {json_path})")
 
 
 def cmd_apps(args) -> int:
@@ -107,6 +129,11 @@ def cmd_apps(args) -> int:
 
 def cmd_checkpoint(args) -> int:
     engine = Engine()
+    observer = None
+    if args.obs or args.obs_json:
+        from repro import obs
+
+        observer = obs.install(engine)
     spec = get_spec(args.app)
     machine = Machine(engine, n_gpus=spec.n_gpus)
     phos = Phos(engine, machine, use_context_pool=False)
@@ -136,11 +163,22 @@ def cmd_checkpoint(args) -> int:
     print(f"  iteration time     : {units.fmt_seconds(iter_s)}")
     print(f"  application stall  : {units.fmt_seconds(stall)}")
     print(checkpoint_report(image, session, phos.tracer))
+    if observer is not None:
+        from repro import obs
+
+        _emit_obs(observer, label=f"{args.app} {args.mode}",
+                  json_path=args.obs_json)
+        obs.uninstall()
     return 0
 
 
 def cmd_restore(args) -> int:
     engine = Engine()
+    observer = None
+    if args.obs or args.obs_json:
+        from repro import obs
+
+        observer = obs.install(engine)
     spec = get_spec(args.app)
     machine = Machine(engine, n_gpus=spec.n_gpus)
     phos = Phos(engine, machine, use_context_pool=False)
@@ -174,6 +212,12 @@ def cmd_restore(args) -> int:
     print(f"app={args.app} restore={kind} pool={'on' if use_pool else 'off'}")
     print(f"  time until runnable          : {units.fmt_seconds(resume_t)}")
     print(f"  restore + 2 steps, end-to-end: {units.fmt_seconds(total_t)}")
+    if observer is not None:
+        from repro import obs
+
+        _emit_obs(observer, label=f"{args.app} restore {kind}",
+                  json_path=args.obs_json)
+        obs.uninstall()
     return 0
 
 
@@ -202,7 +246,22 @@ def cmd_bench(args) -> int:
     import importlib
 
     module = importlib.import_module(_EXPERIMENTS[args.exp])
-    print(module.run().format())
+    if not args.obs:
+        print(module.run().format())
+        return 0
+    from repro import obs
+    from repro.experiments import harness
+
+    harness.OBSERVE = True
+    harness.collected_observers.clear()
+    try:
+        print(module.run().format())
+        for label, observer in harness.collected_observers:
+            _emit_obs(observer, label=label)
+    finally:
+        harness.OBSERVE = False
+        harness.collected_observers.clear()
+        obs.uninstall()
     return 0
 
 

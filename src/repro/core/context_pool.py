@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+from repro import obs
 from repro.api.nccl import NcclCommunicator
 from repro.errors import ContextPoolError
 from repro.gpu.context import ContextRequirements, GpuContext, create_context
@@ -85,16 +86,23 @@ class ContextPool:
         if candidate is not None:
             pool.remove(candidate)
             self.hits += 1
+            obs.counter("context-pool/hits", gpu=gpu_index).inc()
+            t0 = self.engine.now
             yield self.engine.timeout(self.costs.pool_assignment)
+            obs.record("context-pool/assign", t0, gpu=gpu_index)
+            obs.gauge("context-pool/available", gpu=gpu_index).set(len(pool))
             if self.refill:
                 self.engine.spawn(
                     self._refill_one(gpu_index), name=f"pool-refill-gpu{gpu_index}"
                 )
             return candidate
         self.misses += 1
+        obs.counter("context-pool/misses", gpu=gpu_index).inc()
+        t0 = self.engine.now
         ctx = yield from create_context(
             self.engine, gpu_index, requirements, self.costs
         )
+        obs.record("context-pool/create-on-miss", t0, gpu=gpu_index)
         return ctx
 
     def acquire_communicator(self, gpu_indices: list[int]):
@@ -122,6 +130,9 @@ class ContextPool:
         ctx = yield from create_context(self.engine, gpu_index, reqs, self.costs)
         ctx.pooled = True
         self._pools[gpu_index].append(ctx)
+        obs.gauge("context-pool/available", gpu=gpu_index).set(
+            len(self._pools[gpu_index])
+        )
 
     def available(self, gpu_index: int) -> int:
         return len(self._pools[gpu_index])

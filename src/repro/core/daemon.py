@@ -18,6 +18,7 @@ from __future__ import annotations
 import logging
 from typing import Iterable, Optional
 
+from repro import obs
 from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
 from repro.core.context_pool import ContextPool
@@ -26,7 +27,7 @@ from repro.core.protocols.cow import checkpoint_cow
 from repro.core.protocols.recopy import checkpoint_recopy
 from repro.core.protocols.restore import restore_concurrent, restore_stop_world
 from repro.core.protocols.stop_world import checkpoint_stop_world
-from repro.core.quiesce import quiesce, resume
+from repro.core.quiesce import quiesce
 from repro.core.session import COW_POOL_BYTES
 from repro.cpu.criu import CriuEngine
 from repro.errors import CheckpointError
@@ -61,6 +62,19 @@ class Phos:
         """Generator: daemon startup — pre-fill the context pool."""
         if self.pool is not None:
             yield from self.pool.prefill()
+
+    # -- observability --------------------------------------------------------------
+    def observe(self) -> "obs.Observer":
+        """Switch on observability for this daemon's engine.
+
+        Returns the active :class:`~repro.obs.Observer` (installing a
+        fresh one when none is bound to this engine yet); pass it to
+        :mod:`repro.obs.export` for reports.
+        """
+        current = obs.active()
+        if current is not None and current.engine is self.engine:
+            return current
+        return obs.install(self.engine)
 
     # -- process attachment ---------------------------------------------------------
     def attach(self, process: GpuProcess, mode: str = "lfc",
@@ -122,6 +136,7 @@ class Phos:
             raise CheckpointError(f"unknown checkpoint mode {mode!r}")
         logger.info("checkpoint requested: process=%s mode=%s medium=%s t=%g",
                     process.name, mode, medium.name, self.engine.now)
+        obs.counter("phos/checkpoints", mode=mode).inc()
         handle = self.engine.spawn(gen, name=f"phos-ckpt-{process.name}")
         handle.add_callback(self._log_checkpoint_done)
         return handle
@@ -207,6 +222,9 @@ class Phos:
         gpu_indices = gpu_indices or list(image.context_meta.get("gpu_indices", [0]))
         logger.info("restore requested: image=%s gpus=%s concurrent=%s t=%g",
                     image.name, gpu_indices, concurrent, self.engine.now)
+        obs.counter(
+            "phos/restores", mode="concurrent" if concurrent else "stop-world"
+        ).inc()
         if concurrent:
             pool = self.pool if (use_pool is None or use_pool) else None
             result = yield from restore_concurrent(

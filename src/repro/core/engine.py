@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import units
+from repro import obs, units
 from repro.core.session import BufState, CheckpointSession, RestoreSession, RestoreState
 from repro.cpu.criu import CriuEngine
 from repro.gpu.device import Gpu
@@ -49,63 +49,73 @@ def copy_gpu_buffers(engine: Engine, session: CheckpointSession, gpu: Gpu,
     blocking concurrent writers (§4.2).
     """
     span = tracer.begin("gpu-copy", gpu=gpu.index) if tracer else None
-    bandwidth = gpu.spec.pcie_bw * bandwidth_scale
-    plan = session.plan[gpu.index]
-    shadow_queue = session.shadow_ready[gpu.index]
-    held = None
-    if not prioritized:
-        # The unoptimized data path (Fig. 16b ablation): the whole bulk
-        # load is one monolithic submission that occupies a DMA engine
-        # until the copy completes — application transfers starve.
-        held = yield gpu.dma.pool.acquire(priority=CHECKPOINT_PRIORITY)
-    cursor = 0
-    while not session.aborted:
-        buf = None
-        while shadow_queue:
-            candidate = shadow_queue.popleft()
-            if session.state_of(candidate) is BufState.SHADOWED:
-                buf = candidate
-                break
-        if buf is None:
-            while cursor < len(plan) and session.state_of(plan[cursor]) is BufState.DONE:
-                cursor += 1
-            if cursor >= len(plan):
-                break
-            buf = plan[cursor]
-        state = session.state_of(buf)
-        if state is BufState.SHADOW_IN_FLIGHT:
-            yield session.event_for(buf, "shadow")
+    with obs.span("gpu-copy", gpu=gpu.index):
+        bandwidth = gpu.spec.pcie_bw * bandwidth_scale
+        plan = session.plan[gpu.index]
+        shadow_queue = session.shadow_ready[gpu.index]
+        held = None
+        if not prioritized:
+            # The unoptimized data path (Fig. 16b ablation): the whole
+            # bulk load is one monolithic submission that occupies a DMA
+            # engine until the copy completes — application transfers
+            # starve.
+            held = yield gpu.dma.pool.acquire(priority=CHECKPOINT_PRIORITY)
+        cursor = 0
+        while not session.aborted:
+            buf = None
+            while shadow_queue:
+                candidate = shadow_queue.popleft()
+                if session.state_of(candidate) is BufState.SHADOWED:
+                    buf = candidate
+                    break
+            if buf is None:
+                while cursor < len(plan) and session.state_of(plan[cursor]) is BufState.DONE:
+                    cursor += 1
+                if cursor >= len(plan):
+                    break
+                buf = plan[cursor]
             state = session.state_of(buf)
-        if state is BufState.DONE:
-            continue
-        if state is BufState.NOT_STARTED:
-            session.set_state(buf, BufState.COPY_IN_FLIGHT)
-        if per_buffer_overhead > 0:
-            yield engine.timeout(per_buffer_overhead)
-        yield from _move_buffer(
-            engine, gpu, medium, buf.size, Direction.D2H, bandwidth,
-            chunked=prioritized, chunk_bytes=chunk_bytes,
-            held=held,
-        )
-        source = session.shadows.get(buf.id, buf)
-        record = GpuBufferRecord(
-            buffer_id=buf.id, addr=buf.addr, size=buf.size,
-            data=source.snapshot(), tag=buf.tag,
-        )
-        session.image.add_gpu_buffer(gpu.index, record)
-        session.stats.bytes_copied += buf.size
-        shadow = session.shadows.pop(buf.id, None)
-        if shadow is not None:
-            gpu.memory.free(shadow)
-            session.release_pool(gpu.index, shadow.size)
-        session.set_state(buf, BufState.DONE)
-        session.fire_event(buf)
-    if held is not None:
-        gpu.dma.pool.release(held)
-    # Deferred frees: buffers the app released mid-checkpoint.
-    for buf in session.deferred_frees.get(gpu.index, ()):
-        gpu.memory.free(buf)
-    session.deferred_frees[gpu.index] = []
+            if state is BufState.SHADOW_IN_FLIGHT:
+                yield session.event_for(buf, "shadow")
+                state = session.state_of(buf)
+            if state is BufState.DONE:
+                continue
+            if state is BufState.NOT_STARTED:
+                session.set_state(buf, BufState.COPY_IN_FLIGHT)
+            if per_buffer_overhead > 0:
+                yield engine.timeout(per_buffer_overhead)
+            from_shadow = buf.id in session.shadows
+            copy_start = engine.now
+            yield from _move_buffer(
+                engine, gpu, medium, buf.size, Direction.D2H, bandwidth,
+                chunked=prioritized, chunk_bytes=chunk_bytes,
+                held=held,
+            )
+            if from_shadow:
+                # A shadow drain frees CoW pool quota (§4.2) — worth its
+                # own phase in the breakdown.
+                obs.record("drain-shadow", copy_start, gpu=gpu.index,
+                           bytes=buf.size)
+                obs.counter("cow/shadow-drained", gpu=gpu.index).inc()
+            source = session.shadows.get(buf.id, buf)
+            record = GpuBufferRecord(
+                buffer_id=buf.id, addr=buf.addr, size=buf.size,
+                data=source.snapshot(), tag=buf.tag,
+            )
+            session.image.add_gpu_buffer(gpu.index, record)
+            session.stats.bytes_copied += buf.size
+            shadow = session.shadows.pop(buf.id, None)
+            if shadow is not None:
+                gpu.memory.free(shadow)
+                session.release_pool(gpu.index, shadow.size)
+            session.set_state(buf, BufState.DONE)
+            session.fire_event(buf)
+        if held is not None:
+            gpu.dma.pool.release(held)
+        # Deferred frees: buffers the app released mid-checkpoint.
+        for buf in session.deferred_frees.get(gpu.index, ()):
+            gpu.memory.free(buf)
+        session.deferred_frees[gpu.index] = []
     if span is not None:
         tracer.end(span)
 
@@ -125,25 +135,27 @@ def recopy_gpu_dirty(engine: Engine, session: CheckpointSession, gpu: Gpu,
     concurrently with the application.
     """
     span = tracer.begin("gpu-recopy", gpu=gpu.index) if tracer else None
-    by_id = {buf.id: buf for buf in session.plan[gpu.index]}
-    if dirty_ids is None:
-        dirty_ids = session.dirty[gpu.index]
-        session.dirty[gpu.index] = set()
-    for buf_id in sorted(dirty_ids):
-        buf = by_id.get(buf_id)
-        if buf is None or buf_id in session.freed_ids.get(gpu.index, ()):
-            continue  # unknown or freed: it has no t2 state to capture
-        yield from _move_buffer(
-            engine, gpu, medium, buf.size, Direction.D2H,
-            gpu.spec.pcie_bw * bandwidth_scale,
-            chunked=prioritized, chunk_bytes=chunk_bytes,
-        )
-        record = GpuBufferRecord(
-            buffer_id=buf.id, addr=buf.addr, size=buf.size,
-            data=buf.snapshot(), tag=buf.tag,
-        )
-        session.image.add_gpu_buffer(gpu.index, record)
-        session.stats.bytes_recopied += buf.size
+    with obs.span("gpu-recopy", gpu=gpu.index) as ospan:
+        by_id = {buf.id: buf for buf in session.plan[gpu.index]}
+        if dirty_ids is None:
+            dirty_ids = session.dirty[gpu.index]
+            session.dirty[gpu.index] = set()
+        ospan.attrs["dirty"] = len(dirty_ids)
+        for buf_id in sorted(dirty_ids):
+            buf = by_id.get(buf_id)
+            if buf is None or buf_id in session.freed_ids.get(gpu.index, ()):
+                continue  # unknown or freed: it has no t2 state to capture
+            yield from _move_buffer(
+                engine, gpu, medium, buf.size, Direction.D2H,
+                gpu.spec.pcie_bw * bandwidth_scale,
+                chunked=prioritized, chunk_bytes=chunk_bytes,
+            )
+            record = GpuBufferRecord(
+                buffer_id=buf.id, addr=buf.addr, size=buf.size,
+                data=buf.snapshot(), tag=buf.tag,
+            )
+            session.image.add_gpu_buffer(gpu.index, record)
+            session.stats.bytes_recopied += buf.size
     if span is not None:
         tracer.end(span)
 
@@ -162,6 +174,10 @@ def _move_buffer(engine: Engine, gpu: Gpu, medium: Medium, nbytes: int,
     dma = gpu.dma.for_direction(direction)
     link = medium.write_link if direction is Direction.D2H else medium.read_link
     step = (chunk_bytes or units.CHECKPOINT_CHUNK) if chunked else nbytes
+    moved_counter = obs.counter(
+        f"dma/{dma.name}/bytes", priority=CHECKPOINT_PRIORITY, cls="bulk",
+        direction=direction.value,
+    )
     moved = 0
     while moved < nbytes:
         this = min(step, nbytes - moved)
@@ -174,6 +190,7 @@ def _move_buffer(engine: Engine, gpu: Gpu, medium: Medium, nbytes: int,
         else:
             yield from link.flow(this, rate_cap=bandwidth)
         moved += this
+        moved_counter.inc(this)
 
 
 def checkpoint_all(engine: Engine, session: CheckpointSession, process,
@@ -203,7 +220,8 @@ def checkpoint_all(engine: Engine, session: CheckpointSession, process,
 
     if coordinated:
         cpu_span = tracer.begin("cpu-copy") if tracer else None
-        cpu_result = yield from cpu_stream()
+        with obs.span("cpu-copy"):
+            cpu_result = yield from cpu_stream()
         if cpu_span is not None:
             tracer.end(cpu_span)
         gpu_procs = [
@@ -233,37 +251,39 @@ def load_gpu_buffers(engine: Engine, session: RestoreSession, gpu: Gpu,
     On-demand requests (kernels stalled on a buffer) jump the queue.
     """
     span = tracer.begin("gpu-load", gpu=gpu.index) if tracer else None
-    bandwidth = gpu.spec.pcie_bw * bandwidth_scale
-    pairs = {buf.id: (buf, record) for buf, record in session.plan[gpu.index]}
-    order = [buf for buf, _ in session.plan[gpu.index]]
-    cursor = 0
-    while True:
-        if session.aborted:
-            break
-        target: Optional[Buffer] = None
-        queue = session.demand.get(gpu.index)
-        while queue:
-            candidate = queue.popleft()
-            if (candidate.id in pairs
-                    and session.state_of(candidate) is RestoreState.NOT_RESTORED):
-                target = candidate
-                session.demand_fetches += 1
+    with obs.span("gpu-load", gpu=gpu.index):
+        bandwidth = gpu.spec.pcie_bw * bandwidth_scale
+        pairs = {buf.id: (buf, record) for buf, record in session.plan[gpu.index]}
+        order = [buf for buf, _ in session.plan[gpu.index]]
+        cursor = 0
+        while True:
+            if session.aborted:
                 break
-        if target is None:
-            while cursor < len(order) and session.state_of(order[cursor]) is not RestoreState.NOT_RESTORED:
-                cursor += 1
-            if cursor >= len(order):
-                break
-            target = order[cursor]
-        buf, record = pairs[target.id]
-        session.set_state(buf, RestoreState.LOAD_IN_FLIGHT)
-        yield from _move_buffer(
-            engine, gpu, medium, buf.size, Direction.H2D, bandwidth,
-            chunked=prioritized, chunk_bytes=chunk_bytes,
-        )
-        buf.load_bytes(record.data)
-        session.set_state(buf, RestoreState.RESTORED)
-        session.fire_event(buf)
+            target: Optional[Buffer] = None
+            queue = session.demand.get(gpu.index)
+            while queue:
+                candidate = queue.popleft()
+                if (candidate.id in pairs
+                        and session.state_of(candidate) is RestoreState.NOT_RESTORED):
+                    target = candidate
+                    session.demand_fetches += 1
+                    obs.counter("restore/demand-fetch", gpu=gpu.index).inc()
+                    break
+            if target is None:
+                while cursor < len(order) and session.state_of(order[cursor]) is not RestoreState.NOT_RESTORED:
+                    cursor += 1
+                if cursor >= len(order):
+                    break
+                target = order[cursor]
+            buf, record = pairs[target.id]
+            session.set_state(buf, RestoreState.LOAD_IN_FLIGHT)
+            yield from _move_buffer(
+                engine, gpu, medium, buf.size, Direction.H2D, bandwidth,
+                chunked=prioritized, chunk_bytes=chunk_bytes,
+            )
+            buf.load_bytes(record.data)
+            session.set_state(buf, RestoreState.RESTORED)
+            session.fire_event(buf)
     if span is not None:
         tracer.end(span)
     if session.all_restored() and not session.done.triggered:

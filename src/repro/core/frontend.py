@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import units
+from repro import obs, units
 from repro.api.calls import ApiCall, ApiCategory, LaunchPlan
 from repro.api.runtime import GpuProcess
 from repro.core.session import BufState, CheckpointSession, RestoreSession, RestoreState
@@ -150,6 +150,8 @@ class PhosFrontend:
         return False
 
     def plan(self, call: ApiCall) -> LaunchPlan:
+        obs.counter("frontend/calls", mode=self.mode,
+                    category=call.category.name.lower()).inc()
         plan = LaunchPlan(
             frontend_overhead=IPC_OVERHEAD if self.mode == "ipc" else 0.0
         )
@@ -284,8 +286,18 @@ class PhosFrontend:
                     # its shadow's pool quota frees quickly.
                     session.shadow_ready[call.gpu_index].append(buf)
                     session.fire_event(buf)
+                    obs.counter("cow/shadow-copies",
+                                gpu=call.gpu_index).inc()
+                    obs.counter("cow/shadow-bytes",
+                                gpu=call.gpu_index).inc(buf.size)
                     break
-            session.stats.cow_stall_time += engine.now - t0
+            stalled = engine.now - t0
+            session.stats.cow_stall_time += stalled
+            if stalled > 0:
+                # The stall extent is only known here: record it
+                # retroactively so the phase tree still sums correctly.
+                obs.record("cow/guard-stall", t0, call=call.name,
+                           gpu=call.gpu_index)
 
         return guard
 
@@ -355,7 +367,11 @@ class PhosFrontend:
                         return
                     session.request(gpu_index, buf)
                     yield session.event_for(buf)
-            session.stall_time += engine.now - t0
+            stalled = engine.now - t0
+            session.stall_time += stalled
+            if stalled > 0:
+                obs.record("restore/guard-stall", t0, call=call.name,
+                           gpu=gpu_index)
 
         return guard
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.core.engine import checkpoint_all
 from repro.core.frontend import PhosFrontend
 from repro.core.quiesce import quiesce, resume
@@ -48,43 +49,47 @@ def checkpoint_cow(engine: Engine, frontend: PhosFrontend, medium: Medium,
     """
     process = frontend.process
     image = CheckpointImage(name=name or f"cow-{process.name}")
-    # A checkpoint of a partially-restored process would capture
-    # not-yet-loaded buffers; wait for any in-flight restore first.
-    if frontend.restore_session is not None:
-        yield frontend.restore_session.done
-    # Phase 1: quiesce — regulates state to a stop-checkpoint at t1.
-    yield from quiesce(engine, [process], tracer)
-    t1 = engine.now
-    _record_modules(image, process)
-    session = CheckpointSession(engine, "cow", image, cow_pool_bytes)
-    # Coordinated copy ordering (§5): write-hot buffers first, so the
-    # imminent writes find them already checkpointed (no CoW needed).
-    frontend.begin_checkpoint(
-        session, hot_order="hot-first" if coordinated else None
-    )
-    if parent is not None:
-        _inherit_unchanged(frontend, session, parent)
-    resume([process])
-    # Phase 2: concurrent copy, CoW-isolated.
-    try:
-        yield from checkpoint_all(
-            engine, session, process, medium, criu,
-            coordinated=coordinated, prioritized=prioritized,
-            chunk_bytes=chunk_bytes, tracer=tracer,
+    with obs.span("checkpoint/cow", image=image.name):
+        # A checkpoint of a partially-restored process would capture
+        # not-yet-loaded buffers; wait for any in-flight restore first.
+        if frontend.restore_session is not None:
+            yield frontend.restore_session.done
+        # Phase 1: quiesce — regulates state to a stop-checkpoint at t1.
+        yield from quiesce(engine, [process], tracer)
+        t1 = engine.now
+        _record_modules(image, process)
+        session = CheckpointSession(engine, "cow", image, cow_pool_bytes)
+        # Coordinated copy ordering (§5): write-hot buffers first, so the
+        # imminent writes find them already checkpointed (no CoW needed).
+        frontend.begin_checkpoint(
+            session, hot_order="hot-first" if coordinated else None
         )
-    finally:
-        frontend.end_checkpoint()
-        _release_shadows(session, process)
-    if session.aborted:
-        # Liveness fallback (§4.2): discard and retry stop-the-world.
-        if tracer:
-            tracer.mark("cow-abort", reason=session.abort_reason)
-        retry = yield from checkpoint_stop_world(
-            engine, process, medium, criu, name=f"{image.name}-retry",
-            tracer=tracer,
-        )
-        return retry, session
-    image.finalize(t1)
+        if parent is not None:
+            _inherit_unchanged(frontend, session, parent)
+        resume([process])
+        # Phase 2: concurrent copy, CoW-isolated.
+        try:
+            with obs.span("copy"):
+                yield from checkpoint_all(
+                    engine, session, process, medium, criu,
+                    coordinated=coordinated, prioritized=prioritized,
+                    chunk_bytes=chunk_bytes, tracer=tracer,
+                )
+        finally:
+            frontend.end_checkpoint()
+            _release_shadows(session, process)
+        if session.aborted:
+            # Liveness fallback (§4.2): discard, retry stop-the-world.
+            if tracer:
+                tracer.mark("cow-abort", reason=session.abort_reason)
+            obs.counter("cow/abort",
+                        reason=session.abort_reason or "unknown").inc()
+            retry = yield from checkpoint_stop_world(
+                engine, process, medium, criu, name=f"{image.name}-retry",
+                tracer=tracer,
+            )
+            return retry, session
+        image.finalize(t1)
     return image, session
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.core.engine import checkpoint_all, recopy_gpu_dirty
 from repro.core.frontend import PhosFrontend
 from repro.core.quiesce import quiesce, resume
@@ -45,97 +46,104 @@ def checkpoint_recopy(engine: Engine, frontend: PhosFrontend, medium: Medium,
     """
     process = frontend.process
     image = CheckpointImage(name=name or f"recopy-{process.name}")
-    # A checkpoint of a partially-restored process would capture
-    # not-yet-loaded buffers; wait for any in-flight restore first.
-    if frontend.restore_session is not None:
-        yield frontend.restore_session.done
-    # Phase 1: quiesce so no write escapes tracking.
-    yield from quiesce(engine, [process], tracer)
-    _record_modules(image, process)
-    session = CheckpointSession(engine, "recopy", image)
-    # §5's coordination for recopy is the CPU-before-GPU ordering in
-    # checkpoint_all; buffer-level reordering does not pay off when
-    # write periods are shorter than the copy window (a buffer gets
-    # re-dirtied regardless of where in the window it is copied).
-    frontend.begin_checkpoint(session)
-    resume([process])
-    # Phase 2: concurrent copy with dirty tracking.
-    try:
-        yield from checkpoint_all(
-            engine, session, process, medium, criu,
-            coordinated=coordinated, prioritized=prioritized,
-            bandwidth_scale=bandwidth_scale, chunk_bytes=chunk_bytes,
-            tracer=tracer,
-        )
-        # Phase 2b (extension): iterative concurrent pre-copy rounds.
-        prev_bytes = None
-        by_id = {
-            gpu_index: {b.id: b for b in session.plan[gpu_index]}
-            for gpu_index in session.plan
-        }
-        for _ in range(max(0, precopy_rounds)):
-            snapshot = {
-                gpu_index: set(session.dirty[gpu_index])
+    with obs.span("checkpoint/recopy", image=image.name):
+        # A checkpoint of a partially-restored process would capture
+        # not-yet-loaded buffers; wait for any in-flight restore first.
+        if frontend.restore_session is not None:
+            yield frontend.restore_session.done
+        # Phase 1: quiesce so no write escapes tracking.
+        yield from quiesce(engine, [process], tracer)
+        _record_modules(image, process)
+        session = CheckpointSession(engine, "recopy", image)
+        # §5's coordination for recopy is the CPU-before-GPU ordering in
+        # checkpoint_all; buffer-level reordering does not pay off when
+        # write periods are shorter than the copy window (a buffer gets
+        # re-dirtied regardless of where in the window it is copied).
+        frontend.begin_checkpoint(session)
+        resume([process])
+        # Phase 2: concurrent copy with dirty tracking.
+        try:
+            with obs.span("copy"):
+                yield from checkpoint_all(
+                    engine, session, process, medium, criu,
+                    coordinated=coordinated, prioritized=prioritized,
+                    bandwidth_scale=bandwidth_scale, chunk_bytes=chunk_bytes,
+                    tracer=tracer,
+                )
+            # Phase 2b (extension): iterative concurrent pre-copy rounds.
+            prev_bytes = None
+            by_id = {
+                gpu_index: {b.id: b for b in session.plan[gpu_index]}
                 for gpu_index in session.plan
             }
-            round_bytes = sum(
-                by_id[g][bid].size
-                for g, ids in snapshot.items()
-                for bid in ids if bid in by_id[g]
-            )
-            if round_bytes == 0:
-                break
-            if prev_bytes is not None and round_bytes >= 0.8 * prev_bytes:
-                break  # the delta stopped shrinking: quiesce now
-            prev_bytes = round_bytes
-            for gpu_index in session.plan:
-                session.dirty[gpu_index] -= snapshot[gpu_index]
-            passes = [
+            for _ in range(max(0, precopy_rounds)):
+                snapshot = {
+                    gpu_index: set(session.dirty[gpu_index])
+                    for gpu_index in session.plan
+                }
+                round_bytes = sum(
+                    by_id[g][bid].size
+                    for g, ids in snapshot.items()
+                    for bid in ids if bid in by_id[g]
+                )
+                if round_bytes == 0:
+                    break
+                if prev_bytes is not None and round_bytes >= 0.8 * prev_bytes:
+                    break  # the delta stopped shrinking: quiesce now
+                prev_bytes = round_bytes
+                for gpu_index in session.plan:
+                    session.dirty[gpu_index] -= snapshot[gpu_index]
+                with obs.span("precopy-round", bytes=round_bytes):
+                    passes = [
+                        engine.spawn(
+                            recopy_gpu_dirty(
+                                engine, session, process.machine.gpu(gpu_index),
+                                medium, prioritized=prioritized,
+                                bandwidth_scale=bandwidth_scale,
+                                chunk_bytes=chunk_bytes,
+                                dirty_ids=snapshot[gpu_index], tracer=tracer,
+                            ),
+                            name=f"precopy-gpu{gpu_index}",
+                        )
+                        for gpu_index in session.plan
+                    ]
+                    yield engine.all_of(passes)
+            # Phase 3: re-quiesce (writes during the drain still tracked).
+            session.final_quiesce_start = engine.now
+            yield from quiesce(engine, [process], tracer)
+        finally:
+            frontend.end_checkpoint()
+        t2 = engine.now
+        # Phase 4: recopy dirty GPU buffers and dirty CPU pages, stopped.
+        span = tracer.begin("recopy") if tracer else None
+        with obs.span("recopy"):
+            dirty_pages = process.host.memory.dirty_pages()
+            yield from criu.recopy_dirty(process.host, image, medium,
+                                         dirty_pages)
+            # Each GPU recopies its dirty delta over its own link,
+            # concurrently.
+            recopies = [
                 engine.spawn(
                     recopy_gpu_dirty(
                         engine, session, process.machine.gpu(gpu_index),
                         medium, prioritized=prioritized,
                         bandwidth_scale=bandwidth_scale,
-                        chunk_bytes=chunk_bytes,
-                        dirty_ids=snapshot[gpu_index], tracer=tracer,
+                        chunk_bytes=chunk_bytes, tracer=tracer,
                     ),
-                    name=f"precopy-gpu{gpu_index}",
+                    name=f"recopy-gpu{gpu_index}",
                 )
                 for gpu_index in session.plan
             ]
-            yield engine.all_of(passes)
-        # Phase 3: re-quiesce (writes during the drain still get tracked).
-        session.final_quiesce_start = engine.now
-        yield from quiesce(engine, [process], tracer)
-    finally:
-        frontend.end_checkpoint()
-    t2 = engine.now
-    # Phase 4: recopy dirty GPU buffers and dirty CPU pages, stopped.
-    span = tracer.begin("recopy") if tracer else None
-    dirty_pages = process.host.memory.dirty_pages()
-    yield from criu.recopy_dirty(process.host, image, medium, dirty_pages)
-    # Each GPU recopies its dirty delta over its own link, concurrently.
-    recopies = [
-        engine.spawn(
-            recopy_gpu_dirty(
-                engine, session, process.machine.gpu(gpu_index), medium,
-                prioritized=prioritized, bandwidth_scale=bandwidth_scale,
-                chunk_bytes=chunk_bytes, tracer=tracer,
-            ),
-            name=f"recopy-gpu{gpu_index}",
-        )
-        for gpu_index in session.plan
-    ]
-    yield engine.all_of(recopies)
-    for gpu_index in session.plan:
-        # Buffers freed during the window do not exist at t2.
-        for buf_id in session.freed_ids[gpu_index]:
-            image.gpu_buffers.get(gpu_index, {}).pop(buf_id, None)
-    if span is not None:
-        tracer.end(span)
-    image.finalize(t2)
-    if not keep_stopped:
-        resume([process])
+            yield engine.all_of(recopies)
+            for gpu_index in session.plan:
+                # Buffers freed during the window do not exist at t2.
+                for buf_id in session.freed_ids[gpu_index]:
+                    image.gpu_buffers.get(gpu_index, {}).pop(buf_id, None)
+        if span is not None:
+            tracer.end(span)
+        image.finalize(t2)
+        if not keep_stopped:
+            resume([process])
     return image, session
 
 

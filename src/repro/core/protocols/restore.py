@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.api.runtime import GpuProcess
 from repro.core.engine import load_gpu_buffers
 from repro.core.frontend import PhosFrontend
@@ -54,67 +55,74 @@ def restore_concurrent(engine: Engine, image: CheckpointImage, machine,
         mode="ipc" if context_pool is not None else frontend_mode,
     )
     process.runtime.interceptor = frontend
-    # 1. Execution environment: pooled contexts bypass the creation
-    #    barrier; otherwise pay the full §2.3 cost.
-    ctx_span = tracer.begin("context-setup") if tracer else None
+    # The span covers time-to-runnable (the §6 headline metric);
+    # background data movement shows up as separate gpu-load spans.
+    with obs.span("restore/concurrent", image=image.name):
+        # 1. Execution environment: pooled contexts bypass the creation
+        #    barrier; otherwise pay the full §2.3 cost.
+        ctx_span = tracer.begin("context-setup") if tracer else None
 
-    def setup_one(gpu_index):
-        reqs = ContextRequirements(
-            n_modules=len(image.gpu_modules.get(gpu_index, [])),
-            nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
-        )
-        if context_pool is not None:
-            ctx = yield from context_pool.acquire(gpu_index, reqs)
-        else:
-            ctx = yield from process.runtime.create_context(gpu_index, reqs)
-        process.runtime.adopt_context(gpu_index, ctx)
-        ctx.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
-
-    setups = [
-        engine.spawn(setup_one(i), name=f"ctx-setup-gpu{i}")
-        for i in gpu_indices
-    ]
-    yield engine.all_of(setups)
-    if ctx_span is not None:
-        tracer.end(ctx_span)
-    # 2. Buffer layout (addresses must match the checkpointed process).
-    pairs_by_gpu = realloc_image_buffers(process, image, gpu_indices)
-    for gpu_index, pairs in pairs_by_gpu.items():
-        for buf, _record in pairs:
-            frontend.tables[gpu_index].register(buf)
-    session = RestoreSession(engine, image)
-    for gpu_index, pairs in pairs_by_gpu.items():
-        session.set_plan(gpu_index, pairs)
-    frontend.begin_restore(session)
-    if skip_data_copy:
-        for gpu_index, pairs in pairs_by_gpu.items():
-            for buf, record in pairs:
-                buf.load_bytes(record.data)
-                session.set_state(buf, RestoreState.RESTORED)
-                session.fire_event(buf)
-        session.done.succeed()
-    else:
-        for gpu_index in gpu_indices:
-            engine.spawn(
-                load_gpu_buffers(
-                    engine, session, machine.gpu(gpu_index), medium,
-                    tracer=tracer,
-                ),
-                name=f"restore-load-gpu{gpu_index}",
+        def setup_one(gpu_index):
+            reqs = ContextRequirements(
+                n_modules=len(image.gpu_modules.get(gpu_index, [])),
+                nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
             )
-    # 3. CPU state: lazy (on-demand) restore so the CPU can run now.
-    cpu_session = yield from _drive(criu.restore(
-        image, process.host, medium, on_demand=True
-    ))
-    process.runtime.lazy_cpu_session = cpu_session
-    # 4. Watch for mis-speculation rollback, and drop interception once
-    #    everything is resident (twins stop running — §4.1's "not
-    #    invoked without checkpoint").
-    engine.spawn(
-        _rollback_watch(engine, session, process, medium, tracer),
-        name="restore-rollback-watch",
-    )
-    engine.spawn(_finish_watch(session, frontend), name="restore-finish-watch")
+            if context_pool is not None:
+                ctx = yield from context_pool.acquire(gpu_index, reqs)
+            else:
+                ctx = yield from process.runtime.create_context(gpu_index, reqs)
+            process.runtime.adopt_context(gpu_index, ctx)
+            ctx.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
+
+        with obs.span("context-setup", pooled=context_pool is not None):
+            setups = [
+                engine.spawn(setup_one(i), name=f"ctx-setup-gpu{i}")
+                for i in gpu_indices
+            ]
+            yield engine.all_of(setups)
+        if ctx_span is not None:
+            tracer.end(ctx_span)
+        # 2. Buffer layout (addresses must match the checkpointed
+        #    process).
+        pairs_by_gpu = realloc_image_buffers(process, image, gpu_indices)
+        for gpu_index, pairs in pairs_by_gpu.items():
+            for buf, _record in pairs:
+                frontend.tables[gpu_index].register(buf)
+        session = RestoreSession(engine, image)
+        for gpu_index, pairs in pairs_by_gpu.items():
+            session.set_plan(gpu_index, pairs)
+        frontend.begin_restore(session)
+        if skip_data_copy:
+            for gpu_index, pairs in pairs_by_gpu.items():
+                for buf, record in pairs:
+                    buf.load_bytes(record.data)
+                    session.set_state(buf, RestoreState.RESTORED)
+                    session.fire_event(buf)
+            session.done.succeed()
+        else:
+            for gpu_index in gpu_indices:
+                engine.spawn(
+                    load_gpu_buffers(
+                        engine, session, machine.gpu(gpu_index), medium,
+                        tracer=tracer,
+                    ),
+                    name=f"restore-load-gpu{gpu_index}",
+                )
+        # 3. CPU state: lazy (on-demand) restore so the CPU can run now.
+        with obs.span("cpu-lazy-restore"):
+            cpu_session = yield from _drive(criu.restore(
+                image, process.host, medium, on_demand=True
+            ))
+        process.runtime.lazy_cpu_session = cpu_session
+        # 4. Watch for mis-speculation rollback, and drop interception
+        #    once everything is resident (twins stop running — §4.1's
+        #    "not invoked without checkpoint").
+        engine.spawn(
+            _rollback_watch(engine, session, process, medium, tracer),
+            name="restore-rollback-watch",
+        )
+        engine.spawn(_finish_watch(session, frontend),
+                     name="restore-finish-watch")
     return process, frontend, session
 
 
@@ -139,18 +147,20 @@ def _rollback_watch(engine: Engine, session: RestoreSession,
         return
     if tracer:
         tracer.mark("restore-rollback")
+    obs.counter("restore/rollback").inc()
     yield from quiesce(engine, [process], tracer)
     # Reload every buffer from the image (discarding partial execution),
     # paying a full stop-the-world copy.
     span = tracer.begin("rollback-reload") if tracer else None
-    for gpu_index, pairs in session.plan.items():
-        gpu = process.machine.gpu(gpu_index)
-        total = sum(record.size for _buf, record in pairs)
-        yield from medium.read_flow(total, rate_cap=gpu.spec.pcie_bw)
-        for buf, record in pairs:
-            buf.load_bytes(record.data)
-            session.set_state(buf, RestoreState.RESTORED)
-            session.fire_event(buf)
+    with obs.span("rollback-reload"):
+        for gpu_index, pairs in session.plan.items():
+            gpu = process.machine.gpu(gpu_index)
+            total = sum(record.size for _buf, record in pairs)
+            yield from medium.read_flow(total, rate_cap=gpu.spec.pcie_bw)
+            for buf, record in pairs:
+                buf.load_bytes(record.data)
+                session.set_state(buf, RestoreState.RESTORED)
+                session.fire_event(buf)
     if span is not None:
         tracer.end(span)
     session.rolled_back = True

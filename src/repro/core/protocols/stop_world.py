@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.api.runtime import GpuProcess
 from repro.core.quiesce import quiesce, resume
 from repro.cpu.criu import CriuEngine
@@ -35,31 +36,36 @@ def checkpoint_stop_world(engine: Engine, process: GpuProcess,
     """Generator: quiesce, copy everything, resume.  Returns the image."""
     baseline = baseline or PHOS_SPEC
     image = CheckpointImage(name=name or f"stop-world-{process.name}")
-    yield from quiesce(engine, [process], tracer)
-    t_ckpt = engine.now
-    for gpu_index, ctx in process.contexts.items():
-        image.gpu_modules[gpu_index] = sorted(ctx.loaded_modules)
-    image.context_meta = {
-        "gpu_indices": list(process.gpu_indices),
-        "cpu_pages": process.host.memory.n_pages,
-    }
-    span = tracer.begin("stop-world-copy", system=baseline.name) if tracer else None
-    # CPU state: the process is stopped, so a plain dump is consistent.
-    yield from criu.dump_tracked(process.host, image, medium)
-    # Each GPU copies over its own PCIe link concurrently.
-    copies = [
-        engine.spawn(
-            _copy_gpu_stopped(engine, process, gpu_index, image, medium, baseline),
-            name=f"sw-ckpt-gpu{gpu_index}",
-        )
-        for gpu_index in process.gpu_indices
-    ]
-    yield engine.all_of(copies)
-    if span is not None:
-        tracer.end(span)
-    image.finalize(t_ckpt)
-    if not keep_stopped:
-        resume([process])
+    with obs.span("checkpoint/stop-world", image=image.name,
+                  system=baseline.name):
+        yield from quiesce(engine, [process], tracer)
+        t_ckpt = engine.now
+        for gpu_index, ctx in process.contexts.items():
+            image.gpu_modules[gpu_index] = sorted(ctx.loaded_modules)
+        image.context_meta = {
+            "gpu_indices": list(process.gpu_indices),
+            "cpu_pages": process.host.memory.n_pages,
+        }
+        span = tracer.begin("stop-world-copy", system=baseline.name) if tracer else None
+        with obs.span("copy"):
+            # CPU state: the process is stopped, so a plain dump is
+            # consistent.
+            yield from criu.dump_tracked(process.host, image, medium)
+            # Each GPU copies over its own PCIe link concurrently.
+            copies = [
+                engine.spawn(
+                    _copy_gpu_stopped(engine, process, gpu_index, image,
+                                      medium, baseline),
+                    name=f"sw-ckpt-gpu{gpu_index}",
+                )
+                for gpu_index in process.gpu_indices
+            ]
+            yield engine.all_of(copies)
+        if span is not None:
+            tracer.end(span)
+        image.finalize(t_ckpt)
+        if not keep_stopped:
+            resume([process])
     return image
 
 
@@ -67,6 +73,10 @@ def _copy_gpu_stopped(engine, process, gpu_index, image, medium, baseline):
     gpu = process.machine.gpu(gpu_index)
     bandwidth = baseline.effective_pcie_bw(gpu.spec)
     dma = gpu.dma.for_direction(Direction.D2H)
+    moved_counter = obs.counter(
+        f"dma/{dma.name}/bytes", priority=CHECKPOINT_PRIORITY, cls="bulk",
+        direction=Direction.D2H.value,
+    )
     for buf in list(process.runtime.allocations[gpu_index]):
         if baseline.per_buffer_overhead > 0:
             yield engine.timeout(baseline.per_buffer_overhead)
@@ -75,6 +85,7 @@ def _copy_gpu_stopped(engine, process, gpu_index, image, medium, baseline):
             yield from medium.write_flow(buf.size, rate_cap=bandwidth)
         finally:
             dma.release(req)
+        moved_counter.inc(buf.size)
         image.add_gpu_buffer(gpu_index, GpuBufferRecord(
             buffer_id=buf.id, addr=buf.addr, size=buf.size,
             data=buf.snapshot(), tag=buf.tag,
@@ -98,49 +109,53 @@ def restore_stop_world(engine: Engine, image: CheckpointImage, machine,
     n_pages = (max(image.cpu_pages) + 1) if image.cpu_pages else 1
     process = GpuProcess(engine, machine, name=name, gpu_indices=gpu_indices,
                          cpu_pages=n_pages, cpu_page_size=image.cpu_page_size)
-    ctx_span = tracer.begin("context-create", system=baseline.name) if tracer else None
+    with obs.span("restore/stop-world", image=image.name,
+                  system=baseline.name):
+        ctx_span = tracer.begin("context-create", system=baseline.name) if tracer else None
 
-    def create_one(gpu_index):
-        reqs = context_requirements or ContextRequirements(
-            n_modules=len(image.gpu_modules.get(gpu_index, [])),
-            nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
-        )
-        ctx = yield from process.runtime.create_context(gpu_index, reqs)
-        ctx.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
+        def create_one(gpu_index):
+            reqs = context_requirements or ContextRequirements(
+                n_modules=len(image.gpu_modules.get(gpu_index, [])),
+                nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
+            )
+            ctx = yield from process.runtime.create_context(gpu_index, reqs)
+            ctx.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
 
-    # One init thread per device, as restore tools do.
-    creations = [
-        engine.spawn(create_one(i), name=f"ctx-create-gpu{i}")
-        for i in gpu_indices
-    ]
-    yield engine.all_of(creations)
-    if ctx_span is not None:
-        tracer.end(ctx_span)
-    copy_span = tracer.begin("restore-copy", system=baseline.name) if tracer else None
-    buffers = realloc_image_buffers(process, image, gpu_indices)
+        # One init thread per device, as restore tools do.
+        with obs.span("context-create"):
+            creations = [
+                engine.spawn(create_one(i), name=f"ctx-create-gpu{i}")
+                for i in gpu_indices
+            ]
+            yield engine.all_of(creations)
+        if ctx_span is not None:
+            tracer.end(ctx_span)
+        copy_span = tracer.begin("restore-copy", system=baseline.name) if tracer else None
+        buffers = realloc_image_buffers(process, image, gpu_indices)
 
-    def load_one_gpu(gpu_index):
-        gpu = machine.gpu(gpu_index)
-        bandwidth = baseline.effective_pcie_bw(gpu.spec)
-        dma = gpu.dma.for_direction(Direction.H2D)
-        for buf, record in buffers[gpu_index]:
-            if baseline.per_buffer_overhead > 0:
-                yield engine.timeout(baseline.per_buffer_overhead)
-            req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
-            try:
-                yield from medium.read_flow(record.size, rate_cap=bandwidth)
-            finally:
-                dma.release(req)
-            buf.load_bytes(record.data)
+        def load_one_gpu(gpu_index):
+            gpu = machine.gpu(gpu_index)
+            bandwidth = baseline.effective_pcie_bw(gpu.spec)
+            dma = gpu.dma.for_direction(Direction.H2D)
+            for buf, record in buffers[gpu_index]:
+                if baseline.per_buffer_overhead > 0:
+                    yield engine.timeout(baseline.per_buffer_overhead)
+                req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
+                try:
+                    yield from medium.read_flow(record.size, rate_cap=bandwidth)
+                finally:
+                    dma.release(req)
+                buf.load_bytes(record.data)
 
-    loads = [
-        engine.spawn(load_one_gpu(i), name=f"sw-restore-gpu{i}")
-        for i in gpu_indices
-    ]
-    yield engine.all_of(loads)
-    yield from criu.restore(image, process.host, medium)
-    if copy_span is not None:
-        tracer.end(copy_span)
+        with obs.span("copy"):
+            loads = [
+                engine.spawn(load_one_gpu(i), name=f"sw-restore-gpu{i}")
+                for i in gpu_indices
+            ]
+            yield engine.all_of(loads)
+            yield from criu.restore(image, process.host, medium)
+        if copy_span is not None:
+            tracer.end(copy_span)
     return process
 
 

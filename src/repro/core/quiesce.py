@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from repro import units
+from repro import obs, units
 from repro.api.runtime import GpuProcess
 from repro.sim.engine import Engine
 from repro.sim.trace import Tracer
@@ -27,14 +27,15 @@ def quiesce(engine: Engine, processes: Iterable[GpuProcess],
     """Generator: stop CPUs, then drain every GPU the processes touch."""
     processes = list(processes)
     span = tracer.begin("quiesce") if tracer else None
-    for proc in processes:
-        proc.runtime.stop_cpu()
-    yield engine.timeout(QUIESCE_COORDINATION)
-    # Drain in-flight work directly at the device level: the gated API
-    # is closed, so the backend must not go through it.
-    for proc in processes:
-        for gpu_index in proc.gpu_indices:
-            yield from proc.machine.gpu(gpu_index).synchronize()
+    with obs.span("quiesce", processes=len(processes)):
+        for proc in processes:
+            proc.runtime.stop_cpu()
+        yield engine.timeout(QUIESCE_COORDINATION)
+        # Drain in-flight work directly at the device level: the gated
+        # API is closed, so the backend must not go through it.
+        for proc in processes:
+            for gpu_index in proc.gpu_indices:
+                yield from proc.machine.gpu(gpu_index).synchronize()
     if span is not None:
         tracer.end(span)
 

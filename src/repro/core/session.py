@@ -25,9 +25,8 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
 
-from repro import units
+from repro import obs, units
 from repro.errors import CheckpointError
 from repro.gpu.memory import Buffer
 from repro.sim.engine import Engine
@@ -163,10 +162,12 @@ class CheckpointSession:
             )
         while self._pool_free[gpu_index] < nbytes:
             self.stats.cow_pool_waits += 1
+            obs.counter("cow/pool-waits", gpu=gpu_index).inc()
             ev = self.engine.event(name="cow-pool-wait")
             self._pool_waiters[gpu_index].append((nbytes, ev))
             yield ev
         self._pool_free[gpu_index] -= nbytes
+        self._note_pool(gpu_index)
 
     def release_pool(self, gpu_index: int, nbytes: int) -> None:
         self._pool_free[gpu_index] += nbytes
@@ -174,6 +175,12 @@ class CheckpointSession:
         while waiters and waiters[0][0] <= self._pool_free[gpu_index]:
             _, ev = waiters.popleft()
             ev.succeed()
+        self._note_pool(gpu_index)
+
+    def _note_pool(self, gpu_index: int) -> None:
+        """Sample CoW pool occupancy (time-weighted when observed)."""
+        used = self.cow_pool_bytes - self._pool_free[gpu_index]
+        obs.gauge("cow/pool-used-bytes", gpu=gpu_index).set(used)
 
     def pool_free(self, gpu_index: int) -> int:
         return self._pool_free[gpu_index]

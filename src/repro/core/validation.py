@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.gpu.instrument import instrument_program
 from repro.gpu.interpreter import ValidationState, Violation
 from repro.gpu.isa import Program
@@ -59,11 +60,14 @@ class TwinCache:
             twin = instrument_program(program, check_reads=check_reads)
             cache[twin.name] = twin
             self.stats.kernels_instrumented.add(program.name)
+            obs.counter("validator/kernels-instrumented").inc()
         return twin
 
     def observe_launch(self, program: Program, instrumented: bool) -> None:
         self.stats.kernels_seen.add(program.name)
         self.stats.launches_total += 1
+        obs.counter("validator/launches",
+                    instrumented=instrumented).inc()
         if instrumented:
             self.stats.launches_instrumented += 1
 
@@ -74,3 +78,5 @@ class TwinCache:
 
     def record_violations(self, violations: list[Violation]) -> None:
         self.stats.violations.extend(violations)
+        if violations:
+            obs.counter("validator/violations").inc(len(violations))

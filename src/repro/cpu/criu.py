@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import units
+from repro import obs, units
 from repro.cpu.memory import FAULT_NOT_PRESENT, FAULT_WRITE_PROTECTED, HostMemory
 from repro.cpu.process import HostProcess
 from repro.errors import CheckpointError
@@ -78,11 +78,14 @@ class CriuEngine:
             preserved[index] = mem.pages[index].snapshot()
             mem.unprotect(index)
             result.cow_faults += 1
+            obs.counter("criu/cow-faults").inc()
 
         mem.protect_all()
         mem.fault_handler = on_fault
         try:
-            yield from self._copy_pages(mem, image, medium, preserved, result)
+            with obs.span("criu-dump", mode="cow", pages=mem.n_pages):
+                yield from self._copy_pages(mem, image, medium, preserved,
+                                            result)
         finally:
             mem.unprotect_all()
             mem.fault_handler = prev_handler
@@ -100,7 +103,8 @@ class CriuEngine:
         mem = process.memory
         mem.clear_soft_dirty()
         result = CpuDumpResult()
-        yield from self._copy_pages(mem, image, medium, {}, result)
+        with obs.span("criu-dump", mode="tracked", pages=mem.n_pages):
+            yield from self._copy_pages(mem, image, medium, {}, result)
         result.dirty_after_copy = mem.dirty_pages()
         image.cpu_control = process.control_state()
         image.kernel_objects = list(process.kernel_objects)
@@ -110,13 +114,14 @@ class CriuEngine:
                      medium: Medium, dirty: list[int]):
         """Generator: overwrite the image with the dirty pages' content."""
         mem = process.memory
-        for start in range(0, len(dirty), PAGES_PER_FLOW):
-            batch = dirty[start : start + PAGES_PER_FLOW]
-            for index in batch:
-                image.add_cpu_page(index, mem.pages[index].snapshot())
-            yield from medium.write_flow(
-                len(batch) * mem.page_size, rate_cap=CPU_COPY_BW
-            )
+        with obs.span("criu-recopy", pages=len(dirty)):
+            for start in range(0, len(dirty), PAGES_PER_FLOW):
+                batch = dirty[start : start + PAGES_PER_FLOW]
+                for index in batch:
+                    image.add_cpu_page(index, mem.pages[index].snapshot())
+                yield from medium.write_flow(
+                    len(batch) * mem.page_size, rate_cap=CPU_COPY_BW
+                )
         # Refresh control state: the recopy point is the image's state.
         image.cpu_control = process.control_state()
         return len(dirty)
@@ -140,6 +145,7 @@ class CriuEngine:
                     image.add_cpu_page(index, data)
                     mem.unprotect(index)
                     result.pages_copied += 1
+                obs.counter("criu/pages-copied").inc(len(batch))
 
         workers = [
             self.engine.spawn(worker(indices[i : i + shard]), name=f"criu-dump{i}")
@@ -227,6 +233,7 @@ class LazyRestoreSession:
             mem.pages[index].load(data)
         mem.mark_present(index)
         self.faults += 1
+        obs.counter("criu/lazy-faults").inc()
         # The faulting access pays the page fetch latency; it is charged
         # to the process's next timed step by the API runtime.
         self.stall_charge += mem.page_size / CPU_COPY_BW

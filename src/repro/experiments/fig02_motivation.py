@@ -34,7 +34,7 @@ def run() -> ExperimentResult:
         ckpt = eng.now - t0
         t1 = eng.now
         target = Machine(eng, name="target", n_gpus=world.spec.n_gpus)
-        new_process = yield from singularity_restore(
+        yield from singularity_restore(
             eng, image, target, list(range(world.spec.n_gpus)),
             phos.medium, phos.criu, tracer=phos.tracer,
         )

@@ -5,12 +5,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro import units
+from repro import obs, units
 from repro.apps.base import provision
 from repro.apps.specs import get_spec
 from repro.cluster import Machine
 from repro.core.daemon import Phos
 from repro.sim import Engine
+
+#: When True (``phos ... --obs``), every :func:`build_world` installs an
+#: observer for its engine and records it in :data:`collected_observers`
+#: so the CLI can print one report per world after the experiment runs.
+OBSERVE = False
+
+#: Observers created by :func:`build_world` while :data:`OBSERVE` was on,
+#: as ``(label, observer)`` pairs in creation order.
+collected_observers: list[tuple[str, "obs.Observer"]] = []
 
 
 @dataclass
@@ -83,12 +92,26 @@ class World:
     process: object
     workload: object
     spec: object
+    #: The observer installed for this world (None unless OBSERVE/observe).
+    observer: object = None
 
 
 def build_world(spec_name: str, use_pool: bool = False,
-                always_instrument: bool = False) -> World:
-    """One machine, one attached application process."""
+                always_instrument: bool = False,
+                observe: Optional[bool] = None) -> World:
+    """One machine, one attached application process.
+
+    ``observe`` switches the observability layer on for this world
+    (default: the module-level :data:`OBSERVE` flag, set by ``--obs``).
+    The observer stays installed — later worlds replace it, which is
+    fine because the simulator runs one world at a time; each world
+    keeps its own handle in ``world.observer``.
+    """
     engine = Engine()
+    observer = None
+    if OBSERVE if observe is None else observe:
+        observer = obs.install(engine)
+        collected_observers.append((spec_name, observer))
     spec = get_spec(spec_name)
     machine = Machine(engine, n_gpus=spec.n_gpus)
     phos = Phos(engine, machine, use_context_pool=use_pool)
@@ -97,7 +120,8 @@ def build_world(spec_name: str, use_pool: bool = False,
     process, workload = provision(engine, machine, spec)
     phos.attach(process, always_instrument=always_instrument)
     return World(engine=engine, machine=machine, phos=phos,
-                 process=process, workload=workload, spec=spec)
+                 process=process, workload=workload, spec=spec,
+                 observer=observer)
 
 
 def run_steps(world: World, n: int, start: Optional[int] = None) -> float:

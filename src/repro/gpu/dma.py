@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-from repro import units
+from repro import obs, units
 from repro.sim.engine import Engine
 from repro.sim.resources import PriorityResource
 
@@ -27,6 +27,11 @@ from repro.sim.resources import PriorityResource
 APP_PRIORITY = 0
 #: Bulk checkpoint/restore traffic: yields to application traffic.
 CHECKPOINT_PRIORITY = 10
+
+
+def priority_class(priority: int) -> str:
+    """Human label for a DMA priority level (for metric labels)."""
+    return "app" if priority == APP_PRIORITY else "bulk"
 
 
 class Direction(enum.Enum):
@@ -62,11 +67,16 @@ class DmaEngineSet:
 
         The checkpoint copier polls this between chunks ("we check
         whether there is ongoing or pending application transfer").
+        Only *application-priority* requests count: a queue full of
+        other checkpoint chunks must not make the copier yield to
+        itself and stall the bulk load forever.
         """
         res = self.pool
-        if res.queue_len > 0:
-            return True
-        return any(req.priority == APP_PRIORITY for req in res._users)
+        return any(
+            req.priority == APP_PRIORITY for req in res.iter_waiting()
+        ) or any(
+            req.priority == APP_PRIORITY for req in res.iter_users()
+        )
 
 
 def transfer(
@@ -87,12 +97,19 @@ def transfer(
     if nbytes <= 0:
         return 0
     res = engines.for_direction(direction)
+    moved_counter = obs.counter(
+        f"dma/{res.name}/bytes",
+        priority=priority,
+        cls=priority_class(priority),
+        direction=direction.value,
+    )
     if chunk_bytes is None:
         req = yield res.acquire(priority=priority)
         try:
             yield engine.timeout(units.transfer_time(nbytes, bandwidth))
         finally:
             res.release(req)
+        moved_counter.inc(nbytes)
         return nbytes
     moved = 0
     while moved < nbytes:
@@ -103,4 +120,5 @@ def transfer(
         finally:
             res.release(req)
         moved += step
+        moved_counter.inc(step)
     return moved

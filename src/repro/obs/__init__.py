@@ -1,0 +1,144 @@
+"""Virtual-clock observability: metrics, phase spans, and reports.
+
+One :class:`Observer` bundles a metric :class:`~repro.obs.metrics.Registry`
+and a :class:`~repro.obs.spans.SpanTracer`, both keyed on a simulation
+engine's clock.  Install one to switch instrumentation on::
+
+    with obs.observed(engine) as observer:
+        ...run a checkpoint...
+    print(export.render(observer))
+
+Instrumented call sites throughout the codebase go through the
+module-level fast paths (:func:`counter`, :func:`gauge`,
+:func:`histogram`, :func:`span`, :func:`record`).  When no observer is
+installed these return shared null objects, so the disabled-mode cost
+is one global read and a no-op call — tier-1 benchmark shapes are
+unchanged.
+
+At most one observer is active at a time (the simulator is
+single-threaded); installing a new one replaces the old, and
+experiment code keeps per-world observers by holding the returned
+handle (see ``experiments/harness.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Optional
+
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    Registry,
+    TimeWeightedHistogram,
+)
+from repro.obs.spans import NULL_SPAN, SpanNode, SpanTracer
+
+__all__ = [
+    "Counter", "Gauge", "TimeWeightedHistogram", "Registry",
+    "SpanNode", "SpanTracer", "Observer",
+    "install", "uninstall", "active", "enabled", "observed",
+    "counter", "gauge", "histogram", "span", "record",
+]
+
+
+class Observer:
+    """Metrics + spans for one engine's virtual timeline."""
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self.metrics = Registry(engine)
+        self.spans = SpanTracer(engine)
+
+    # Convenience delegates -------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, bounds=None, **labels) -> TimeWeightedHistogram:
+        return self.metrics.histogram(name, bounds=bounds, **labels)
+
+    def span(self, name: str, parent: Optional[SpanNode] = None, **attrs):
+        return self.spans.span(name, parent=parent, **attrs)
+
+    def record(self, name: str, start: float, end: Optional[float] = None,
+               parent: Optional[SpanNode] = None, **attrs) -> SpanNode:
+        return self.spans.record(name, start, end=end, parent=parent, **attrs)
+
+
+_current: Optional[Observer] = None
+
+
+def install(observer_or_engine) -> Observer:
+    """Activate an observer (or build one for an engine) globally."""
+    global _current
+    if isinstance(observer_or_engine, Observer):
+        _current = observer_or_engine
+    else:
+        _current = Observer(observer_or_engine)
+    return _current
+
+
+def uninstall() -> Optional[Observer]:
+    """Deactivate the current observer; returns it for inspection."""
+    global _current
+    observer, _current = _current, None
+    return observer
+
+
+def active() -> Optional[Observer]:
+    """The installed observer, or None when observability is off."""
+    return _current
+
+
+def enabled() -> bool:
+    return _current is not None
+
+
+@contextlib.contextmanager
+def observed(engine):
+    """Install a fresh observer for the duration of a block."""
+    global _current
+    previous = _current
+    observer = install(engine)
+    try:
+        yield observer
+    finally:
+        _current = previous
+
+
+# -- module-level fast paths (near-zero cost when disabled) ----------------------
+
+def counter(name: str, **labels):
+    cur = _current
+    return cur.metrics.counter(name, **labels) if cur is not None else NULL_INSTRUMENT
+
+
+def gauge(name: str, **labels):
+    cur = _current
+    return cur.metrics.gauge(name, **labels) if cur is not None else NULL_INSTRUMENT
+
+
+def histogram(name: str, bounds=None, **labels):
+    cur = _current
+    if cur is None:
+        return NULL_INSTRUMENT
+    return cur.metrics.histogram(name, bounds=bounds, **labels)
+
+
+def span(name: str, parent: Optional[SpanNode] = None, **attrs):
+    cur = _current
+    if cur is None:
+        return NULL_SPAN
+    return cur.spans.span(name, parent=parent, **attrs)
+
+
+def record(name: str, start: float, end: Optional[float] = None,
+           parent: Optional[SpanNode] = None, **attrs):
+    cur = _current
+    if cur is None:
+        return None
+    return cur.spans.record(name, start, end=end, parent=parent, **attrs)

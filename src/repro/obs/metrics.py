@@ -1,0 +1,338 @@
+"""Virtual-clock-aware metric instruments.
+
+Three instrument kinds, all keyed on the simulation engine's ``now``:
+
+* :class:`Counter` — a monotonically increasing total (bytes moved,
+  pool hits, validator violations);
+* :class:`Gauge` — a level that moves up and down (DMA engines in use,
+  CoW pool occupancy).  Besides the instantaneous value it integrates
+  ``value * dt`` over virtual time, so ``time_average()`` gives e.g.
+  mean engine occupancy — the utilization number behind Fig. 16(b);
+* :class:`TimeWeightedHistogram` — a distribution where every sample
+  carries a weight.  ``observe(v)`` records a plain sample (weight 1,
+  e.g. a grant-wait latency); ``update(v)`` tracks a *level* and
+  weights each level by how long it was held (e.g. queue depth sampled
+  at acquire/release), which is the only way a distribution over a
+  virtual timeline is meaningful.
+
+Instruments are created and cached by a :class:`Registry` keyed on
+``(name, labels)``.  The module also provides null instruments —
+singletons whose methods do nothing — which the ``repro.obs`` facade
+hands out when no observer is installed, keeping disabled-mode cost to
+one attribute check per call site.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import SimulationError
+
+#: Default histogram bucket bounds: geometric, microseconds to ~17 min.
+#: Suits virtual durations; depth-like instruments pass integer bounds.
+DEFAULT_BOUNDS = tuple(1e-6 * (4.0 ** i) for i in range(16))
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_name(name: str, labels: dict) -> str:
+    """``name{k=v,...}`` — the flat key used in snapshots and reports."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class Instrument:
+    """Common identity of one named, labelled instrument."""
+
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: dict) -> None:
+        self.name = name
+        self.labels = dict(labels)
+
+    @property
+    def full_name(self) -> str:
+        return render_name(self.name, self.labels)
+
+
+class Counter(Instrument):
+    """A monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: dict) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise SimulationError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "labels": self.labels, "value": self.value}
+
+
+class Gauge(Instrument):
+    """A level with a virtual-time-weighted integral.
+
+    ``time_average()`` is the mean level since the gauge was created;
+    ``time_integral()`` is ``∫ value dt`` in value-seconds (for an
+    in-use gauge that is busy-seconds, i.e. occupancy).
+    """
+
+    __slots__ = ("engine", "value", "min_value", "max_value",
+                 "_created_at", "_integral", "_last_update")
+
+    def __init__(self, name: str, labels: dict, engine) -> None:
+        super().__init__(name, labels)
+        self.engine = engine
+        self.value = 0.0
+        self.min_value = 0.0
+        self.max_value = 0.0
+        self._created_at = engine.now
+        self._integral = 0.0
+        self._last_update = engine.now
+
+    def _integrate(self) -> None:
+        now = self.engine.now
+        self._integral += self.value * (now - self._last_update)
+        self._last_update = now
+
+    def set(self, value: float) -> None:
+        self._integrate()
+        self.value = value
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n: float = 1.0) -> None:
+        self.set(self.value - n)
+
+    def time_integral(self) -> float:
+        """``∫ value dt`` from creation until now (value-seconds)."""
+        self._integrate()
+        return self._integral
+
+    def time_average(self) -> float:
+        """Mean value over the gauge's lifetime (0 for a zero window)."""
+        window = self.engine.now - self._created_at
+        if window <= 0:
+            return 0.0
+        return self.time_integral() / window
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name, "labels": self.labels, "value": self.value,
+            "min": self.min_value, "max": self.max_value,
+            "time_integral": self.time_integral(),
+            "time_average": self.time_average(),
+        }
+
+
+class TimeWeightedHistogram(Instrument):
+    """A weighted distribution over bucket bounds.
+
+    ``observe(value, weight)`` adds one sample.  ``update(value)``
+    treats the instrument as a sampled *level*: the previous level is
+    recorded with the virtual time it was held as its weight.  Mixing
+    both on one instrument is allowed but rarely useful.
+    """
+
+    __slots__ = ("engine", "bounds", "bucket_weights", "count",
+                 "total_weight", "weighted_sum", "min_value", "max_value",
+                 "_level", "_level_since")
+
+    def __init__(self, name: str, labels: dict, engine,
+                 bounds: Optional[tuple] = None) -> None:
+        super().__init__(name, labels)
+        self.engine = engine
+        bounds = tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        if list(bounds) != sorted(bounds):
+            raise SimulationError(f"histogram {name!r} bounds must be sorted")
+        self.bounds = bounds
+        #: One weight accumulator per bucket, plus the +inf overflow.
+        self.bucket_weights = [0.0] * (len(bounds) + 1)
+        self.count = 0
+        self.total_weight = 0.0
+        self.weighted_sum = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+        self._level: Optional[float] = None
+        self._level_since = engine.now
+
+    def _bucket_of(self, value: float) -> int:
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        if weight < 0:
+            raise SimulationError(f"histogram {self.name!r}: negative weight")
+        if weight == 0:
+            return
+        self.bucket_weights[self._bucket_of(value)] += weight
+        self.count += 1
+        self.total_weight += weight
+        self.weighted_sum += value * weight
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    def update(self, value: float) -> None:
+        """Record the previous level, weighted by how long it was held."""
+        now = self.engine.now
+        if self._level is not None:
+            self.observe(self._level, now - self._level_since)
+        self._level = value
+        self._level_since = now
+
+    def flush(self) -> None:
+        """Account the current level up to now (used before snapshots)."""
+        if self._level is not None:
+            self.update(self._level)
+
+    def mean(self) -> float:
+        if self.total_weight == 0:
+            return 0.0
+        return self.weighted_sum / self.total_weight
+
+    def quantile(self, q: float) -> float:
+        """Approximate weighted quantile (upper bucket bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise SimulationError(f"quantile {q} outside [0, 1]")
+        if self.total_weight == 0:
+            return 0.0
+        target = q * self.total_weight
+        running = 0.0
+        for i, weight in enumerate(self.bucket_weights):
+            running += weight
+            if running >= target and weight > 0:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max_value
+        return self.max_value
+
+    def snapshot(self) -> dict:
+        self.flush()
+        buckets = [
+            {"le": (self.bounds[i] if i < len(self.bounds) else "inf"),
+             "weight": w}
+            for i, w in enumerate(self.bucket_weights) if w > 0
+        ]
+        return {
+            "name": self.name, "labels": self.labels, "count": self.count,
+            "total_weight": self.total_weight, "mean": self.mean(),
+            "min": (None if self.count == 0 else self.min_value),
+            "max": (None if self.count == 0 else self.max_value),
+            "buckets": buckets,
+        }
+
+
+class Registry:
+    """Creates and caches instruments keyed on ``(name, labels)``.
+
+    The first access under a given key creates the instrument; later
+    accesses must use the same kind (a name cannot be both a counter
+    and a gauge).
+    """
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self._instruments: dict[tuple[str, LabelKey], Instrument] = {}
+
+    def _get(self, cls, name: str, labels: dict, **kwargs):
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, labels, **kwargs)
+            self._instruments[key] = inst
+        elif type(inst) is not cls:
+            raise SimulationError(
+                f"instrument {name!r} is a {type(inst).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels, engine=self.engine)
+
+    def histogram(self, name: str, bounds: Optional[tuple] = None,
+                  **labels) -> TimeWeightedHistogram:
+        return self._get(TimeWeightedHistogram, name, labels,
+                         engine=self.engine, bounds=bounds)
+
+    def get(self, name: str, **labels) -> Optional[Instrument]:
+        """Look up an existing instrument without creating it."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def find(self, prefix: str) -> list[Instrument]:
+        """All instruments whose name starts with ``prefix``."""
+        return [inst for (name, _), inst in sorted(self._instruments.items())
+                if name.startswith(prefix)]
+
+    def __iter__(self):
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict:
+        """JSON-able dump of every instrument, grouped by kind."""
+        out: dict[str, list] = {"counters": [], "gauges": [], "histograms": []}
+        for (name, _), inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                out["counters"].append(inst.snapshot())
+            elif isinstance(inst, Gauge):
+                out["gauges"].append(inst.snapshot())
+            else:
+                out["histograms"].append(inst.snapshot())
+        return out
+
+
+class _NullInstrument:
+    """Accepts every instrument method and does nothing.
+
+    One shared instance stands in for counters, gauges, and histograms
+    when observability is disabled, so instrumented call sites run at
+    the cost of a no-op method call.
+    """
+
+    __slots__ = ()
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    def dec(self, n: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        pass
+
+    def update(self, value: float) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()

@@ -70,6 +70,12 @@ class Process(Event):
         if self.triggered:
             return
         self._waiting_on = None
+        # Expose the stepping process so observers (repro.obs span
+        # tracing) can attribute work to it; restored on exit because
+        # steps nest when an event fires synchronously.
+        engine = self.engine
+        previous = engine._active_process
+        engine._active_process = self
         try:
             if exc is not None:
                 target = self._body.throw(exc)
@@ -81,6 +87,8 @@ class Process(Event):
         except BaseException as err:  # noqa: BLE001 - propagate via the event
             self.fail(err)
             return
+        finally:
+            engine._active_process = previous
         if not isinstance(target, Event):
             self.fail(
                 SimulationError(
@@ -109,6 +117,9 @@ class Engine:
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._running = False
+        #: The Process currently stepping (None between steps).  Used by
+        #: the observability layer to keep one span stack per process.
+        self._active_process: Optional[Process] = None
 
     @property
     def now(self) -> float:

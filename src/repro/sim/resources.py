@@ -6,6 +6,19 @@ to each request — lower numbers acquire first — which is how the
 prioritized application PCIe transfer (§5 of the paper) preempts bulk
 checkpoint traffic at chunk boundaries.  :class:`Store` is an unbounded
 FIFO mailbox used for IPC between the PHOS frontend and daemon.
+
+Cancellation: releasing a request that was never granted withdraws it
+from the wait queue.  The FIFO resource removes it eagerly; the
+priority resource honours a *lazy-deletion* contract instead (the heap
+entry stays behind, marked released, and ``_pop_next`` skips it), so a
+cancel is O(queue) only in the membership check and never disturbs the
+heap invariant.  Either way, releasing a request the resource has
+never seen raises :class:`~repro.errors.SimulationError`.
+
+When a :mod:`repro.obs` observer is installed, every resource reports
+queue depth (time-weighted), per-priority slot occupancy, and
+grant-wait latency — the instruments behind the Fig. 16(b) DMA
+starvation breakdown.
 """
 
 from __future__ import annotations
@@ -13,8 +26,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from typing import Any, Optional
+from typing import Any, Iterator, Optional
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.sim.engine import Engine
 from repro.sim.events import Event
@@ -28,6 +42,8 @@ class Request(Event):
         self.resource = resource
         self.priority = priority
         self.released = False
+        #: When the request was submitted (for grant-wait latency).
+        self.requested_at = resource.engine.now
 
 
 class Resource:
@@ -42,7 +58,8 @@ class Resource:
             resource.release(req)
     """
 
-    def __init__(self, engine: Engine, capacity: int = 1, name: str = "resource") -> None:
+    def __init__(self, engine: Engine, capacity: int = 1,
+                 name: str = "resource") -> None:
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.engine = engine
@@ -50,6 +67,9 @@ class Resource:
         self.name = name
         self._users: list[Request] = []
         self._waiters: deque[Request] = deque()
+        #: Priorities ever granted here (so occupancy gauges report a
+        #: zero when a class drains, not a stale last value).
+        self._prio_seen: set[int] = set()
 
     # -- introspection -------------------------------------------------------
     @property
@@ -67,26 +87,36 @@ class Resource:
         """True when all slots are held."""
         return len(self._users) >= self.capacity
 
+    def iter_users(self) -> Iterator[Request]:
+        """The requests currently holding a slot (snapshot)."""
+        return iter(tuple(self._users))
+
+    def iter_waiting(self) -> Iterator[Request]:
+        """The requests waiting for a slot, in service order (snapshot)."""
+        return iter(tuple(self._waiters))
+
     # -- acquire / release -----------------------------------------------------
     def acquire(self, priority: int = 0) -> Request:
         """Request a slot.  The returned event fires when granted."""
         req = Request(self, priority=priority)
         self._enqueue(req)
         self._grant()
+        self._note()
         return req
 
     def release(self, req: Request) -> None:
-        """Return a previously granted slot to the pool."""
+        """Return a granted slot to the pool, or cancel a waiting request."""
         if req.released:
             raise SimulationError(f"double release on {self.name}")
         if req in self._users:
             self._users.remove(req)
-        elif req in self._waiters:
-            self._waiters.remove(req)  # cancelled before being granted
+        elif self._cancel_waiting(req):
+            pass  # withdrawn before being granted
         else:
             raise SimulationError(f"release of unknown request on {self.name}")
         req.released = True
         self._grant()
+        self._note()
 
     # -- queue policy (overridden by PriorityResource) ---------------------------
     def _enqueue(self, req: Request) -> None:
@@ -95,23 +125,58 @@ class Resource:
     def _pop_next(self) -> Optional[Request]:
         return self._waiters.popleft() if self._waiters else None
 
+    def _cancel_waiting(self, req: Request) -> bool:
+        """Withdraw a not-yet-granted request; False when unknown."""
+        if req in self._waiters:
+            self._waiters.remove(req)
+            return True
+        return False
+
     def _grant(self) -> None:
         while len(self._users) < self.capacity:
             req = self._pop_next()
             if req is None:
                 return
             self._users.append(req)
+            ob = obs.active()
+            if ob is not None:
+                ob.metrics.histogram(
+                    f"resource/{self.name}/grant-wait", priority=req.priority
+                ).observe(self.engine.now - req.requested_at)
             req.succeed(req)
+
+    # -- observability -----------------------------------------------------------
+    def _note(self) -> None:
+        """Sample occupancy and queueing (no-op without an observer)."""
+        ob = obs.active()
+        if ob is None:
+            return
+        metrics = ob.metrics
+        metrics.gauge(f"resource/{self.name}/capacity").set(self.capacity)
+        metrics.gauge(f"resource/{self.name}/in-use").set(self.in_use)
+        metrics.histogram(f"resource/{self.name}/queue-depth").update(
+            self.queue_len
+        )
+        counts: dict[int, int] = {}
+        for req in self._users:
+            counts[req.priority] = counts.get(req.priority, 0) + 1
+        self._prio_seen.update(counts)
+        for priority in self._prio_seen:
+            metrics.gauge(
+                f"resource/{self.name}/in-use", priority=priority
+            ).set(counts.get(priority, 0))
 
 
 class PriorityResource(Resource):
     """A resource whose waiters are served lowest-priority-number first.
 
     Ties are broken FIFO, so equal-priority traffic behaves exactly like
-    the base :class:`Resource`.
+    the base :class:`Resource`.  Cancelled waiters are lazily deleted:
+    they stay in the heap, marked released, and are skipped on pop.
     """
 
-    def __init__(self, engine: Engine, capacity: int = 1, name: str = "presource") -> None:
+    def __init__(self, engine: Engine, capacity: int = 1,
+                 name: str = "presource") -> None:
         super().__init__(engine, capacity=capacity, name=name)
         self._heap: list[tuple[int, int, Request]] = []
         self._counter = itertools.count()
@@ -126,20 +191,20 @@ class PriorityResource(Resource):
                 return req
         return None
 
+    def _cancel_waiting(self, req: Request) -> bool:
+        # Lazy deletion: the caller marks ``req.released``; the entry
+        # stays in the heap and ``_pop_next`` skips it.
+        return any(entry[2] is req for entry in self._heap)
+
     @property
     def queue_len(self) -> int:
         return sum(1 for _, _, req in self._heap if not req.released)
 
-    def release(self, req: Request) -> None:
-        if req.released:
-            raise SimulationError(f"double release on {self.name}")
-        if req in self._users:
-            self._users.remove(req)
-            req.released = True
-        else:
-            # Cancelled while waiting: mark released; _pop_next skips it.
-            req.released = True
-        self._grant()
+    def iter_waiting(self) -> Iterator[Request]:
+        return iter(tuple(
+            req for _, _, req in sorted(self._heap, key=lambda e: e[:2])
+            if not req.released
+        ))
 
 
 class Store:

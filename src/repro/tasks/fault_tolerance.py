@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import units
+from repro import obs, units
 from repro.apps.base import provision
 from repro.apps.specs import get_spec
 from repro.baselines.cuda_checkpoint import (
@@ -102,6 +102,9 @@ def measure_checkpoint_overhead(system: str, spec_name: str,
             image, session = result
             if session.aborted:
                 raise CheckpointError("unexpected CoW abort in experiment")
+        obs.record("task/checkpoint-stall", t1,
+                   end=t1 + max(0.0, elapsed - baseline),
+                   system=system, app=spec_name)
         return baseline / span_iters, elapsed - baseline
 
     iter_time, stall = eng.run_process(driver(eng))
@@ -146,6 +149,7 @@ def measure_restore_time(system: str, spec_name: str,
                 phos_dst.medium, phos_dst.criu)
         workload.bind_restored(new_process)
         yield from workload.run(1)
+        obs.record("task/restore-time", t0, system=system, app=spec_name)
         return eng.now - t0
 
     restore_time = eng.run_process(driver(eng))

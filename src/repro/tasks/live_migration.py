@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import units
+from repro import obs, units
 from repro.apps.base import provision
 from repro.apps.specs import get_spec
 from repro.baselines.cuda_checkpoint import (
@@ -129,6 +129,10 @@ def migrate(system: str, spec_name: str, warm_steps: int = 2,
         # Downtime ends when the process can execute again; the step
         # after merely validates that it actually does.
         resumed = eng.now
+        obs.record("task/migrate-downtime", stop_time, end=resumed,
+                   system=system, app=spec_name)
+        obs.record("task/migrate-total", t_start, end=resumed,
+                   system=system, app=spec_name)
         yield from workload.run(1)
         return resumed - stop_time, resumed - t_start
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.apps.base import provision
 from repro.apps.specs import get_spec
 from repro.baselines.cuda_checkpoint import cuda_checkpoint_restore
@@ -91,6 +92,10 @@ def cold_start(system: str, spec_name: str, n_requests: int = 8,
         workload.bind_restored(new_process)
         yield from workload.run(n_requests)
         t_end = eng.now
+        obs.record("task/cold-start", t0, end=t_end,
+                   system=system, app=spec_name)
+        obs.record("task/cold-start-exec", t_exec, end=t_end,
+                   system=system, app=spec_name)
         return t_end - t0, t_end - t_exec
 
     end_to_end, exec_time = eng.run_process(driver(eng))

@@ -4,7 +4,7 @@ import pytest
 
 from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
-from repro.gpu.context import ContextRequirements, GpuContext
+from repro.gpu.context import GpuContext
 from repro.sim import Engine
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.api.calls import ApiCall, ApiCategory, LaunchPlan
+from repro.api.calls import ApiCategory, LaunchPlan
 from repro.api.runtime import API_CALL_OVERHEAD, GpuProcess, mix_into
 from repro.errors import GpuError, InvalidValueError
 from repro.gpu.context import GpuContext

@@ -10,7 +10,6 @@ from repro.core.session import BufState, CheckpointSession
 from repro.errors import CheckpointError
 from repro.gpu.context import GpuContext
 from repro.gpu.program import build_fill
-from repro.sim import Engine
 from repro.storage.image import CheckpointImage
 
 

@@ -9,7 +9,7 @@ from repro.cluster import Machine
 from repro.core.daemon import Phos
 from repro.core.report import checkpoint_report, restore_report
 from repro.gpu.context import GpuContext
-from repro.sim import Engine, Tracer
+from repro.sim import Tracer
 
 from tests.toyapp import ToyApp
 

@@ -124,7 +124,7 @@ def test_recopy_dirty_overwrites_image(eng, medium):
     image = CheckpointImage()
 
     def flow(eng):
-        result = yield from criu.dump_tracked(proc, image, medium)
+        yield from criu.dump_tracked(proc, image, medium)
         proc.memory.write(2, page_bytes(100))
         dirty = proc.memory.dirty_pages()
         yield from criu.recopy_dirty(proc, image, medium, dirty)
@@ -162,9 +162,7 @@ def test_restore_requires_finalized_image(eng, medium):
         eng.run_process(flow(eng))
 
 
-def test_restore_takes_time_proportional_to_pages(eng, medium):
-    criu = CriuEngine(eng)
-
+def test_restore_takes_time_proportional_to_pages():
     def timed_restore(n_pages):
         local_eng = Engine()
         local_medium = DramMedia(local_eng)

@@ -1,10 +1,7 @@
 """Unit tests for the experiment harness and fast experiment sanity."""
 
-import pytest
-
 from repro.experiments.harness import (
     ExperimentResult,
-    World,
     build_world,
     format_table,
     run_steps,

@@ -1,14 +1,11 @@
 """Failure injection: kernel faults and engine errors during C/R."""
 
-import pytest
-
 from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
 from repro.core.daemon import Phos
 from repro.core.quiesce import quiesce
 from repro.errors import KernelFault
 from repro.gpu.context import GpuContext
-from repro.gpu.cost_model import KernelCost
 from repro.gpu.isa import ProgramBuilder
 from repro.sim import Engine
 from repro.units import MIB

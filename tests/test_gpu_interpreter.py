@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import KernelFault
-from repro.gpu.interpreter import AccessKind, ValidationState, run_kernel
+from repro.gpu.interpreter import AccessKind, run_kernel
 from repro.gpu.isa import ProgramBuilder
 from repro.gpu.memory import DeviceMemory
 from repro.gpu.program import (
@@ -19,7 +19,6 @@ from repro.gpu.program import (
     build_scale,
     build_scatter,
 )
-from repro.gpu.ranges import RangeSet
 from repro.units import MIB
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import InvalidAddressError, InvalidValueError, OutOfMemoryError
-from repro.gpu.memory import Buffer, DeviceMemory
+from repro.gpu.memory import DeviceMemory
 from repro.units import GIB, MIB
 
 

@@ -244,6 +244,75 @@ def test_chunked_bulk_lets_app_preempt(eng, gpu):
     assert done["bulk"] == pytest.approx(11.0, abs=0.05)
 
 
+def test_app_transfer_pending_ignores_checkpoint_traffic(eng, gpu):
+    """Regression: a queued checkpoint-priority transfer used to flip
+    app_transfer_pending to True (it checked queue_len unfiltered), so
+    the prioritized copier yielded the engine to its own queued chunks."""
+    snapshots = []
+
+    def holder(eng):
+        req = yield gpu.dma.d2h.acquire(priority=CHECKPOINT_PRIORITY)
+        yield eng.timeout(2.0)
+        gpu.dma.d2h.release(req)
+
+    def queued_bulk(eng):
+        yield eng.timeout(0.5)
+        yield from transfer(
+            eng, gpu.dma, Direction.D2H, units.GB, bandwidth=units.GB,
+            priority=CHECKPOINT_PRIORITY,
+        )
+
+    def observer(eng):
+        yield eng.timeout(1.0)  # bulk transfer now queued behind holder
+        snapshots.append(gpu.dma.app_transfer_pending(Direction.D2H))
+
+    eng.spawn(holder(eng))
+    eng.spawn(queued_bulk(eng))
+    eng.spawn(observer(eng))
+    eng.run()
+    assert snapshots == [False]
+
+
+def test_app_transfer_pending_sees_running_app_transfer(eng, gpu):
+    """An *ongoing* app transfer counts too ("ongoing or pending")."""
+    snapshots = []
+
+    def app(eng):
+        yield from transfer(
+            eng, gpu.dma, Direction.D2H, units.GB, bandwidth=units.GB,
+            priority=APP_PRIORITY,
+        )
+
+    def observer(eng):
+        yield eng.timeout(0.5)  # mid-transfer: app holds the engine
+        snapshots.append(gpu.dma.app_transfer_pending(Direction.D2H))
+
+    eng.spawn(app(eng))
+    eng.spawn(observer(eng))
+    eng.run()
+    assert snapshots == [True]
+
+
+def test_transfer_reports_bytes_when_observed(eng, gpu):
+    """With an observer installed, transfers count bytes per priority."""
+    from repro import obs
+
+    with obs.observed(eng) as observer:
+        def proc(eng):
+            yield from transfer(
+                eng, gpu.dma, Direction.D2H, 8 * units.MB,
+                bandwidth=units.GB, priority=CHECKPOINT_PRIORITY,
+                chunk_bytes=4 * units.MB,
+            )
+
+        eng.run_process(proc(eng))
+        counter = observer.metrics.get(
+            f"dma/{gpu.dma.pool.name}/bytes",
+            priority=CHECKPOINT_PRIORITY, cls="bulk", direction="d2h",
+        )
+        assert counter is not None and counter.value == 8 * units.MB
+
+
 def test_app_transfer_pending_reflects_queue(eng, gpu):
     snapshots = []
 

@@ -1,7 +1,5 @@
 """Multi-GPU concurrent restore: correctness across devices."""
 
-import pytest
-
 from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
 from repro.core.daemon import Phos
@@ -9,7 +7,7 @@ from repro.gpu.context import GpuContext
 from repro.sim import Engine
 from repro.units import MIB
 
-from tests.toyapp import ToyApp, image_gpu_state
+from tests.toyapp import ToyApp
 
 
 def make_world(n_gpus=2):

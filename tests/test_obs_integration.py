@@ -1,0 +1,126 @@
+"""End-to-end observability: a CoW checkpoint under a live workload.
+
+The acceptance bar for the obs layer is attribution, not just plumbing:
+the per-GPU stall components it reports (quiesce gate + CoW guard +
+app-priority DMA wait + validator twin overhead) must sum to the stall
+actually measured from step times, within 1%.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import export
+from repro.experiments.harness import build_world, setup_app
+from repro.tasks.fault_tolerance import EXPERIMENT_CHUNK
+
+APP = "resnet152-train"  # single GPU: every stall is on one issue chain
+STEPS = 3
+
+
+@pytest.fixture(autouse=True)
+def _no_observer_leak():
+    yield
+    obs.uninstall()
+
+
+@pytest.fixture(scope="module")
+def cow_run():
+    """One observed CoW checkpoint run; (world, base, stall)."""
+    world = build_world(APP, observe=True)
+    eng, phos = world.engine, world.phos
+    setup_app(world, warm=2)
+
+    def driver(eng):
+        t0 = eng.now
+        yield from world.workload.run(STEPS)
+        base = (eng.now - t0) / STEPS
+        handle = phos.checkpoint(world.process, mode="cow",
+                                 chunk_bytes=EXPERIMENT_CHUNK)
+        t1 = eng.now
+        yield from world.workload.run(STEPS)
+        stall = (eng.now - t1) - STEPS * base
+        yield handle
+        return base, max(0.0, stall)
+
+    base, stall = eng.run_process(driver(eng))
+    eng.run()
+    obs.uninstall()
+    return world, base, stall
+
+
+def test_stall_components_sum_to_measured_stall(cow_run):
+    world, _, stall = cow_run
+    assert stall > 0
+    components = export.app_stall_components(world.observer, 0)
+    attributed = sum(components.values())
+    assert attributed == pytest.approx(stall, rel=0.01)
+    # The dominant §8.2 cost — the validator twin — must be attributed.
+    assert components["twin"] > 0
+    # The guard stalled at least one launch for a shadow copy.
+    assert components["guard"] > 0
+
+
+def test_stall_breakdown_report(cow_run):
+    world, _, stall = cow_run
+    report = export.stall_breakdown(world.observer, [0],
+                                    measured_stall=stall)
+    rows = {row["component"]: row for row in report.rows}
+    assert set(rows) >= {"gate", "guard", "dma-wait", "twin",
+                         "attributed", "measured"}
+    assert rows["attributed"]["seconds"] == pytest.approx(stall, rel=0.01)
+    assert "residual" in report.notes
+    assert "gpu0" in report.title
+
+
+def test_span_tree_has_checkpoint_phases(cow_run):
+    world, _, _ = cow_run
+    spans = world.observer.spans
+    (cow,) = spans.find("checkpoint/cow")
+    child_names = {c.name for c in cow.children}
+    assert "quiesce" in child_names
+    assert spans.total("quiesce") > 0
+    # Copy activity happened on the GPU side during the session.
+    assert spans.find("gpu-copy")
+
+
+def test_dma_gauges_show_both_priorities(cow_run):
+    """§5: both app (0) and bulk (10) traffic held engines — the
+    per-priority occupancy gauges are the preemption evidence."""
+    world, _, _ = cow_run
+    metrics = world.observer.metrics
+    for priority in (0, 10):
+        gauge = metrics.get("resource/gpu0-dma/in-use", priority=priority)
+        assert gauge is not None, f"no in-use gauge for priority {priority}"
+        assert gauge.time_integral() > 0
+    moved = metrics.get("dma/gpu0-dma/bytes", priority=10, cls="bulk",
+                        direction="d2h")
+    assert moved is not None and moved.value > 0
+
+
+def test_dma_report_lists_app_and_bulk_rows(cow_run):
+    world, _, _ = cow_run
+    report = export.dma_report(world.observer)
+    priorities = {row["priority"] for row in report.rows
+                  if row["engine"] == "gpu0-dma"}
+    assert {0, 10} <= {int(p) for p in priorities}
+
+
+def test_snapshot_json_round_trip(cow_run):
+    world, _, _ = cow_run
+    text = export.to_json(world.observer)
+    data = json.loads(text)
+    assert data["virtual_time"] == world.engine.now
+    names = {c["name"] for c in data["metrics"]["counters"]}
+    assert "validator/overhead-seconds" in names
+    root_names = {s["name"] for s in data["spans"]}
+    assert "checkpoint/cow" in root_names
+
+
+def test_render_produces_full_report(cow_run):
+    world, _, _ = cow_run
+    text = export.render(world.observer, label=APP)
+    assert "span tree" in text
+    assert "checkpoint/cow" in text
+    assert "DMA engine arbitration" in text

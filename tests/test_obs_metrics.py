@@ -1,0 +1,188 @@
+"""Unit tests for the observability metric instruments."""
+
+import pytest
+
+from repro import obs
+from repro.errors import SimulationError
+from repro.obs.metrics import NULL_INSTRUMENT, Registry
+from repro.sim import Engine
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+@pytest.fixture(autouse=True)
+def _no_observer_leak():
+    yield
+    obs.uninstall()
+
+
+def advance(eng, dt):
+    """Move the virtual clock forward by dt."""
+    def proc(eng):
+        yield eng.timeout(dt)
+
+    eng.run_process(proc(eng))
+
+
+# --- counters -----------------------------------------------------------------
+
+
+def test_counter_accumulates(eng):
+    reg = Registry(eng)
+    c = reg.counter("bytes", direction="d2h")
+    c.inc(100)
+    c.inc(50)
+    assert c.value == 150
+    assert c.full_name == "bytes{direction=d2h}"
+
+
+def test_counter_rejects_decrease(eng):
+    c = Registry(eng).counter("bytes")
+    with pytest.raises(SimulationError):
+        c.inc(-1)
+
+
+# --- gauges -------------------------------------------------------------------
+
+
+def test_gauge_time_integral_and_average(eng):
+    reg = Registry(eng)
+    g = reg.gauge("in-use")
+    g.set(2)          # level 2 from t=0
+    advance(eng, 3.0)
+    g.set(1)          # level 1 from t=3
+    advance(eng, 1.0)
+    g.set(0)          # level 0 from t=4
+    advance(eng, 1.0)
+    # integral = 2*3 + 1*1 + 0*1 = 7 value-seconds over a 5 s window
+    assert g.time_integral() == pytest.approx(7.0)
+    assert g.time_average() == pytest.approx(7.0 / 5.0)
+    assert (g.min_value, g.max_value) == (0, 2)
+
+
+def test_gauge_inc_dec(eng):
+    g = Registry(eng).gauge("pool")
+    g.inc(4)
+    g.dec(1)
+    assert g.value == 3
+
+
+# --- histograms ---------------------------------------------------------------
+
+
+def test_histogram_observe_math(eng):
+    h = Registry(eng).histogram("wait", bounds=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 3.0, 3.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.total_weight == 4
+    assert h.mean() == pytest.approx((0.5 + 1.5 + 3.0 + 3.0) / 4)
+    assert (h.min_value, h.max_value) == (0.5, 3.0)
+    snap = h.snapshot()
+    weights = {b["le"]: b["weight"] for b in snap["buckets"]}
+    assert weights == {1.0: 1.0, 2.0: 1.0, 4.0: 2.0}
+
+
+def test_histogram_update_weights_by_hold_time(eng):
+    """update() tracks a level; each level is weighted by how long it
+    was held on the virtual clock (queue depth semantics)."""
+    h = Registry(eng).histogram("depth", bounds=(0, 1, 2, 4))
+    h.update(0)       # depth 0 from t=0
+    advance(eng, 1.0)
+    h.update(2)       # depth 2 from t=1
+    advance(eng, 3.0)
+    h.update(0)       # depth 0 from t=4
+    advance(eng, 1.0)
+    h.flush()
+    # weights: level 0 held 1 s, level 2 held 3 s, level 0 held 1 s
+    assert h.total_weight == pytest.approx(5.0)
+    assert h.mean() == pytest.approx((0 * 2 + 2 * 3) / 5.0)
+
+
+def test_histogram_quantile(eng):
+    h = Registry(eng).histogram("wait", bounds=(1.0, 2.0, 4.0))
+    for v in (0.5, 0.5, 0.5, 3.0):
+        h.observe(v)
+    assert h.quantile(0.5) == 1.0   # upper bound of the median's bucket
+    assert h.quantile(1.0) == 4.0   # upper bound of the last hit bucket
+    with pytest.raises(SimulationError):
+        h.quantile(1.5)
+
+
+def test_histogram_rejects_unsorted_bounds_and_negative_weight(eng):
+    reg = Registry(eng)
+    with pytest.raises(SimulationError):
+        reg.histogram("bad", bounds=(2.0, 1.0))
+    h = reg.histogram("wait")
+    with pytest.raises(SimulationError):
+        h.observe(1.0, weight=-1.0)
+
+
+# --- registry -----------------------------------------------------------------
+
+
+def test_registry_caches_by_name_and_labels(eng):
+    reg = Registry(eng)
+    assert reg.counter("x", a=1) is reg.counter("x", a=1)
+    assert reg.counter("x", a=1) is not reg.counter("x", a=2)
+    assert len(reg) == 2
+
+
+def test_registry_label_values_compare_as_strings(eng):
+    """Lookups stringify label values, so get(priority=10) finds an
+    instrument created with priority="10" and vice versa."""
+    reg = Registry(eng)
+    c = reg.counter("dma", priority=10)
+    assert reg.get("dma", priority="10") is c
+
+
+def test_registry_rejects_kind_mismatch(eng):
+    reg = Registry(eng)
+    reg.counter("x")
+    with pytest.raises(SimulationError):
+        reg.gauge("x")
+
+
+def test_registry_find_by_prefix(eng):
+    reg = Registry(eng)
+    reg.counter("resource/a/grant")
+    reg.counter("resource/b/grant")
+    reg.counter("dma/a/bytes")
+    assert len(reg.find("resource/")) == 2
+
+
+# --- facade / disabled mode ---------------------------------------------------
+
+
+def test_disabled_facade_returns_null_objects(eng):
+    assert not obs.enabled()
+    assert obs.counter("x") is NULL_INSTRUMENT
+    assert obs.gauge("x") is NULL_INSTRUMENT
+    assert obs.histogram("x") is NULL_INSTRUMENT
+    assert obs.record("x", 0.0) is None
+    # Null instruments absorb every instrument method silently.
+    obs.counter("x").inc(5)
+    obs.gauge("x").set(1)
+    obs.histogram("x").observe(2.0)
+    with obs.span("x") as sp:
+        sp.attrs["k"] = "v"
+
+
+def test_installed_facade_routes_to_observer(eng):
+    with obs.observed(eng) as observer:
+        obs.counter("hits").inc()
+        obs.gauge("level").set(3)
+        assert observer.metrics.get("hits").value == 1
+        assert observer.metrics.get("level").value == 3
+    assert not obs.enabled()
+
+
+def test_observed_restores_previous_observer(eng):
+    outer = obs.install(eng)
+    with obs.observed(Engine()) as inner:
+        assert obs.active() is inner
+    assert obs.active() is outer
+    obs.uninstall()

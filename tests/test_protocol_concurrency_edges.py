@@ -1,7 +1,5 @@
 """Concurrency edge cases: collectives and multi-stream races under CoW."""
 
-import pytest
-
 from repro.api.nccl import NcclCommunicator, nccl_allreduce, nccl_broadcast
 from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
@@ -87,7 +85,7 @@ def test_two_streams_racing_on_one_buffer_under_cow():
     def driver(eng):
         # pad is allocated (and therefore copied) first; the kernels hit
         # `victim` while it is still NOT_STARTED.
-        pad = yield from rt.malloc(0, 512 * MIB, tag="pad")
+        yield from rt.malloc(0, 512 * MIB, tag="pad")
         victim = yield from rt.malloc(0, 256 * MIB, tag="victim")
         yield from rt.memcpy_h2d(0, victim, payload=5, sync=True)
         yield from quiesce(eng, [process])

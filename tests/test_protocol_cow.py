@@ -5,13 +5,10 @@ byte-identical to the process state at the quiesce point t1, no matter
 what the concurrently-running application does during the copy phase.
 """
 
-import pytest
-
 from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
 from repro.core.daemon import Phos
 from repro.core.quiesce import quiesce, resume
-from repro.core.session import BufState
 from repro.gpu.context import GpuContext
 from repro.gpu.cost_model import KernelCost
 from repro.gpu.program import build_global_writer

@@ -1,7 +1,5 @@
 """Integration tests: the hypothetical hardware-dirty-bit recopy (§9)."""
 
-import pytest
-
 from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
 from repro.core.protocols.hw_dirty import checkpoint_recopy_hw

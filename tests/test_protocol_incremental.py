@@ -1,7 +1,5 @@
 """Integration tests: incremental CoW checkpoints (parent images)."""
 
-import pytest
-
 from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
 from repro.core.daemon import Phos

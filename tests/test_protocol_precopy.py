@@ -1,7 +1,5 @@
 """Integration tests: the iterative pre-copy extension of soft recopy."""
 
-import pytest
-
 from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
 from repro.core.daemon import Phos

@@ -5,8 +5,6 @@ process state at t2 — the moment the final recopy completes, while the
 process is quiesced.
 """
 
-import pytest
-
 from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
 from repro.core.daemon import Phos

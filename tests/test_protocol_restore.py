@@ -18,7 +18,7 @@ from repro.gpu.program import build_global_reader
 from repro.sim import Engine
 from repro.units import MIB
 
-from tests.toyapp import ToyApp, snapshot_process
+from tests.toyapp import ToyApp
 
 
 WARM_ITERS = 3
@@ -215,7 +215,7 @@ def test_restore_with_pool_skips_context_creation_barrier():
 
         def driver(eng):
             t0 = eng.now
-            result = yield from phos2.restore(
+            yield from phos2.restore(
                 image, gpu_indices=[0], concurrent=True, machine=machine2,
                 use_pool=use_pool,
             )

@@ -127,6 +127,127 @@ def test_priority_ties_are_fifo(eng):
     assert started == ["first", "second", "third"]
 
 
+# --- release / cancellation contract (regression tests) ----------------------
+
+
+def test_priority_release_of_foreign_request_raises(eng):
+    """Regression: PriorityResource.release silently accepted requests
+    it had never seen, so a cross-resource release bug went unnoticed
+    (and re-ran the grant loop on the wrong pool)."""
+    res_a = PriorityResource(eng, capacity=1, name="a")
+    res_b = PriorityResource(eng, capacity=1, name="b")
+
+    def proc(eng):
+        req = yield res_a.acquire()
+        res_b.release(req)
+
+    with pytest.raises(SimulationError, match="unknown request"):
+        eng.run_process(proc(eng))
+
+
+def test_fifo_release_of_foreign_request_raises(eng):
+    res_a = Resource(eng, capacity=1, name="a")
+    res_b = Resource(eng, capacity=1, name="b")
+
+    def proc(eng):
+        req = yield res_a.acquire()
+        res_b.release(req)
+
+    with pytest.raises(SimulationError, match="unknown request"):
+        eng.run_process(proc(eng))
+
+
+def test_cancel_waiting_request_withdraws_it(eng):
+    """Releasing a not-yet-granted request cancels it: the slot later
+    goes to the next live waiter, never to the cancelled one."""
+    res = PriorityResource(eng, capacity=1)
+    order = []
+
+    def holder(eng):
+        req = yield res.acquire()
+        yield eng.timeout(2.0)
+        res.release(req)
+
+    def canceller(eng):
+        req = res.acquire(priority=0)  # front of the queue
+        yield eng.timeout(1.0)
+        res.release(req)  # withdraw before being granted
+
+    def waiter(eng):
+        req = yield res.acquire(priority=10)
+        order.append(eng.now)
+        res.release(req)
+
+    eng.spawn(holder(eng))
+    eng.spawn(canceller(eng))
+    eng.spawn(waiter(eng))
+    eng.run()
+    # Were the cancelled request granted, the slot would leak and the
+    # low-priority waiter would never start.
+    assert order == [2.0]
+
+
+def test_cancelled_waiter_double_release_raises(eng):
+    res = PriorityResource(eng, capacity=1)
+
+    def proc(eng):
+        held = yield res.acquire()
+        waiting = res.acquire(priority=5)
+        res.release(waiting)
+        res.release(waiting)
+        res.release(held)  # unreached
+
+    with pytest.raises(SimulationError, match="double release"):
+        eng.run_process(proc(eng))
+
+
+def test_priority_queue_len_skips_cancelled_entries(eng):
+    """Lazy deletion keeps cancelled entries in the heap; queue_len and
+    iter_waiting must not count them."""
+    res = PriorityResource(eng, capacity=1)
+
+    def proc(eng):
+        held = yield res.acquire()
+        w1 = res.acquire(priority=5)
+        w2 = res.acquire(priority=5)
+        assert res.queue_len == 2
+        res.release(w1)
+        assert res.queue_len == 1
+        assert list(res.iter_waiting()) == [w2]
+        res.release(held)
+        res.release(w2)  # granted synchronously when held was released
+        assert res.queue_len == 0 and res.in_use == 0
+        yield eng.timeout(0.0)
+
+    eng.run_process(proc(eng))
+
+
+def test_iter_users_and_iter_waiting_snapshots(eng):
+    res = Resource(eng, capacity=1)
+    seen = []
+
+    def holder(eng):
+        req = yield res.acquire()
+        yield eng.timeout(1.0)
+        res.release(req)
+
+    def waiter(eng):
+        req = yield res.acquire()
+        res.release(req)
+
+    def observer(eng):
+        yield eng.timeout(0.5)
+        seen.append((list(res.iter_users()), list(res.iter_waiting())))
+
+    eng.spawn(holder(eng))
+    eng.spawn(waiter(eng))
+    eng.spawn(observer(eng))
+    eng.run()
+    (users, waiting), = seen
+    assert len(users) == 1 and len(waiting) == 1
+    assert users[0].resource is res and waiting[0].resource is res
+
+
 def test_store_put_then_get(eng):
     store = Store(eng)
     store.put("x")

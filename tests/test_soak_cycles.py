@@ -1,7 +1,5 @@
 """Soak tests: repeated C/R cycles and checkpoint-during-restore."""
 
-import pytest
-
 from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
 from repro.core.daemon import Phos
@@ -86,7 +84,6 @@ def test_restore_chain_three_generations():
         yield from app.setup()
         yield from app.run(2)
         image, _ = yield phos.checkpoint(process, mode="cow")
-        current_phos = phos
         for gen in range(2):
             m = Machine(eng, name=f"gen{gen}", n_gpus=1)
             p = Phos(eng, m, use_context_pool=False)
@@ -97,7 +94,6 @@ def test_restore_chain_three_generations():
             yield from app.run(2, start=2 + 2 * gen)
             image, s = yield p.checkpoint(proc, mode="cow")
             assert not s.aborted
-            current_phos = p
         return image
 
     image = eng.run_process(driver(eng))

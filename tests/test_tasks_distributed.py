@@ -66,7 +66,6 @@ def test_checkpoint_images_match_replica_states_at_cut():
 
     images = eng.run_process(driver(eng))
     eng.run()
-    from tests.toyapp import image_gpu_state
 
     for image, state in zip(images, job.replica_states()):
         by_tag = {}
