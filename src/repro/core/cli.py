@@ -51,7 +51,28 @@ def main(argv: list[str] | None = None) -> int:
     if args.command is None:
         parser.print_help()
         return 1
-    return args.func(args)
+    profile = getattr(args, "profile", None)
+    if profile is None:
+        return args.func(args)
+    from repro.experiments.harness import maybe_profile
+
+    path = profile or _default_profile_path(args)
+    with maybe_profile(path):
+        rc = args.func(args)
+    print(f"(cProfile stats written to {path})")
+    return rc
+
+
+def _default_profile_path(args) -> str:
+    """Where ``--profile`` without a filename writes its stats.
+
+    Lands next to the ``--obs-json`` output when one was requested, so
+    the wall-clock breakdown sits beside the virtual-time snapshot.
+    """
+    obs_json = getattr(args, "obs_json", None)
+    if obs_json:
+        return f"{obs_json}.prof.txt"
+    return "phos-profile.txt"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the observability report (phases, DMA, counters)")
     p.add_argument("--obs-json", metavar="FILE",
                    help="also dump the observability snapshot as JSON")
+    p.add_argument("--profile", nargs="?", const="", metavar="FILE",
+                   help="profile the run with cProfile; stats go to FILE "
+                        "(default: next to --obs-json output)")
     p.set_defaults(func=cmd_checkpoint)
 
     p = sub.add_parser("restore", help="checkpoint then cold-restore an app")
@@ -86,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the observability report (phases, DMA, counters)")
     p.add_argument("--obs-json", metavar="FILE",
                    help="also dump the observability snapshot as JSON")
+    p.add_argument("--profile", nargs="?", const="", metavar="FILE",
+                   help="profile the run with cProfile; stats go to FILE "
+                        "(default: next to --obs-json output)")
     p.set_defaults(func=cmd_restore)
 
     p = sub.add_parser("migrate", help="live-migrate an app between machines")
@@ -95,12 +122,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_migrate)
 
     p = sub.add_parser("study", help="run the §8.5 speculation study (Table 3)")
+    p.add_argument("--profile", nargs="?", const="", metavar="FILE",
+                   help="profile the run with cProfile; stats go to FILE "
+                        "(default: next to --obs-json output)")
     p.set_defaults(func=cmd_study)
 
     p = sub.add_parser("bench", help="regenerate one paper figure/table")
     p.add_argument("--exp", required=True, choices=sorted(_EXPERIMENTS))
     p.add_argument("--obs", action="store_true",
                    help="print one observability report per simulated world")
+    p.add_argument("--profile", nargs="?", const="", metavar="FILE",
+                   help="profile the run with cProfile; stats go to FILE "
+                        "(default: next to --obs-json output)")
     p.set_defaults(func=cmd_bench)
     return parser
 

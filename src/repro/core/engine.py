@@ -167,7 +167,10 @@ def _move_buffer(engine: Engine, gpu: Gpu, medium: Medium, nbytes: int,
 
     Each step holds the GPU's (priority-arbitrated) DMA engine while
     the bytes flow through the medium's shared link, capped at the
-    PCIe bandwidth.  Chunked mode re-arbitrates every 4 MB.  With
+    PCIe bandwidth.  Chunked mode is preemptible every 4 MB: the
+    engine is actually released at a boundary only when a waiter is
+    queued (an empty-queue release/re-acquire cycle is a virtual-time
+    no-op, so it is skipped — see ``dma/.../chunks-coalesced``).  With
     ``held`` set the caller already owns an engine (the unoptimized
     monolithic bulk load) and no per-step arbitration happens.
     """
@@ -178,19 +181,33 @@ def _move_buffer(engine: Engine, gpu: Gpu, medium: Medium, nbytes: int,
         f"dma/{dma.name}/bytes", priority=CHECKPOINT_PRIORITY, cls="bulk",
         direction=direction.value,
     )
+    coalesced_counter = obs.counter(
+        f"dma/{dma.name}/chunks-coalesced", priority=CHECKPOINT_PRIORITY,
+        cls="bulk", direction=direction.value,
+    )
     moved = 0
-    while moved < nbytes:
-        this = min(step, nbytes - moved)
-        if held is None:
-            req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
-            try:
-                yield from link.flow(this, rate_cap=bandwidth)
-            finally:
-                dma.release(req)
-        else:
+    req = None
+    try:
+        while moved < nbytes:
+            this = min(step, nbytes - moved)
+            if held is None and req is None:
+                req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
             yield from link.flow(this, rate_cap=bandwidth)
-        moved += this
-        moved_counter.inc(this)
+            moved += this
+            moved_counter.inc(this)
+            if req is not None:
+                # Re-arbitrate only when someone is actually waiting:
+                # with an empty queue, release + immediate re-acquire
+                # is a virtual-time no-op, so keep holding the engine
+                # across the boundary and skip the scheduler churn.
+                if moved >= nbytes or dma.queue_len > 0:
+                    dma.release(req)
+                    req = None
+                else:
+                    coalesced_counter.inc()
+    finally:
+        if req is not None:
+            dma.release(req)
 
 
 def checkpoint_all(engine: Engine, session: CheckpointSession, process,

@@ -23,26 +23,42 @@ class BufferTable:
         self.gpu_index = gpu_index
         self._by_addr: dict[int, Buffer] = {}
         self._addrs: list[int] = []
+        #: Memo for :meth:`resolve`.  Kernel arguments repeat across
+        #: launches (the same pointer is speculated on every iteration),
+        #: so the bisect lookup is memoized and flushed whenever the
+        #: table itself changes.
+        self._resolve_memo: dict[int, Optional[Buffer]] = {}
 
     def register(self, buf: Buffer) -> None:
         if buf.addr in self._by_addr:
             raise CheckpointError(f"buffer at {buf.addr:#x} registered twice")
         self._by_addr[buf.addr] = buf
         bisect.insort(self._addrs, buf.addr)
+        self._resolve_memo.clear()
 
     def unregister(self, buf: Buffer) -> None:
         if self._by_addr.get(buf.addr) is not buf:
             raise CheckpointError(f"buffer at {buf.addr:#x} is not registered")
         del self._by_addr[buf.addr]
         self._addrs.remove(buf.addr)
+        self._resolve_memo.clear()
 
     def resolve(self, addr: int) -> Optional[Buffer]:
         """The registered buffer whose range contains ``addr``, if any."""
+        try:
+            return self._resolve_memo[addr]
+        except KeyError:
+            pass
         i = bisect.bisect_right(self._addrs, addr) - 1
-        if i < 0:
-            return None
-        buf = self._by_addr[self._addrs[i]]
-        return buf if buf.contains(addr) else None
+        buf = None
+        if i >= 0:
+            candidate = self._by_addr[self._addrs[i]]
+            if candidate.contains(addr):
+                buf = candidate
+        if len(self._resolve_memo) >= 1 << 16:
+            self._resolve_memo.clear()
+        self._resolve_memo[addr] = buf
+        return buf
 
     def buffers(self) -> Iterator[Buffer]:
         """All registered buffers in address order."""

@@ -8,6 +8,16 @@ to the twin with a :class:`~repro.gpu.interpreter.ValidationState`
 carrying the speculated ranges; outside those windows the original
 binary runs and no overhead is paid (§4.1: "they are not invoked
 without checkpoint").
+
+Fast-path interaction (``repro.perf``): twin launches are eligible for
+compiled execution plans like any other launch, but a plan only serves
+an instrumented twin after proving — via
+:meth:`~repro.gpu.interpreter.ValidationState.covers` — that every CHK
+group's address hull falls inside the speculated ranges, i.e. that the
+per-access checks would have produced zero violations.  Any launch that
+*would* record a violation therefore always runs in the interpreter, so
+the ``Violation`` lists collected here are identical with the fast path
+on or off (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -53,7 +63,12 @@ class TwinCache:
         self.stats = ValidationStats()
 
     def twin_for(self, program: Program, check_reads: bool = False) -> Program:
-        """The instrumented twin of ``program`` (built once, then cached)."""
+        """The instrumented twin of ``program`` (built once, then cached).
+
+        ``instrument_program`` additionally memoizes the twin on the
+        program object itself, so repeated lookups across cache
+        instances still rebuild nothing.
+        """
         cache = self._rw_twins if check_reads else self._write_twins
         twin = cache.get(program.name)
         if twin is None:

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -20,6 +24,31 @@ OBSERVE = False
 #: Observers created by :func:`build_world` while :data:`OBSERVE` was on,
 #: as ``(label, observer)`` pairs in creation order.
 collected_observers: list[tuple[str, "obs.Observer"]] = []
+
+
+@contextmanager
+def maybe_profile(path: Optional[str], top: int = 50):
+    """Profile the enclosed block with :mod:`cProfile` when ``path`` is set.
+
+    On exit the profile's stats, sorted by cumulative time, are written
+    as text to ``path`` (conventionally next to the ``--obs-json``
+    output, so a run's wall-clock breakdown sits beside its virtual-time
+    snapshot).  With ``path`` falsy the block runs unprofiled — callers
+    can wrap unconditionally.
+    """
+    if not path:
+        yield None
+        return
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield prof
+    finally:
+        prof.disable()
+        buf = io.StringIO()
+        pstats.Stats(prof, stream=buf).sort_stats("cumulative").print_stats(top)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(buf.getvalue())
 
 
 @dataclass

@@ -36,6 +36,16 @@ def instrument_program(program: Program, check_reads: bool = False) -> Program:
     """
     if program.instrumented:
         raise ValueError(f"kernel {program.name!r} is already instrumented")
+    # The pass is a pure function of (program, check_reads), so the twin
+    # is memoized on the program object itself: per-process TwinCaches
+    # (and repeated study runs over the same builders) share one rewrite.
+    memo = getattr(program, "_twin_memo", None)
+    if memo is None:
+        memo = {}
+        program._twin_memo = memo
+    twin = memo.get(check_reads)
+    if twin is not None:
+        return twin
     new_instrs: list[Instr] = []
     old_to_new: dict[int, int] = {}
     for idx, ins in enumerate(program.instrs):
@@ -47,6 +57,7 @@ def instrument_program(program: Program, check_reads: bool = False) -> Program:
         new_instrs.append(ins)
     labels = remap_labels(new_instrs, old_to_new, program.labels)
     twin = program.with_instrs(new_instrs, labels, instrumented=True)
+    memo[check_reads] = twin
     return twin
 
 

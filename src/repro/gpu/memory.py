@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import bisect
 import itertools
+import sys
 from typing import Iterator, Optional
 
 import numpy as np
@@ -33,6 +34,13 @@ DEFAULT_DATA_SIZE = 512
 
 #: All functional loads/stores are 8-byte words.
 WORD = 8
+
+_MASK64 = (1 << 64) - 1
+
+#: A uint64 view of the byte array matches ``load_word``'s little-endian
+#: decoding only on little-endian hosts; elsewhere the word-level fast
+#: paths are disabled and every access takes the byte-slicing path.
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 _buffer_ids = itertools.count(1)
 
@@ -48,6 +56,14 @@ class Buffer:
         self.addr = addr
         self.size = size
         self.data = np.zeros(data_size, dtype=np.uint8)
+        #: Word-granular view of ``data`` for bulk/vectorized access.
+        #: ``None`` when the prefix is not word-aligned or the host is
+        #: big-endian; users must fall back to the byte path then.
+        self.words: Optional[np.ndarray] = (
+            self.data.view(np.uint64)
+            if _LITTLE_ENDIAN and data_size % WORD == 0
+            else None
+        )
         self.tag = tag
         self.freed = False
         #: Simulated hardware dirty bit (§9 / GPU snapshot [37]): set by
@@ -88,11 +104,25 @@ class Buffer:
 
     def load_word(self, addr: int) -> int:
         """Read the 8-byte little-endian word at device address ``addr``."""
+        words = self.words
+        if words is not None:
+            off = addr - self.addr
+            if 0 <= off and not off & 7 and off + WORD <= len(self.data) \
+                    and addr + WORD <= self.end:
+                return int(words[off >> 3])
         off = self._offset(addr, WORD)
         return int.from_bytes(self.data[off : off + WORD].tobytes(), "little")
 
     def store_word(self, addr: int, value: int) -> None:
         """Write an 8-byte little-endian word at device address ``addr``."""
+        words = self.words
+        if words is not None:
+            off = addr - self.addr
+            if 0 <= off and not off & 7 and off + WORD <= len(self.data) \
+                    and addr + WORD <= self.end:
+                words[off >> 3] = value & _MASK64
+                self.hw_dirty = True
+                return
         off = self._offset(addr, WORD)
         raw = (value & (2**64 - 1)).to_bytes(WORD, "little")
         self.data[off : off + WORD] = np.frombuffer(raw, dtype=np.uint8)

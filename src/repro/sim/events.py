@@ -96,6 +96,22 @@ class Timeout(Event):
         engine._schedule_at(engine.now + delay, lambda: self.succeed(value))
 
 
+class TimeoutUntil(Event):
+    """An event that fires at an absolute virtual time.
+
+    Unlike :class:`Timeout` the deadline is given directly, not as a
+    delay added to ``now`` — callers that precompute a schedule of
+    float timestamps (e.g. the coalesced DMA chunk run) use this to hit
+    those timestamps *bit-exactly* instead of re-deriving them through
+    a second ``now + delay`` rounding.
+    """
+
+    def __init__(self, engine: "Engine", when: float, value: Any = None) -> None:  # noqa: F821
+        super().__init__(engine, name=f"timeout-until({when:g})")
+        self.when = when
+        engine._schedule_at(when, lambda: self.succeed(value))
+
+
 class _Composite(Event):
     """Shared machinery for :class:`AllOf` and :class:`AnyOf`."""
 

@@ -67,6 +67,9 @@ class Resource:
         self.name = name
         self._users: list[Request] = []
         self._waiters: deque[Request] = deque()
+        #: One-shot events armed by holders that want to be woken the
+        #: moment another request has to queue (see ``watch_waiters``).
+        self._watchers: list[Event] = []
         #: Priorities ever granted here (so occupancy gauges report a
         #: zero when a class drains, not a stale last value).
         self._prio_seen: set[int] = set()
@@ -102,7 +105,36 @@ class Resource:
         self._enqueue(req)
         self._grant()
         self._note()
+        if not req.triggered and self._watchers:
+            # The request had to queue: wake every armed watcher.  A
+            # holder coalescing work across re-arbitration points uses
+            # this as its signal to stop coalescing and yield the slot
+            # at the next boundary.
+            watchers, self._watchers = self._watchers, []
+            for ev in watchers:
+                ev.succeed(req)
         return req
+
+    # -- waiter watching ----------------------------------------------------
+    def watch_waiters(self) -> Event:
+        """Arm a one-shot event that fires when a request has to queue.
+
+        The event succeeds (with the queued :class:`Request` as value)
+        the next time an ``acquire`` is not granted immediately.  Used
+        by the coalesced DMA bulk copy: while no watcher has fired, a
+        release/re-acquire cycle at a chunk boundary is a virtual-time
+        no-op, so the holder may skip it entirely.
+        """
+        ev = Event(self.engine, name=f"waiter-watch({self.name})")
+        self._watchers.append(ev)
+        return ev
+
+    def unwatch_waiters(self, ev: Event) -> None:
+        """Disarm a watcher from :meth:`watch_waiters` (no-op if fired)."""
+        try:
+            self._watchers.remove(ev)
+        except ValueError:
+            pass
 
     def release(self, req: Request) -> None:
         """Return a granted slot to the pool, or cancel a waiting request."""

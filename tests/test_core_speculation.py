@@ -188,7 +188,7 @@ def test_speculated_writes_cover_actual_writes(mem, table, sigs, builder, arg_na
             args.append(bufs[name].addr)
     prog = builder()
     sets = speculate_call(opaque(prog, args), table, sigs)
-    run = run_kernel(prog, args, n_threads=4, memory=mem)
+    run = run_kernel(prog, args, n_threads=4, memory=mem, detailed=True)
     write_ranges = sets.write_ranges()
     for addr in run.written_addrs():
         assert addr in write_ranges, f"{prog.name}: write at {addr:#x} not speculated"

@@ -131,7 +131,8 @@ def test_global_writer_writes_hidden_buffer(mem):
 
 def test_access_records_have_kinds_and_tids(mem):
     x, y = mem.alloc(512), mem.alloc(512)
-    run = run_kernel(build_copy(), [x.addr, y.addr, 2], n_threads=2, memory=mem)
+    run = run_kernel(build_copy(), [x.addr, y.addr, 2], n_threads=2, memory=mem,
+                     detailed=True)
     kinds = {a.kind for a in run.accesses}
     assert kinds == {AccessKind.READ, AccessKind.WRITE}
     assert {a.tid for a in run.accesses} == {0, 1}

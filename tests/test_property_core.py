@@ -174,7 +174,7 @@ def test_speculation_covers_actual_writes_for_arg_addressed_kernels(
     call = ApiCall(ApiCategory.OPAQUE_KERNEL, prog.name, 0,
                    program=prog, args=args, n_threads=n_threads)
     sets = speculate_call(call, table, SignatureCache())
-    run = run_kernel(prog, args, n_threads, mem)
+    run = run_kernel(prog, args, n_threads, mem, detailed=True)
     write_ranges = sets.write_ranges()
     for rec in run.accesses:
         if rec.kind is AccessKind.WRITE:

@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark harness for the simulator fast path (PR 2).
+
+Measures three things and writes them to ``BENCH_wallclock.json``:
+
+* **Interpreter throughput** — instructions/second through
+  ``run_kernel`` with the compiled-plan fast path on vs. forced
+  interpretation, on a plain kernel and on an instrumented twin.
+* **Scheduler event throughput** — events/second through a DMA-heavy
+  scenario, plus the event-count ratio of the coalesced chunked
+  transfer vs. the historical per-chunk release loop (same virtual
+  outcome, fewer scheduler turns).
+* **End-to-end experiment wall time** — fig11 / fig16 / fig17
+  regenerated with the fast path on, against the pre-PR baseline
+  recorded below, so future PRs get a perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_wallclock.py [--quick] [--out FILE]
+
+``--quick`` runs a reduced workload set (fig11 + fig16, fewer
+micro-bench repetitions) for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Pre-PR wall times (seconds) for the end-to-end experiments, measured
+#: on the reference machine at the parent commit of this PR (min of 3
+#: warm in-process runs).  The acceptance bar is >= 3x on fig16/fig17.
+BASELINE_WALL_S = {
+    "fig11": 11.07,
+    "fig16": 6.12,
+    "fig17": 33.0,
+}
+
+_EXPERIMENTS = {
+    "fig11": "repro.experiments.fig11_stall",
+    "fig16": "repro.experiments.fig16_cow_breakdown",
+    "fig17": "repro.experiments.fig17_recopy_breakdown",
+}
+
+
+def bench_interpreter(repeats: int = 200) -> dict:
+    """Instructions/second with the plan fast path vs. forced interpretation."""
+    from repro.gpu.instrument import instrument_program
+    from repro.gpu.interpreter import ValidationState, run_kernel
+    from repro.gpu.memory import DeviceMemory
+    from repro.gpu.program import build_saxpy
+    from repro.gpu.ranges import RangeSet
+    from repro.perf.plans import plan_cache_stats, reset_plan_cache_stats
+    from repro.units import MIB
+
+    n_threads = 64
+    mem = DeviceMemory(capacity=64 * MIB, default_data_size=8 * n_threads)
+    x, y, z = (mem.alloc(8 * n_threads) for _ in range(3))
+    prog = build_saxpy()
+    args = [3, x.addr, y.addr, z.addr, n_threads]
+    twin = instrument_program(prog)
+    write_rs = RangeSet([(z.addr, z.addr + 8 * n_threads)])
+    read_rs = RangeSet([(x.addr, x.addr + 8 * n_threads),
+                        (y.addr, y.addr + 8 * n_threads)])
+
+    def run_many(program, validation_factory, force):
+        steps = 0
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            run = run_kernel(program, args, n_threads, mem,
+                             validation=validation_factory(),
+                             force_interpret=force)
+            steps += run.steps
+        return steps / (time.perf_counter() - t0)
+
+    none = lambda: None  # noqa: E731
+    vs = lambda: ValidationState(read_ranges=read_rs, write_ranges=write_rs)  # noqa: E731
+    reset_plan_cache_stats()
+    out = {
+        "kernel": prog.name,
+        "n_threads": n_threads,
+        "launches": repeats,
+        "interpreter_instrs_per_s": run_many(prog, none, force=True),
+        "fastpath_instrs_per_s": run_many(prog, none, force=False),
+        "interpreter_twin_instrs_per_s": run_many(twin, vs, force=True),
+        "fastpath_twin_instrs_per_s": run_many(twin, vs, force=False),
+        "plan_cache": plan_cache_stats(),
+    }
+    out["speedup_plain"] = (
+        out["fastpath_instrs_per_s"] / out["interpreter_instrs_per_s"])
+    out["speedup_twin"] = (
+        out["fastpath_twin_instrs_per_s"] / out["interpreter_twin_instrs_per_s"])
+    return out
+
+
+def _dma_scenario(use_legacy_loop: bool) -> tuple[float, int]:
+    """One contended bulk-copy scenario; returns (virtual end, events)."""
+    from repro import units
+    from repro.gpu.dma import (
+        APP_PRIORITY,
+        CHECKPOINT_PRIORITY,
+        Direction,
+        DmaEngineSet,
+        transfer,
+    )
+    from repro.sim.engine import Engine
+
+    def legacy_transfer(engine, engines, direction, nbytes, bandwidth,
+                        priority, chunk_bytes):
+        # The pre-PR per-chunk acquire/timeout/release loop, kept here
+        # as the reference for the event-coalescing comparison.
+        res = engines.for_direction(direction)
+        moved = 0
+        while moved < nbytes:
+            step = min(chunk_bytes, nbytes - moved)
+            req = yield res.acquire(priority=priority)
+            try:
+                yield engine.timeout(units.transfer_time(step, bandwidth))
+            finally:
+                res.release(req)
+            moved += step
+        return moved
+
+    eng = Engine()
+    dma = DmaEngineSet(eng, "bench-gpu", 1)
+
+    def bulk():
+        if use_legacy_loop:
+            yield from legacy_transfer(eng, dma, Direction.D2H,
+                                       1024 * units.MIB, 16e9,
+                                       CHECKPOINT_PRIORITY, 4 * units.MIB)
+        else:
+            yield from transfer(eng, dma, Direction.D2H, 1024 * units.MIB,
+                                bandwidth=16e9, priority=CHECKPOINT_PRIORITY,
+                                chunk_bytes=4 * units.MIB)
+
+    def app(delay, nbytes):
+        yield eng.timeout(delay)
+        yield from transfer(eng, dma, Direction.H2D, nbytes,
+                            bandwidth=16e9, priority=APP_PRIORITY)
+
+    eng.spawn(bulk())
+    for delay, nbytes in ((0.084, 8 * units.MIB), (0.19, 32 * units.MIB)):
+        eng.spawn(app(delay, nbytes))
+    eng.run()
+    return eng.now, eng.events_scheduled
+
+
+def bench_events(repeats: int = 20) -> dict:
+    """Scheduler events/second and the DMA coalescing event ratio."""
+    end_fast, events_fast = _dma_scenario(use_legacy_loop=False)
+    end_legacy, events_legacy = _dma_scenario(use_legacy_loop=True)
+    if end_fast != end_legacy:
+        raise AssertionError(
+            f"coalesced transfer diverged: {end_fast!r} != {end_legacy!r}")
+    t0 = time.perf_counter()
+    total_events = 0
+    for _ in range(repeats):
+        _, n = _dma_scenario(use_legacy_loop=True)
+        total_events += n
+    events_per_s = total_events / (time.perf_counter() - t0)
+    return {
+        "events_per_s": events_per_s,
+        "scenario_events_coalesced": events_fast,
+        "scenario_events_per_chunk_loop": events_legacy,
+        "event_reduction": events_legacy / events_fast,
+        "virtual_end_identical": True,
+    }
+
+
+def bench_experiments(names: list[str], quick: bool = False) -> dict:
+    """Wall time per experiment (min of ``runs`` warm in-process runs)."""
+    out = {}
+    for name in names:
+        module = importlib.import_module(_EXPERIMENTS[name])
+        runs = 1 if (name == "fig17" or quick) else 3
+        best = float("inf")
+        for _ in range(runs):
+            t0 = time.perf_counter()
+            module.run()
+            best = min(best, time.perf_counter() - t0)
+        baseline = BASELINE_WALL_S[name]
+        out[name] = {
+            "wall_s": round(best, 3),
+            "baseline_wall_s": baseline,
+            "speedup_vs_baseline": round(baseline / best, 2),
+        }
+    return out
+
+
+def run_bench(quick: bool = False) -> dict:
+    experiments = ["fig11", "fig16"] if quick else ["fig11", "fig16", "fig17"]
+    report = {
+        "schema": "bench-wallclock/v1",
+        "quick": quick,
+        "fastpath_disabled": bool(os.environ.get("REPRO_NO_FASTPATH")),
+        "python": sys.version.split()[0],
+        "interpreter": bench_interpreter(repeats=50 if quick else 200),
+        "engine": bench_events(repeats=5 if quick else 20),
+        "experiments": bench_experiments(experiments, quick=quick),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_wallclock.json"),
+                        help="where to write the JSON report")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced workload set for CI smoke runs")
+    args = parser.parse_args(argv)
+    report = run_bench(quick=args.quick)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    interp = report["interpreter"]
+    eng = report["engine"]
+    print(f"interpreter : {interp['interpreter_instrs_per_s'] / 1e6:.2f} M instr/s")
+    print(f"fast path   : {interp['fastpath_instrs_per_s'] / 1e6:.2f} M instr/s "
+          f"({interp['speedup_plain']:.1f}x, twin {interp['speedup_twin']:.1f}x)")
+    print(f"engine      : {eng['events_per_s'] / 1e3:.0f} K events/s, "
+          f"DMA coalescing {eng['event_reduction']:.1f}x fewer events")
+    for name, row in report["experiments"].items():
+        print(f"{name:12s}: {row['wall_s']:.2f}s wall "
+              f"(baseline {row['baseline_wall_s']:.2f}s, "
+              f"{row['speedup_vs_baseline']:.2f}x)")
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
