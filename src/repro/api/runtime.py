@@ -348,9 +348,18 @@ class CudaRuntime:
                 duration += DEFAULT_CONTEXT_COSTS.per_module_load
                 ctx.load_module(program.name)
             yield self.engine.timeout(duration)
-            run = run_kernel(
-                to_run, args, n_threads, gpu.memory, validation=plan.validation
-            )
+            try:
+                run = run_kernel(
+                    to_run, args, n_threads, gpu.memory, validation=plan.validation
+                )
+            except Exception:
+                # A faulting kernel has already landed some stores: the
+                # interceptor must still observe the completion (dirty
+                # marking, violation handling) or an active checkpoint
+                # would miss those writes.
+                if plan.on_complete is not None:
+                    plan.on_complete(call, None)
+                raise
             if plan.on_complete is not None:
                 plan.on_complete(call, run)
             return run

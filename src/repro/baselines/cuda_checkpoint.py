@@ -11,10 +11,8 @@ which we enforce.
 
 from __future__ import annotations
 
-from repro.core.protocols.stop_world import (
-    checkpoint_stop_world,
-    restore_stop_world,
-)
+from repro.core.protocols import registry
+from repro.core.protocols.base import ProtocolConfig
 from repro.errors import CheckpointError
 from repro.gpu.cost_model import CUDA_CHECKPOINT_SPEC
 
@@ -27,10 +25,12 @@ def cuda_checkpoint_checkpoint(engine, process, medium, criu, name: str = "",
             "cuda-checkpoint does not support checkpointing distributed "
             "(multi-GPU) jobs"
         )
-    image = yield from checkpoint_stop_world(
-        engine, process, medium, criu, baseline=CUDA_CHECKPOINT_SPEC,
-        name=name or f"cuda-checkpoint-{process.name}",
-        keep_stopped=keep_stopped, tracer=tracer,
+    protocol = registry.create("stop-world", ProtocolConfig(
+        baseline=CUDA_CHECKPOINT_SPEC, keep_stopped=keep_stopped,
+    ))
+    image, _session = yield from protocol.checkpoint(
+        engine, process=process, medium=medium, criu=criu,
+        name=name or f"cuda-checkpoint-{process.name}", tracer=tracer,
     )
     return image
 
@@ -42,8 +42,12 @@ def cuda_checkpoint_restore(engine, image, machine, gpu_indices, medium, criu,
         raise CheckpointError(
             "cuda-checkpoint does not support restoring distributed jobs"
         )
-    process = yield from restore_stop_world(
+    protocol = registry.create(
+        "stop-world", kind="restore",
+        config=ProtocolConfig(baseline=CUDA_CHECKPOINT_SPEC),
+    )
+    process, _frontend, _session = yield from protocol.restore(
         engine, image, machine, gpu_indices, medium, criu,
-        name=name, baseline=CUDA_CHECKPOINT_SPEC, tracer=tracer,
+        name=name, tracer=tracer,
     )
     return process

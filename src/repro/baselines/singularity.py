@@ -9,20 +9,20 @@ full context-creation barrier (§2.3).
 
 from __future__ import annotations
 
-from repro.core.protocols.stop_world import (
-    checkpoint_stop_world,
-    restore_stop_world,
-)
+from repro.core.protocols import registry
+from repro.core.protocols.base import ProtocolConfig
 from repro.gpu.cost_model import SINGULARITY_SPEC
 
 
 def singularity_checkpoint(engine, process, medium, criu, name: str = "",
                            keep_stopped: bool = False, tracer=None):
     """Generator: a Singularity checkpoint (full-PCIe stop-the-world)."""
-    image = yield from checkpoint_stop_world(
-        engine, process, medium, criu, baseline=SINGULARITY_SPEC,
-        name=name or f"singularity-{process.name}",
-        keep_stopped=keep_stopped, tracer=tracer,
+    protocol = registry.create("stop-world", ProtocolConfig(
+        baseline=SINGULARITY_SPEC, keep_stopped=keep_stopped,
+    ))
+    image, _session = yield from protocol.checkpoint(
+        engine, process=process, medium=medium, criu=criu,
+        name=name or f"singularity-{process.name}", tracer=tracer,
     )
     return image
 
@@ -30,8 +30,10 @@ def singularity_checkpoint(engine, process, medium, criu, name: str = "",
 def singularity_restore(engine, image, machine, gpu_indices, medium, criu,
                         name: str = "singularity-restored", tracer=None):
     """Generator: a Singularity restore (context barrier + bulk copy)."""
-    process = yield from restore_stop_world(
+    protocol = registry.create("stop-world", kind="restore",
+                               config=ProtocolConfig(baseline=SINGULARITY_SPEC))
+    process, _frontend, _session = yield from protocol.restore(
         engine, image, machine, gpu_indices, medium, criu,
-        name=name, baseline=SINGULARITY_SPEC, tracer=tracer,
+        name=name, tracer=tracer,
     )
     return process

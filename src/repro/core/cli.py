@@ -6,8 +6,11 @@ corresponding end-to-end flow against a chosen simulated application
 and reports the outcome:
 
 * ``phos apps`` — list the Table 4 application models;
-* ``phos checkpoint --app X [--mode cow|recopy|stop-world]`` — run the
-  app, take a checkpoint, report the stall and image size;
+* ``phos protocols`` — list the registered C/R protocols, their phases
+  and supported config fields;
+* ``phos checkpoint --app X [--mode cow|recopy|stop-world|hw-dirty]``
+  — run the app, take a checkpoint (any registered protocol), report
+  the stall and image size;
 * ``phos restore --app X [--stop-world] [--no-pool]`` — checkpoint then
   cold-restore, report time-to-resume and totals;
 * ``phos migrate --app X [--system ...]`` — live-migrate between two
@@ -26,6 +29,7 @@ from repro.apps.base import provision
 from repro.apps.specs import APP_SPECS, get_spec
 from repro.cluster import Machine
 from repro.core.daemon import Phos
+from repro.core.protocols import registry
 from repro.sim import Engine
 
 _EXPERIMENTS = {
@@ -85,10 +89,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("apps", help="list the application models")
     p.set_defaults(func=cmd_apps)
 
+    p = sub.add_parser("protocols",
+                       help="list the registered C/R protocols")
+    p.set_defaults(func=cmd_protocols)
+
     p = sub.add_parser("checkpoint", help="checkpoint a running application")
     p.add_argument("--app", default="resnet152-train", choices=sorted(APP_SPECS))
     p.add_argument("--mode", default="cow",
-                   choices=("cow", "recopy", "stop-world"))
+                   choices=registry.names("checkpoint"))
     p.add_argument("--steps", type=int, default=3,
                    help="iterations to run concurrently with the checkpoint")
     p.add_argument("--obs", action="store_true",
@@ -157,6 +165,24 @@ def cmd_apps(args) -> int:
         print(f"{name:20s} {spec.kind:6s} {spec.n_gpus:4d} "
               f"{spec.mem_per_gpu / units.GIB:8.1f}G {spec.n_buffers:8d} "
               f"{spec.n_kernels:8d} {units.fmt_seconds(spec.step_time):>8s}")
+    return 0
+
+
+def cmd_protocols(args) -> int:
+    alias_of: dict[tuple[str, str], list[str]] = {}
+    for kind in ("checkpoint", "restore"):
+        for alias, canonical in registry.aliases(kind).items():
+            alias_of.setdefault((kind, canonical), []).append(alias)
+    print(f"{'kind':11s} {'name':11s} {'aliases':28s} {'config fields'}")
+    for kind in ("checkpoint", "restore"):
+        for name in registry.names(kind):
+            cls = registry.get(name, kind)
+            aliases = ", ".join(sorted(alias_of.get((kind, name), []))) or "-"
+            fields = ", ".join(sorted(cls.supports)) or "-"
+            print(f"{kind:11s} {name:11s} {aliases:28s} {fields}")
+            print(f"{'':11s} {'':11s} phases: {' -> '.join(cls.phases())}")
+            if cls.summary:
+                print(f"{'':11s} {'':11s} {cls.summary}")
     return 0
 
 

@@ -4,13 +4,19 @@
 pool, and the tracer; it attaches frontends to processes and exposes
 the high-level operations the command-line tool and SDK call:
 
-* ``checkpoint(process, mode=...)`` — CoW or recopy, spawned as a
-  background simulation process (asynchronous, like the SDK call of
-  §A.2);
+* ``checkpoint(process, mode=...)`` — any checkpoint protocol in the
+  registry (``cow``, ``recopy``, ``stop-world``, ``hw-dirty``),
+  spawned as a background simulation process (asynchronous, like the
+  SDK call of §A.2);
 * ``checkpoint_consistent(processes)`` — multi-process fault-tolerance
   checkpoint: one global quiesce, then per-process CoW (§7);
-* ``restore(image, ...)`` — concurrent restore with pooled contexts,
-  or stop-the-world for the baselines / fallback.
+* ``restore(image, ...)`` — any restore protocol in the registry
+  (``concurrent`` with pooled contexts, or ``stop-world`` for the
+  baselines / fallback).
+
+Dispatch goes through :mod:`repro.core.protocols.registry`; tunables
+travel as a typed :class:`~repro.core.protocols.base.ProtocolConfig`
+(or the legacy loose keywords, which are validated into one).
 """
 
 from __future__ import annotations
@@ -23,12 +29,9 @@ from repro.api.runtime import GpuProcess
 from repro.cluster import Machine
 from repro.core.context_pool import ContextPool
 from repro.core.frontend import PhosFrontend
-from repro.core.protocols.cow import checkpoint_cow
-from repro.core.protocols.recopy import checkpoint_recopy
-from repro.core.protocols.restore import restore_concurrent, restore_stop_world
-from repro.core.protocols.stop_world import checkpoint_stop_world
+from repro.core.protocols import registry
+from repro.core.protocols.base import ProtocolConfig
 from repro.core.quiesce import quiesce
-from repro.core.session import COW_POOL_BYTES
 from repro.cpu.criu import CriuEngine
 from repro.errors import CheckpointError
 from repro.sim.engine import Engine, Process
@@ -98,45 +101,34 @@ class Phos:
     # -- checkpoint ----------------------------------------------------------------
     def checkpoint(self, process: GpuProcess, mode: str = "cow",
                    name: str = "", medium: Optional[Medium] = None,
-                   coordinated: bool = True, prioritized: bool = True,
-                   cow_pool_bytes: int = COW_POOL_BYTES,
-                   keep_stopped: bool = False,
-                   bandwidth_scale: float = 1.0,
-                   chunk_bytes: Optional[int] = None,
-                   precopy_rounds: int = 0,
-                   parent: Optional[CheckpointImage] = None) -> Process:
+                   config: Optional[ProtocolConfig] = None,
+                   **tunables) -> Process:
         """Start a checkpoint; returns the (awaitable) background process.
 
-        The result of the returned process is ``(image, session)``.
-        ``parent`` (CoW mode only) makes the checkpoint incremental:
-        buffers unwritten since the parent inherit its records.
+        ``mode`` is a registry name or alias (``cow``, ``recopy``,
+        ``stop-world``, ``hw-dirty``); unknown names raise
+        :class:`CheckpointError` listing the registered protocols.
+        Tunables travel as a :class:`ProtocolConfig` (``config=``) or
+        as loose keywords (``chunk_bytes=...``, ``parent=...``, …);
+        combinations a protocol does not support are rejected eagerly.
+
+        The result of the returned process is ``(image, session)``
+        (``session`` is None for protocols without a speculation
+        session).  ``parent`` (CoW only) makes the checkpoint
+        incremental: buffers unwritten since the parent inherit its
+        records.
         """
-        frontend = self.frontend_of(process)
+        protocol = registry.create(mode, config=config, **tunables)
+        frontend = (self.frontend_of(process) if protocol.needs_frontend
+                    else self.frontends.get(process.id))
         medium = medium or self.medium
-        if mode == "cow":
-            gen = checkpoint_cow(
-                self.engine, frontend, medium, self.criu, name=name,
-                coordinated=coordinated, prioritized=prioritized,
-                cow_pool_bytes=cow_pool_bytes, chunk_bytes=chunk_bytes,
-                parent=parent, tracer=self.tracer,
-            )
-        elif mode == "recopy":
-            gen = checkpoint_recopy(
-                self.engine, frontend, medium, self.criu, name=name,
-                coordinated=coordinated, prioritized=prioritized,
-                keep_stopped=keep_stopped, bandwidth_scale=bandwidth_scale,
-                chunk_bytes=chunk_bytes, precopy_rounds=precopy_rounds,
-                tracer=self.tracer,
-            )
-        elif mode == "stop-world":
-            gen = _wrap_stop_world(
-                self.engine, process, medium, self.criu, name, self.tracer
-            )
-        else:
-            raise CheckpointError(f"unknown checkpoint mode {mode!r}")
+        gen = protocol.checkpoint(
+            self.engine, process=process, frontend=frontend, medium=medium,
+            criu=self.criu, name=name, tracer=self.tracer,
+        )
         logger.info("checkpoint requested: process=%s mode=%s medium=%s t=%g",
-                    process.name, mode, medium.name, self.engine.now)
-        obs.counter("phos/checkpoints", mode=mode).inc()
+                    process.name, protocol.name, medium.name, self.engine.now)
+        obs.counter("phos/checkpoints", mode=protocol.name).inc()
         handle = self.engine.spawn(gen, name=f"phos-ckpt-{process.name}")
         handle.add_callback(self._log_checkpoint_done)
         return handle
@@ -167,6 +159,8 @@ class Phos:
         """
         processes = list(processes)
         medium = medium or self.medium
+        config = ProtocolConfig(coordinated=coordinated,
+                                prioritized=prioritized)
 
         def orchestrate():
             yield from quiesce(self.engine, processes, self.tracer)
@@ -178,11 +172,12 @@ class Phos:
             procs = []
             for process in processes:
                 frontend = self.frontend_of(process)
+                protocol = registry.create("cow", config=config)
                 procs.append(self.engine.spawn(
-                    checkpoint_cow(
-                        self.engine, frontend, medium, self.criu,
+                    protocol.checkpoint(
+                        self.engine, process=process, frontend=frontend,
+                        medium=medium, criu=self.criu,
                         name=f"{name}-{process.name}" if name else "",
-                        coordinated=coordinated, prioritized=prioritized,
                         tracer=self.tracer,
                     ),
                     name=f"phos-ckpt-{process.name}",
@@ -209,41 +204,36 @@ class Phos:
                 name: str = "restored", medium: Optional[Medium] = None,
                 concurrent: bool = True, use_pool: Optional[bool] = None,
                 machine: Optional[Machine] = None,
-                skip_data_copy: bool = False):
+                skip_data_copy: bool = False,
+                mode: Optional[str] = None,
+                config: Optional[ProtocolConfig] = None):
         """Generator: restore a process from an image.
 
-        Concurrent mode returns ``(process, frontend, session)`` as
-        soon as the process may run; stop-the-world mode returns the
-        process after everything is loaded (frontend and session are
-        None).
+        ``mode`` selects the restore protocol by registry name
+        (``concurrent`` / ``stop-world``); when None the legacy
+        ``concurrent`` boolean picks one.  Concurrent mode returns
+        ``(process, frontend, session)`` as soon as the process may
+        run; stop-the-world mode returns the process after everything
+        is loaded (frontend and session are None).
         """
         medium = medium or self.medium
         machine = machine or self.machine
         gpu_indices = gpu_indices or list(image.context_meta.get("gpu_indices", [0]))
+        if mode is None:
+            mode = "concurrent" if concurrent else "stop-world"
+        if config is None and skip_data_copy:
+            config = ProtocolConfig(skip_data_copy=skip_data_copy)
+        protocol = registry.create(mode, kind="restore", config=config)
+        concurrent = protocol.name == "concurrent"
         logger.info("restore requested: image=%s gpus=%s concurrent=%s t=%g",
                     image.name, gpu_indices, concurrent, self.engine.now)
-        obs.counter(
-            "phos/restores", mode="concurrent" if concurrent else "stop-world"
-        ).inc()
-        if concurrent:
-            pool = self.pool if (use_pool is None or use_pool) else None
-            result = yield from restore_concurrent(
-                self.engine, image, machine, gpu_indices, medium, self.criu,
-                name=name, context_pool=pool, skip_data_copy=skip_data_copy,
-                tracer=self.tracer,
-            )
-            process, frontend, session = result
-            self.frontends[process.id] = frontend
-            return process, frontend, session
-        process = yield from restore_stop_world(
+        obs.counter("phos/restores", mode=protocol.name).inc()
+        pool = (self.pool if concurrent and (use_pool is None or use_pool)
+                else None)
+        process, frontend, session = yield from protocol.restore(
             self.engine, image, machine, gpu_indices, medium, self.criu,
-            name=name, tracer=self.tracer,
+            name=name, context_pool=pool, tracer=self.tracer,
         )
-        return process, None, None
-
-
-def _wrap_stop_world(engine, process, medium, criu, name, tracer):
-    image = yield from checkpoint_stop_world(
-        engine, process, medium, criu, name=name, tracer=tracer
-    )
-    return image, None
+        if frontend is not None:
+            self.frontends[process.id] = frontend
+        return process, frontend, session

@@ -1,24 +1,64 @@
-"""The checkpoint and restore protocols.
+"""The checkpoint and restore protocols (the protocol engine).
 
-* :mod:`repro.core.protocols.stop_world` — the quiesce-and-copy
-  baseline protocol (Singularity / cuda-checkpoint behaviour, also
-  PHOS's mis-speculation fallback);
-* :mod:`repro.core.protocols.cow` — soft copy-on-write checkpoint
-  (§4.2): image equals a stop-the-world checkpoint at the start time;
-* :mod:`repro.core.protocols.recopy` — soft recopy checkpoint (§4.3):
-  image equals a stop-the-world checkpoint at the end time;
-* :mod:`repro.core.protocols.restore` — concurrent on-demand restore
-  (§6) with rollback-to-stop-world on mis-speculation.
+Every protocol is a phase-structured subclass of
+:class:`~repro.core.protocols.base.Protocol`, registered by name in
+:mod:`~repro.core.protocols.registry` and configured through one typed
+:class:`~repro.core.protocols.base.ProtocolConfig`:
+
+* ``stop-world`` (checkpoint + restore) —
+  :mod:`repro.core.protocols.stop_world`: the quiesce-and-copy baseline
+  (Singularity / cuda-checkpoint behaviour), also PHOS's
+  mis-speculation fallback;
+* ``cow`` — :mod:`repro.core.protocols.cow`: soft copy-on-write
+  checkpoint (§4.2): image equals a stop-the-world checkpoint at the
+  start time;
+* ``recopy`` — :mod:`repro.core.protocols.recopy`: soft recopy
+  checkpoint (§4.3): image equals a stop-the-world checkpoint at the
+  end time;
+* ``hw-dirty`` — :mod:`repro.core.protocols.hw_dirty`: the §9
+  hypothetical hardware-dirty-bit recopy (no speculation frontend);
+* ``concurrent`` (restore) — :mod:`repro.core.protocols.restore`:
+  concurrent on-demand restore (§6) with rollback-to-stop-world on
+  mis-speculation.
+
+The legacy free functions (``checkpoint_cow`` & co.) remain as thin
+wrappers over the protocol classes.
 """
 
-from repro.core.protocols.cow import checkpoint_cow
-from repro.core.protocols.recopy import checkpoint_recopy
-from repro.core.protocols.restore import restore_concurrent, restore_stop_world
-from repro.core.protocols.stop_world import checkpoint_stop_world
+from repro.core.protocols import registry
+from repro.core.protocols.base import (
+    CHECKPOINT_PHASES,
+    RESTORE_PHASES,
+    Protocol,
+    ProtocolConfig,
+    ProtocolContext,
+)
+from repro.core.protocols.cow import CowCheckpoint, checkpoint_cow
+from repro.core.protocols.hw_dirty import HwDirtyCheckpoint, checkpoint_recopy_hw
+from repro.core.protocols.recopy import RecopyCheckpoint, checkpoint_recopy
+from repro.core.protocols.restore import ConcurrentRestore, restore_concurrent, restore_stop_world
+from repro.core.protocols.stop_world import (
+    StopWorldCheckpoint,
+    StopWorldRestore,
+    checkpoint_stop_world,
+)
 
 __all__ = [
+    "CHECKPOINT_PHASES",
+    "RESTORE_PHASES",
+    "Protocol",
+    "ProtocolConfig",
+    "ProtocolContext",
+    "registry",
+    "CowCheckpoint",
+    "RecopyCheckpoint",
+    "StopWorldCheckpoint",
+    "StopWorldRestore",
+    "HwDirtyCheckpoint",
+    "ConcurrentRestore",
     "checkpoint_cow",
     "checkpoint_recopy",
+    "checkpoint_recopy_hw",
     "checkpoint_stop_world",
     "restore_concurrent",
     "restore_stop_world",

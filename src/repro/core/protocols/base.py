@@ -1,0 +1,344 @@
+"""The protocol engine: phase-structured checkpoint/restore protocols.
+
+Every C/R protocol in the paper shares one skeleton — admit the
+request, quiesce the process, plan the copy set, move data (usually
+concurrently with execution), validate that speculation held, then
+commit the image or abort to the stop-the-world fallback.  This module
+factors that skeleton out:
+
+* :class:`ProtocolConfig` — one typed, validated bag of tunables that
+  replaces the sprawling per-protocol kwarg lists (``coordinated``,
+  ``prioritized``, ``chunk_bytes``, ``precopy_rounds``, ``parent``,
+  ``keep_stopped``, …).  Universal value constraints are checked at
+  construction; per-protocol *combination* constraints are checked when
+  a protocol is instantiated (each protocol declares the fields it
+  supports — anything else raises instead of being silently ignored).
+* :class:`ProtocolContext` — the mutable per-run state threaded through
+  the phases (engine, config, image, session, quiesce timestamps, …).
+* :class:`Protocol` — the base class.  Subclasses override the phase
+  hooks (``phase_admit``, ``phase_plan``, ``phase_transfer``,
+  ``phase_validate``, ``phase_commit``/``phase_abort``); the drivers
+  :meth:`Protocol.checkpoint` and :meth:`Protocol.restore` sequence
+  them inside the protocol's obs span and hand each run a shared
+  :class:`~repro.core.transfer.TransferPlanner`.
+
+Concrete protocols register themselves by name in
+:mod:`repro.core.protocols.registry`; the daemon, SDK, CLI, tasks and
+baselines all dispatch through that registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Optional
+
+from repro import obs
+from repro.core.quiesce import quiesce
+from repro.core.session import COW_POOL_BYTES
+from repro.core.transfer import TransferPlanner
+from repro.errors import CheckpointError
+
+#: The declarative phase sequence of a checkpoint protocol run.
+CHECKPOINT_PHASES = ("admit", "quiesce", "plan", "transfer", "validate",
+                     "commit/abort")
+
+#: Restore protocols admit (environment setup), plan the load set, move
+#: data, and commit the runnable process; validation happens *after*
+#: commit, live, via the restore session's rollback watch.
+RESTORE_PHASES = ("admit", "plan", "transfer", "commit")
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Typed tunables shared by every protocol.
+
+    Only the fields a protocol lists in :attr:`Protocol.supports` may
+    deviate from their defaults for that protocol; the rest are
+    rejected at protocol construction (see
+    :meth:`Protocol.validate_config`).
+    """
+
+    #: §5 coordination: complete the CPU dump before GPU copies start
+    #: (and, for CoW, copy write-hot buffers first).
+    coordinated: bool = True
+    #: §5 prioritized data path: preemptible 4 MB chunking so
+    #: application DMA preempts the bulk copy.
+    prioritized: bool = True
+    #: Override the 4 MB checkpoint chunk (None = default).
+    chunk_bytes: Optional[int] = None
+    #: On-device CoW shadow pool quota (§4.2).
+    cow_pool_bytes: int = COW_POOL_BYTES
+    #: Leave the process quiesced after commit (live migration resumes
+    #: it on the target node instead).
+    keep_stopped: bool = False
+    #: Scale the per-GPU link bandwidth (RDMA-limited migration).
+    bandwidth_scale: float = 1.0
+    #: Iterative concurrent pre-copy rounds before the final quiesce
+    #: (recopy's §4.3 iterative extension).
+    precopy_rounds: int = 0
+    #: Parent image for incremental checkpointing (CoW only).
+    parent: Optional[Any] = None
+    #: Cost model of the system taking the checkpoint (stop-the-world
+    #: baselines; None = PHOS itself).
+    baseline: Optional[Any] = None
+    #: Restore-side: mark all buffers resident immediately (GPU-direct
+    #: migration already placed the data in device memory).
+    skip_data_copy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.precopy_rounds < 0:
+            raise CheckpointError(
+                f"precopy_rounds must be >= 0, got {self.precopy_rounds}"
+            )
+        if self.chunk_bytes is not None and self.chunk_bytes <= 0:
+            raise CheckpointError(
+                f"chunk_bytes must be positive, got {self.chunk_bytes}"
+            )
+        if self.cow_pool_bytes <= 0:
+            raise CheckpointError(
+                f"cow_pool_bytes must be positive, got {self.cow_pool_bytes}"
+            )
+        if self.bandwidth_scale <= 0:
+            raise CheckpointError(
+                f"bandwidth_scale must be positive, got {self.bandwidth_scale}"
+            )
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        return tuple(f.name for f in dataclasses.fields(cls))
+
+    @classmethod
+    def from_kwargs(cls, **kwargs) -> "ProtocolConfig":
+        """Build a config from loose keyword tunables (the legacy call
+        style of ``Phos.checkpoint``), rejecting unknown names."""
+        valid = set(cls.field_names())
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise CheckpointError(
+                f"unknown checkpoint tunable(s) {', '.join(unknown)}; "
+                f"valid ProtocolConfig fields: {', '.join(sorted(valid))}"
+            )
+        return cls(**kwargs)
+
+    def tuned(self) -> dict[str, Any]:
+        """The fields that deviate from their defaults."""
+        out = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value is not f.default and value != f.default:
+                out[f.name] = value
+        return out
+
+
+@dataclass
+class ProtocolContext:
+    """Mutable per-run state threaded through a protocol's phases."""
+
+    engine: Any
+    config: ProtocolConfig
+    planner: TransferPlanner
+    medium: Any
+    criu: Any
+    name: str = ""
+    tracer: Any = None
+    # checkpoint side
+    process: Any = None
+    frontend: Any = None
+    image: Any = None
+    session: Any = None
+    #: Virtual time of the (first) quiesce point — CoW's cut time t1.
+    t_quiesce: Optional[float] = None
+    #: Virtual time the image represents, when it differs from
+    #: ``t_quiesce`` (recopy's end time t2).
+    t_image: Optional[float] = None
+    # restore side
+    machine: Any = None
+    gpu_indices: Any = None
+    context_pool: Any = None
+    frontend_mode: str = "lfc"
+    context_requirements: Any = None
+    #: Baseline cost model resolved for this run (stop-the-world).
+    baseline: Any = None
+    #: Scratch space for protocol-specific state.
+    extras: dict = field(default_factory=dict)
+
+
+class Protocol:
+    """Base class: a named, phase-structured C/R protocol.
+
+    Subclasses set the class attributes and override the phase hooks.
+    A phase hook may be a plain method (returning a value or None) or a
+    generator (when it must yield simulation events); the drivers
+    handle both.
+    """
+
+    #: Registry name (also the obs span suffix and counter label).
+    name: ClassVar[str] = ""
+    #: "checkpoint" or "restore" — protocols are namespaced per kind.
+    kind: ClassVar[str] = "checkpoint"
+    #: Alternative registry names that resolve to this protocol.
+    aliases: ClassVar[tuple[str, ...]] = ()
+    #: ProtocolConfig fields this protocol honours; any other field set
+    #: away from its default is a construction-time error.
+    supports: ClassVar[frozenset] = frozenset()
+    #: Whether the protocol requires an attached PHOS frontend
+    #: (speculation-based protocols do; stop-the-world and the
+    #: hardware-dirty-bit hypothetical do not).
+    needs_frontend: ClassVar[bool] = False
+    #: One-line description for ``phos protocols`` and the docs.
+    summary: ClassVar[str] = ""
+
+    def __init__(self, config: Optional[ProtocolConfig] = None) -> None:
+        self.config = config if config is not None else ProtocolConfig()
+        self.validate_config(self.config)
+        #: The context of the most recent run started from this
+        #: instance (protocol-specific results live in its ``extras``).
+        self.last_context: Optional[ProtocolContext] = None
+
+    # -- config validation ---------------------------------------------------------
+    def validate_config(self, config: ProtocolConfig) -> None:
+        """Reject config fields this protocol does not support."""
+        unsupported = sorted(set(config.tuned()) - set(self.supports))
+        if unsupported:
+            supported = ", ".join(sorted(self.supports)) or "(none)"
+            raise CheckpointError(
+                f"protocol {self.name!r} does not support config field(s) "
+                f"{', '.join(unsupported)}; supported tunables: {supported}"
+            )
+
+    @classmethod
+    def phases(cls) -> tuple[str, ...]:
+        return CHECKPOINT_PHASES if cls.kind == "checkpoint" else RESTORE_PHASES
+
+    # -- drivers -------------------------------------------------------------------
+    def checkpoint(self, engine, *, process, medium, criu, frontend=None,
+                   name: str = "", tracer=None, planner=None):
+        """Start a checkpoint run; returns the phase-driver generator.
+
+        The generator's result is ``(image, session_or_None)``.
+        Validation that can fail fast (wrong kind, missing frontend)
+        happens here, at call time, before anything is spawned.
+        """
+        if self.kind != "checkpoint":
+            raise CheckpointError(
+                f"protocol {self.name!r} is a {self.kind} protocol, "
+                "not a checkpoint protocol"
+            )
+        if self.needs_frontend and frontend is None:
+            raise CheckpointError(
+                f"process {process.name!r} is not attached to PHOS "
+                f"(protocol {self.name!r} needs the speculation frontend)"
+            )
+        ctx = ProtocolContext(
+            engine=engine, config=self.config, medium=medium, criu=criu,
+            name=name, tracer=tracer, process=process, frontend=frontend,
+            planner=planner or TransferPlanner(engine, self.config, tracer),
+        )
+        self.last_context = ctx
+        return self._run_checkpoint(ctx)
+
+    def restore(self, engine, image, machine, gpu_indices, medium, criu, *,
+                name: str = "restored", context_pool=None,
+                frontend_mode: str = "lfc", context_requirements=None,
+                tracer=None, planner=None):
+        """Start a restore run; returns the phase-driver generator.
+
+        The generator's result is ``(process, frontend_or_None,
+        session_or_None)``.
+        """
+        if self.kind != "restore":
+            raise CheckpointError(
+                f"protocol {self.name!r} is a {self.kind} protocol, "
+                "not a restore protocol"
+            )
+        ctx = ProtocolContext(
+            engine=engine, config=self.config, medium=medium, criu=criu,
+            name=name, tracer=tracer, image=image, machine=machine,
+            gpu_indices=gpu_indices, context_pool=context_pool,
+            frontend_mode=frontend_mode,
+            context_requirements=context_requirements,
+            planner=planner or TransferPlanner(engine, self.config, tracer),
+        )
+        self.last_context = ctx
+        return self._run_restore(ctx)
+
+    def _run_checkpoint(self, ctx: ProtocolContext):
+        self.prepare(ctx)
+        with obs.span(f"checkpoint/{self.name}", **self.span_attrs(ctx)):
+            yield from self._phase(self.phase_admit, ctx)
+            yield from self._phase(self.phase_quiesce, ctx)
+            yield from self._phase(self.phase_plan, ctx)
+            yield from self._phase(self.phase_transfer, ctx)
+            if not self.phase_validate(ctx):
+                result = yield from self._phase(self.phase_abort, ctx)
+                return result
+            result = yield from self._phase(self.phase_commit, ctx)
+        return result
+
+    def _run_restore(self, ctx: ProtocolContext):
+        self.prepare(ctx)
+        yield from self._phase(self.phase_admit, ctx)
+        with obs.span(f"restore/{self.name}", **self.span_attrs(ctx)):
+            yield from self._phase(self.phase_plan, ctx)
+            yield from self._phase(self.phase_transfer, ctx)
+        result = yield from self._phase(self.phase_commit, ctx)
+        return result
+
+    @staticmethod
+    def _phase(method, ctx):
+        """Run one phase hook, plain or generator, returning its result."""
+        out = method(ctx)
+        if inspect.isgenerator(out):
+            out = yield from out
+        return out
+
+    # -- hooks ---------------------------------------------------------------------
+    def prepare(self, ctx: ProtocolContext) -> None:
+        """Pre-span setup (create the image, resolve the baseline)."""
+
+    def span_attrs(self, ctx: ProtocolContext) -> dict:
+        """Attributes for the run's ``checkpoint/<name>`` obs span."""
+        return {"image": ctx.image.name} if ctx.image is not None else {}
+
+    def phase_admit(self, ctx: ProtocolContext):
+        """Gate the run (e.g. wait for an in-flight restore)."""
+
+    def phase_quiesce(self, ctx: ProtocolContext):
+        """Stop the process; records the cut time ``ctx.t_quiesce``."""
+        yield from quiesce(ctx.engine, [ctx.process], ctx.tracer)
+        ctx.t_quiesce = ctx.engine.now
+
+    def phase_plan(self, ctx: ProtocolContext):
+        """Record metadata, build the session/copy plan, resume."""
+
+    def phase_transfer(self, ctx: ProtocolContext):
+        """Move the data (usually concurrently with execution)."""
+
+    def phase_validate(self, ctx: ProtocolContext) -> bool:
+        """Did speculation hold?  False routes to :meth:`phase_abort`."""
+        return True
+
+    def phase_commit(self, ctx: ProtocolContext):
+        """Finalize and return the run's result."""
+        raise NotImplementedError
+
+    def phase_abort(self, ctx: ProtocolContext):
+        """Mis-speculation recovery (only protocols that can abort)."""
+        raise CheckpointError(
+            f"protocol {self.name!r} has no abort path"
+        )  # pragma: no cover - guarded by phase_validate
+
+
+def record_modules(image, process) -> None:
+    """Record per-GPU module lists and context metadata in the image.
+
+    Shared by every checkpoint protocol's plan phase.
+    """
+    for gpu_index, ctx in process.contexts.items():
+        image.gpu_modules[gpu_index] = sorted(ctx.loaded_modules)
+    image.context_meta = {
+        "gpu_indices": list(process.gpu_indices),
+        "cpu_pages": process.host.memory.n_pages,
+    }

@@ -13,16 +13,92 @@ from __future__ import annotations
 from typing import Optional
 
 from repro import obs
-from repro.core.engine import checkpoint_all
 from repro.core.frontend import PhosFrontend
-from repro.core.quiesce import quiesce, resume
-from repro.core.session import COW_POOL_BYTES, CheckpointSession
+from repro.core.protocols.base import (
+    Protocol,
+    ProtocolConfig,
+    ProtocolContext,
+    record_modules,
+)
+from repro.core.protocols.registry import register
 from repro.core.protocols.stop_world import checkpoint_stop_world
+from repro.core.quiesce import resume
+from repro.core.session import COW_POOL_BYTES, CheckpointSession
 from repro.cpu.criu import CriuEngine
 from repro.sim.engine import Engine
 from repro.sim.trace import Tracer
 from repro.storage.image import CheckpointImage
 from repro.storage.media import Medium
+
+
+@register
+class CowCheckpoint(Protocol):
+    """Soft CoW: concurrent copy, image cut at the quiesce time t1."""
+
+    name = "cow"
+    kind = "checkpoint"
+    aliases = ("soft-cow", "copy-on-write")
+    supports = frozenset({
+        "coordinated", "prioritized", "chunk_bytes", "cow_pool_bytes",
+        "parent",
+    })
+    needs_frontend = True
+    summary = ("concurrent copy isolated by CoW guards; image equals a "
+               "stop-the-world checkpoint at t1 (§4.2)")
+
+    def prepare(self, ctx: ProtocolContext) -> None:
+        ctx.image = CheckpointImage(name=ctx.name or f"cow-{ctx.process.name}")
+
+    def phase_admit(self, ctx: ProtocolContext):
+        # A checkpoint of a partially-restored process would capture
+        # not-yet-loaded buffers; wait for any in-flight restore first.
+        if ctx.frontend.restore_session is not None:
+            yield ctx.frontend.restore_session.done
+
+    def phase_plan(self, ctx: ProtocolContext) -> None:
+        record_modules(ctx.image, ctx.process)
+        ctx.session = CheckpointSession(
+            ctx.engine, "cow", ctx.image, self.config.cow_pool_bytes
+        )
+        # Coordinated copy ordering (§5): write-hot buffers first, so the
+        # imminent writes find them already checkpointed (no CoW needed).
+        ctx.frontend.begin_checkpoint(
+            ctx.session, hot_order=ctx.planner.copy_order(self.name)
+        )
+        if self.config.parent is not None:
+            _inherit_unchanged(ctx.frontend, ctx.session, self.config.parent)
+        resume([ctx.process])
+
+    def phase_transfer(self, ctx: ProtocolContext):
+        # Concurrent copy, CoW-isolated.
+        try:
+            with obs.span("copy"):
+                yield from ctx.planner.copy_all(
+                    ctx.session, ctx.process, ctx.medium, ctx.criu
+                )
+        finally:
+            ctx.frontend.end_checkpoint()
+            _release_shadows(ctx.session, ctx.process)
+
+    def phase_validate(self, ctx: ProtocolContext) -> bool:
+        return not ctx.session.aborted
+
+    def phase_abort(self, ctx: ProtocolContext):
+        # Liveness fallback (§4.2): discard, retry stop-the-world.
+        session = ctx.session
+        if ctx.tracer:
+            ctx.tracer.mark("cow-abort", reason=session.abort_reason)
+        obs.counter("cow/abort",
+                    reason=session.abort_reason or "unknown").inc()
+        retry = yield from checkpoint_stop_world(
+            ctx.engine, ctx.process, ctx.medium, ctx.criu,
+            name=f"{ctx.image.name}-retry", tracer=ctx.tracer,
+        )
+        return retry, session
+
+    def phase_commit(self, ctx: ProtocolContext):
+        ctx.image.finalize(ctx.t_quiesce)
+        return ctx.image, ctx.session
 
 
 def checkpoint_cow(engine: Engine, frontend: PhosFrontend, medium: Medium,
@@ -47,50 +123,15 @@ def checkpoint_cow(engine: Engine, frontend: PhosFrontend, medium: Medium,
     ``always_instrument`` extends to all execution); validator-reported
     hidden writes update the history, so such buffers are never skipped.
     """
-    process = frontend.process
-    image = CheckpointImage(name=name or f"cow-{process.name}")
-    with obs.span("checkpoint/cow", image=image.name):
-        # A checkpoint of a partially-restored process would capture
-        # not-yet-loaded buffers; wait for any in-flight restore first.
-        if frontend.restore_session is not None:
-            yield frontend.restore_session.done
-        # Phase 1: quiesce — regulates state to a stop-checkpoint at t1.
-        yield from quiesce(engine, [process], tracer)
-        t1 = engine.now
-        _record_modules(image, process)
-        session = CheckpointSession(engine, "cow", image, cow_pool_bytes)
-        # Coordinated copy ordering (§5): write-hot buffers first, so the
-        # imminent writes find them already checkpointed (no CoW needed).
-        frontend.begin_checkpoint(
-            session, hot_order="hot-first" if coordinated else None
-        )
-        if parent is not None:
-            _inherit_unchanged(frontend, session, parent)
-        resume([process])
-        # Phase 2: concurrent copy, CoW-isolated.
-        try:
-            with obs.span("copy"):
-                yield from checkpoint_all(
-                    engine, session, process, medium, criu,
-                    coordinated=coordinated, prioritized=prioritized,
-                    chunk_bytes=chunk_bytes, tracer=tracer,
-                )
-        finally:
-            frontend.end_checkpoint()
-            _release_shadows(session, process)
-        if session.aborted:
-            # Liveness fallback (§4.2): discard, retry stop-the-world.
-            if tracer:
-                tracer.mark("cow-abort", reason=session.abort_reason)
-            obs.counter("cow/abort",
-                        reason=session.abort_reason or "unknown").inc()
-            retry = yield from checkpoint_stop_world(
-                engine, process, medium, criu, name=f"{image.name}-retry",
-                tracer=tracer,
-            )
-            return retry, session
-        image.finalize(t1)
-    return image, session
+    protocol = CowCheckpoint(ProtocolConfig(
+        coordinated=coordinated, prioritized=prioritized,
+        cow_pool_bytes=cow_pool_bytes, chunk_bytes=chunk_bytes,
+        parent=parent,
+    ))
+    return protocol.checkpoint(
+        engine, process=frontend.process, frontend=frontend, medium=medium,
+        criu=criu, name=name, tracer=tracer,
+    )
 
 
 def _inherit_unchanged(frontend: PhosFrontend, session: CheckpointSession,
@@ -112,15 +153,6 @@ def _inherit_unchanged(frontend: PhosFrontend, session: CheckpointSession,
             session.image.add_gpu_buffer(gpu_index, record)
             session.set_state(buf, BufState.DONE)
             session.stats.bytes_skipped_incremental += buf.size
-
-
-def _record_modules(image: CheckpointImage, process) -> None:
-    for gpu_index, ctx in process.contexts.items():
-        image.gpu_modules[gpu_index] = sorted(ctx.loaded_modules)
-    image.context_meta = {
-        "gpu_indices": list(process.gpu_indices),
-        "cpu_pages": process.host.memory.n_pages,
-    }
 
 
 def _release_shadows(session: CheckpointSession, process) -> None:

@@ -14,15 +14,23 @@ system so the comparison is measurable:
   intervene *before* the write) nor the restore-side read set.
 
 Structure mirrors :mod:`repro.core.protocols.recopy`, with the dirty
-set read from the simulated :attr:`Buffer.hw_dirty` bits.
+set read from the simulated :attr:`Buffer.hw_dirty` bits.  Registered
+as ``hw-dirty``, so the daemon/SDK/CLI can run the ablation directly.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.api.runtime import GpuProcess
-from repro.core.engine import _move_buffer
+from repro.core.protocols.base import (
+    Protocol,
+    ProtocolConfig,
+    ProtocolContext,
+    record_modules,
+)
+from repro.core.protocols.registry import register
 from repro.core.quiesce import quiesce, resume
 from repro.cpu.criu import CriuEngine
 from repro.gpu.dma import Direction
@@ -30,6 +38,94 @@ from repro.sim.engine import Engine
 from repro.sim.trace import Tracer
 from repro.storage.image import CheckpointImage, GpuBufferRecord
 from repro.storage.media import Medium
+
+
+@register
+class HwDirtyCheckpoint(Protocol):
+    """Recopy driven by hardware dirty bits — no frontend, no twins."""
+
+    name = "hw-dirty"
+    kind = "checkpoint"
+    aliases = ("hw_dirty", "hw-recopy")
+    supports = frozenset({"chunk_bytes", "keep_stopped"})
+    needs_frontend = False
+    summary = ("hypothetical §9 hardware-dirty-bit recopy: no "
+               "speculation, write set read from per-buffer dirty bits")
+
+    def prepare(self, ctx: ProtocolContext) -> None:
+        ctx.image = CheckpointImage(
+            name=ctx.name or f"hw-recopy-{ctx.process.name}"
+        )
+        ctx.extras["recopied_bytes"] = 0
+
+    def phase_plan(self, ctx: ProtocolContext) -> None:
+        # Clear every dirty bit at the (quiesced) cut, then resume: any
+        # later write re-sets its buffer's bit for the recopy pass.
+        record_modules(ctx.image, ctx.process)
+        for gpu_index in ctx.process.gpu_indices:
+            for buf in ctx.process.runtime.allocations[gpu_index]:
+                buf.hw_dirty = False
+        ctx.process.host.memory.clear_soft_dirty()
+        resume([ctx.process])
+
+    def phase_transfer(self, ctx: ProtocolContext):
+        engine, process = ctx.engine, ctx.process
+        # Concurrent copy (CPU first, then all GPUs).
+        yield from ctx.criu.dump_tracked(process.host, ctx.image, ctx.medium)
+
+        def copy_gpu(gpu_index, only_dirty):
+            gpu = process.machine.gpu(gpu_index)
+            for buf in list(process.runtime.allocations[gpu_index]):
+                if only_dirty:
+                    if not buf.hw_dirty:
+                        continue
+                    buf.hw_dirty = False
+                    ctx.extras["recopied_bytes"] += buf.size
+                else:
+                    # Clear before copying: writes that landed earlier
+                    # are captured by this copy; writes during/after
+                    # re-set the bit and trigger the recopy pass.
+                    buf.hw_dirty = False
+                yield from ctx.planner.move(
+                    gpu, ctx.medium, buf.size, Direction.D2H,
+                    bandwidth=gpu.spec.pcie_bw,
+                )
+                ctx.image.add_gpu_buffer(gpu_index, GpuBufferRecord(
+                    buffer_id=buf.id, addr=buf.addr, size=buf.size,
+                    data=buf.snapshot(), tag=buf.tag,
+                ))
+
+        copies = [
+            engine.spawn(copy_gpu(i, only_dirty=False), name=f"hw-ckpt-gpu{i}")
+            for i in process.gpu_indices
+        ]
+        yield engine.all_of(copies)
+        # Re-quiesce, then recopy the buffers the hardware marked.
+        yield from quiesce(engine, [process], ctx.tracer)
+        dirty_pages = process.host.memory.dirty_pages()
+        yield from ctx.criu.recopy_dirty(process.host, ctx.image, ctx.medium,
+                                         dirty_pages)
+        recopies = [
+            engine.spawn(copy_gpu(i, only_dirty=True), name=f"hw-recopy-gpu{i}")
+            for i in process.gpu_indices
+        ]
+        yield engine.all_of(recopies)
+
+    def phase_commit(self, ctx: ProtocolContext):
+        ctx.image.finalize(ctx.engine.now)
+        obs.counter("hw-dirty/recopied-bytes").inc(
+            ctx.extras["recopied_bytes"]
+        )
+        if not self.config.keep_stopped:
+            resume([ctx.process])
+        return ctx.image, None
+
+    @property
+    def last_recopied_bytes(self) -> int:
+        """Bytes the most recent run's recopy pass moved."""
+        if self.last_context is None:
+            return 0
+        return self.last_context.extras.get("recopied_bytes", 0)
 
 
 def checkpoint_recopy_hw(engine: Engine, process: GpuProcess, medium: Medium,
@@ -42,55 +138,12 @@ def checkpoint_recopy_hw(engine: Engine, process: GpuProcess, medium: Medium,
     Returns ``(image, recopied_bytes)``.  Requires no PHOS frontend at
     all — the hypothetical hardware provides the write set.
     """
-    image = CheckpointImage(name=name or f"hw-recopy-{process.name}")
-    # Phase 1: quiesce and clear every dirty bit.
-    yield from quiesce(engine, [process], tracer)
-    for gpu_index in process.gpu_indices:
-        for buf in process.runtime.allocations[gpu_index]:
-            buf.hw_dirty = False
-    process.host.memory.clear_soft_dirty()
-    resume([process])
-    # Phase 2: concurrent copy (CPU first, then all GPUs).
-    yield from criu.dump_tracked(process.host, image, medium)
-    recopied = {"bytes": 0}
-
-    def copy_gpu(gpu_index, only_dirty):
-        gpu = process.machine.gpu(gpu_index)
-        for buf in list(process.runtime.allocations[gpu_index]):
-            if only_dirty:
-                if not buf.hw_dirty:
-                    continue
-                buf.hw_dirty = False
-                recopied["bytes"] += buf.size
-            else:
-                # Clear before copying: writes that landed earlier are
-                # captured by this copy; writes during/after re-set the
-                # bit and trigger the recopy pass.
-                buf.hw_dirty = False
-            yield from _move_buffer(
-                engine, gpu, medium, buf.size, Direction.D2H,
-                gpu.spec.pcie_bw, chunked=True, chunk_bytes=chunk_bytes,
-            )
-            image.add_gpu_buffer(gpu_index, GpuBufferRecord(
-                buffer_id=buf.id, addr=buf.addr, size=buf.size,
-                data=buf.snapshot(), tag=buf.tag,
-            ))
-
-    copies = [
-        engine.spawn(copy_gpu(i, only_dirty=False), name=f"hw-ckpt-gpu{i}")
-        for i in process.gpu_indices
-    ]
-    yield engine.all_of(copies)
-    # Phase 3: re-quiesce; phase 4: recopy buffers the hardware marked.
-    yield from quiesce(engine, [process], tracer)
-    dirty_pages = process.host.memory.dirty_pages()
-    yield from criu.recopy_dirty(process.host, image, medium, dirty_pages)
-    recopies = [
-        engine.spawn(copy_gpu(i, only_dirty=True), name=f"hw-recopy-gpu{i}")
-        for i in process.gpu_indices
-    ]
-    yield engine.all_of(recopies)
-    image.finalize(engine.now)
-    if not keep_stopped:
-        resume([process])
-    return image, recopied["bytes"]
+    protocol = HwDirtyCheckpoint(ProtocolConfig(
+        keep_stopped=keep_stopped, chunk_bytes=chunk_bytes,
+    ))
+    gen = protocol.checkpoint(
+        engine, process=process, medium=medium, criu=criu, name=name,
+        tracer=tracer,
+    )
+    image, _session = yield from gen
+    return image, protocol.last_recopied_bytes

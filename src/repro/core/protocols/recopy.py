@@ -11,8 +11,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro import obs
-from repro.core.engine import checkpoint_all, recopy_gpu_dirty
 from repro.core.frontend import PhosFrontend
+from repro.core.protocols.base import (
+    Protocol,
+    ProtocolConfig,
+    ProtocolContext,
+    record_modules,
+)
+from repro.core.protocols.registry import register
 from repro.core.quiesce import quiesce, resume
 from repro.core.session import CheckpointSession
 from repro.cpu.criu import CriuEngine
@@ -20,6 +26,128 @@ from repro.sim.engine import Engine
 from repro.sim.trace import Tracer
 from repro.storage.image import CheckpointImage
 from repro.storage.media import Medium
+
+
+@register
+class RecopyCheckpoint(Protocol):
+    """Soft recopy: concurrent copy + dirty recopy, image cut at t2."""
+
+    name = "recopy"
+    kind = "checkpoint"
+    aliases = ("soft-recopy",)
+    supports = frozenset({
+        "coordinated", "prioritized", "chunk_bytes", "keep_stopped",
+        "bandwidth_scale", "precopy_rounds",
+    })
+    needs_frontend = True
+    summary = ("concurrent copy with dirty tracking, re-quiesce, recopy "
+               "the delta; image equals a stop-the-world checkpoint at "
+               "t2 (§4.3)")
+
+    def prepare(self, ctx: ProtocolContext) -> None:
+        ctx.image = CheckpointImage(
+            name=ctx.name or f"recopy-{ctx.process.name}"
+        )
+
+    def phase_admit(self, ctx: ProtocolContext):
+        # A checkpoint of a partially-restored process would capture
+        # not-yet-loaded buffers; wait for any in-flight restore first.
+        if ctx.frontend.restore_session is not None:
+            yield ctx.frontend.restore_session.done
+
+    def phase_plan(self, ctx: ProtocolContext) -> None:
+        record_modules(ctx.image, ctx.process)
+        ctx.session = CheckpointSession(ctx.engine, "recopy", ctx.image)
+        # §5's coordination for recopy is the CPU-before-GPU ordering in
+        # the planner's copy_all; buffer-level reordering does not pay
+        # off when write periods are shorter than the copy window (a
+        # buffer gets re-dirtied regardless of where in the window it is
+        # copied) — copy_order() returns None here.
+        ctx.frontend.begin_checkpoint(
+            ctx.session, hot_order=ctx.planner.copy_order(self.name)
+        )
+        resume([ctx.process])
+
+    def phase_transfer(self, ctx: ProtocolContext):
+        engine, session, process = ctx.engine, ctx.session, ctx.process
+        # Concurrent copy with dirty tracking, then (optionally) the
+        # iterative pre-copy rounds, then the final quiesce + recopy.
+        try:
+            with obs.span("copy"):
+                yield from ctx.planner.copy_all(
+                    session, process, ctx.medium, ctx.criu
+                )
+            # Iterative concurrent pre-copy rounds (§4.3 extension).
+            prev_bytes = None
+            by_id = {
+                gpu_index: {b.id: b for b in session.plan[gpu_index]}
+                for gpu_index in session.plan
+            }
+            for _ in range(self.config.precopy_rounds):
+                snapshot = {
+                    gpu_index: set(session.dirty[gpu_index])
+                    for gpu_index in session.plan
+                }
+                round_bytes = sum(
+                    by_id[g][bid].size
+                    for g, ids in snapshot.items()
+                    for bid in ids if bid in by_id[g]
+                )
+                if round_bytes == 0:
+                    break
+                if prev_bytes is not None and round_bytes >= 0.8 * prev_bytes:
+                    break  # the delta stopped shrinking: quiesce now
+                prev_bytes = round_bytes
+                for gpu_index in session.plan:
+                    session.dirty[gpu_index] -= snapshot[gpu_index]
+                with obs.span("precopy-round", bytes=round_bytes):
+                    passes = [
+                        engine.spawn(
+                            ctx.planner.recopy_dirty(
+                                session, process.machine.gpu(gpu_index),
+                                ctx.medium, dirty_ids=snapshot[gpu_index],
+                            ),
+                            name=f"precopy-gpu{gpu_index}",
+                        )
+                        for gpu_index in session.plan
+                    ]
+                    yield engine.all_of(passes)
+            # Re-quiesce (writes during the drain still tracked).
+            session.final_quiesce_start = engine.now
+            yield from quiesce(engine, [process], ctx.tracer)
+        finally:
+            ctx.frontend.end_checkpoint()
+        ctx.t_image = engine.now
+        # Recopy dirty GPU buffers and dirty CPU pages, stopped.
+        span = ctx.tracer.begin("recopy") if ctx.tracer else None
+        with obs.span("recopy"):
+            dirty_pages = process.host.memory.dirty_pages()
+            yield from ctx.criu.recopy_dirty(process.host, ctx.image,
+                                             ctx.medium, dirty_pages)
+            # Each GPU recopies its dirty delta over its own link,
+            # concurrently.
+            recopies = [
+                engine.spawn(
+                    ctx.planner.recopy_dirty(
+                        session, process.machine.gpu(gpu_index), ctx.medium,
+                    ),
+                    name=f"recopy-gpu{gpu_index}",
+                )
+                for gpu_index in session.plan
+            ]
+            yield engine.all_of(recopies)
+            for gpu_index in session.plan:
+                # Buffers freed during the window do not exist at t2.
+                for buf_id in session.freed_ids[gpu_index]:
+                    ctx.image.gpu_buffers.get(gpu_index, {}).pop(buf_id, None)
+        if span is not None:
+            ctx.tracer.end(span)
+
+    def phase_commit(self, ctx: ProtocolContext):
+        ctx.image.finalize(ctx.t_image)
+        if not self.config.keep_stopped:
+            resume([ctx.process])
+        return ctx.image, ctx.session
 
 
 def checkpoint_recopy(engine: Engine, frontend: PhosFrontend, medium: Medium,
@@ -44,113 +172,12 @@ def checkpoint_recopy(engine: Engine, frontend: PhosFrontend, medium: Medium,
     once the delta stops shrinking, so a write-heavy steady state does
     not loop pointlessly.
     """
-    process = frontend.process
-    image = CheckpointImage(name=name or f"recopy-{process.name}")
-    with obs.span("checkpoint/recopy", image=image.name):
-        # A checkpoint of a partially-restored process would capture
-        # not-yet-loaded buffers; wait for any in-flight restore first.
-        if frontend.restore_session is not None:
-            yield frontend.restore_session.done
-        # Phase 1: quiesce so no write escapes tracking.
-        yield from quiesce(engine, [process], tracer)
-        _record_modules(image, process)
-        session = CheckpointSession(engine, "recopy", image)
-        # §5's coordination for recopy is the CPU-before-GPU ordering in
-        # checkpoint_all; buffer-level reordering does not pay off when
-        # write periods are shorter than the copy window (a buffer gets
-        # re-dirtied regardless of where in the window it is copied).
-        frontend.begin_checkpoint(session)
-        resume([process])
-        # Phase 2: concurrent copy with dirty tracking.
-        try:
-            with obs.span("copy"):
-                yield from checkpoint_all(
-                    engine, session, process, medium, criu,
-                    coordinated=coordinated, prioritized=prioritized,
-                    bandwidth_scale=bandwidth_scale, chunk_bytes=chunk_bytes,
-                    tracer=tracer,
-                )
-            # Phase 2b (extension): iterative concurrent pre-copy rounds.
-            prev_bytes = None
-            by_id = {
-                gpu_index: {b.id: b for b in session.plan[gpu_index]}
-                for gpu_index in session.plan
-            }
-            for _ in range(max(0, precopy_rounds)):
-                snapshot = {
-                    gpu_index: set(session.dirty[gpu_index])
-                    for gpu_index in session.plan
-                }
-                round_bytes = sum(
-                    by_id[g][bid].size
-                    for g, ids in snapshot.items()
-                    for bid in ids if bid in by_id[g]
-                )
-                if round_bytes == 0:
-                    break
-                if prev_bytes is not None and round_bytes >= 0.8 * prev_bytes:
-                    break  # the delta stopped shrinking: quiesce now
-                prev_bytes = round_bytes
-                for gpu_index in session.plan:
-                    session.dirty[gpu_index] -= snapshot[gpu_index]
-                with obs.span("precopy-round", bytes=round_bytes):
-                    passes = [
-                        engine.spawn(
-                            recopy_gpu_dirty(
-                                engine, session, process.machine.gpu(gpu_index),
-                                medium, prioritized=prioritized,
-                                bandwidth_scale=bandwidth_scale,
-                                chunk_bytes=chunk_bytes,
-                                dirty_ids=snapshot[gpu_index], tracer=tracer,
-                            ),
-                            name=f"precopy-gpu{gpu_index}",
-                        )
-                        for gpu_index in session.plan
-                    ]
-                    yield engine.all_of(passes)
-            # Phase 3: re-quiesce (writes during the drain still tracked).
-            session.final_quiesce_start = engine.now
-            yield from quiesce(engine, [process], tracer)
-        finally:
-            frontend.end_checkpoint()
-        t2 = engine.now
-        # Phase 4: recopy dirty GPU buffers and dirty CPU pages, stopped.
-        span = tracer.begin("recopy") if tracer else None
-        with obs.span("recopy"):
-            dirty_pages = process.host.memory.dirty_pages()
-            yield from criu.recopy_dirty(process.host, image, medium,
-                                         dirty_pages)
-            # Each GPU recopies its dirty delta over its own link,
-            # concurrently.
-            recopies = [
-                engine.spawn(
-                    recopy_gpu_dirty(
-                        engine, session, process.machine.gpu(gpu_index),
-                        medium, prioritized=prioritized,
-                        bandwidth_scale=bandwidth_scale,
-                        chunk_bytes=chunk_bytes, tracer=tracer,
-                    ),
-                    name=f"recopy-gpu{gpu_index}",
-                )
-                for gpu_index in session.plan
-            ]
-            yield engine.all_of(recopies)
-            for gpu_index in session.plan:
-                # Buffers freed during the window do not exist at t2.
-                for buf_id in session.freed_ids[gpu_index]:
-                    image.gpu_buffers.get(gpu_index, {}).pop(buf_id, None)
-        if span is not None:
-            tracer.end(span)
-        image.finalize(t2)
-        if not keep_stopped:
-            resume([process])
-    return image, session
-
-
-def _record_modules(image: CheckpointImage, process) -> None:
-    for gpu_index, ctx in process.contexts.items():
-        image.gpu_modules[gpu_index] = sorted(ctx.loaded_modules)
-    image.context_meta = {
-        "gpu_indices": list(process.gpu_indices),
-        "cpu_pages": process.host.memory.n_pages,
-    }
+    protocol = RecopyCheckpoint(ProtocolConfig(
+        coordinated=coordinated, prioritized=prioritized,
+        keep_stopped=keep_stopped, bandwidth_scale=bandwidth_scale,
+        chunk_bytes=chunk_bytes, precopy_rounds=max(0, precopy_rounds),
+    ))
+    return protocol.checkpoint(
+        engine, process=frontend.process, frontend=frontend, medium=medium,
+        criu=criu, name=name, tracer=tracer,
+    )

@@ -19,17 +19,132 @@ from typing import Optional
 
 from repro import obs
 from repro.api.runtime import GpuProcess
-from repro.core.engine import load_gpu_buffers
 from repro.core.frontend import PhosFrontend
+from repro.core.protocols.base import Protocol, ProtocolConfig, ProtocolContext
+from repro.core.protocols.registry import register
+from repro.core.protocols.stop_world import realloc_image_buffers, restore_stop_world
 from repro.core.quiesce import quiesce, resume
 from repro.core.session import RestoreSession, RestoreState
-from repro.core.protocols.stop_world import realloc_image_buffers, restore_stop_world
 from repro.cpu.criu import CriuEngine
 from repro.gpu.context import ContextRequirements
 from repro.sim.engine import Engine
 from repro.sim.trace import Tracer
 from repro.storage.image import CheckpointImage
 from repro.storage.media import Medium
+
+
+@register
+class ConcurrentRestore(Protocol):
+    """Run as soon as the environment is ready; stream data behind."""
+
+    name = "concurrent"
+    kind = "restore"
+    aliases = ("on-demand", "concurrent-restore")
+    supports = frozenset({
+        "skip_data_copy", "prioritized", "chunk_bytes", "bandwidth_scale",
+    })
+    needs_frontend = False  # it *creates* the frontend for the new process
+    summary = ("resume immediately after context+layout setup; data "
+               "streams in the background with on-demand fetch (§6)")
+
+    def prepare(self, ctx: ProtocolContext) -> None:
+        ctx.image.require_finalized()
+
+    def phase_admit(self, ctx: ProtocolContext) -> None:
+        image = ctx.image
+        n_pages = (max(image.cpu_pages) + 1) if image.cpu_pages else 1
+        ctx.process = GpuProcess(
+            ctx.engine, ctx.machine, name=ctx.name,
+            gpu_indices=ctx.gpu_indices, cpu_pages=n_pages,
+            cpu_page_size=image.cpu_page_size,
+        )
+        ctx.frontend = PhosFrontend(
+            ctx.engine, ctx.process,
+            mode="ipc" if ctx.context_pool is not None else ctx.frontend_mode,
+        )
+        ctx.process.runtime.interceptor = ctx.frontend
+
+    # The restore/concurrent span covers time-to-runnable (the §6
+    # headline metric); background data movement shows up as separate
+    # gpu-load spans.
+
+    def phase_plan(self, ctx: ProtocolContext):
+        engine, image, tracer = ctx.engine, ctx.image, ctx.tracer
+        gpu_indices, context_pool = ctx.gpu_indices, ctx.context_pool
+        # 1. Execution environment: pooled contexts bypass the creation
+        #    barrier; otherwise pay the full §2.3 cost.
+        ctx_span = tracer.begin("context-setup") if tracer else None
+
+        def setup_one(gpu_index):
+            reqs = ContextRequirements(
+                n_modules=len(image.gpu_modules.get(gpu_index, [])),
+                nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
+            )
+            if context_pool is not None:
+                context = yield from context_pool.acquire(gpu_index, reqs)
+            else:
+                context = yield from ctx.process.runtime.create_context(
+                    gpu_index, reqs
+                )
+            ctx.process.runtime.adopt_context(gpu_index, context)
+            context.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
+
+        with obs.span("context-setup", pooled=context_pool is not None):
+            setups = [
+                engine.spawn(setup_one(i), name=f"ctx-setup-gpu{i}")
+                for i in gpu_indices
+            ]
+            yield engine.all_of(setups)
+        if ctx_span is not None:
+            tracer.end(ctx_span)
+        # 2. Buffer layout (addresses must match the checkpointed
+        #    process).
+        pairs_by_gpu = realloc_image_buffers(ctx.process, image, gpu_indices)
+        for gpu_index, pairs in pairs_by_gpu.items():
+            for buf, _record in pairs:
+                ctx.frontend.tables[gpu_index].register(buf)
+        session = RestoreSession(engine, image)
+        for gpu_index, pairs in pairs_by_gpu.items():
+            session.set_plan(gpu_index, pairs)
+        ctx.frontend.begin_restore(session)
+        ctx.session = session
+
+    def phase_transfer(self, ctx: ProtocolContext):
+        engine, session = ctx.engine, ctx.session
+        if self.config.skip_data_copy:
+            for gpu_index, pairs in session.plan.items():
+                for buf, record in pairs:
+                    buf.load_bytes(record.data)
+                    session.set_state(buf, RestoreState.RESTORED)
+                    session.fire_event(buf)
+            session.done.succeed()
+        else:
+            for gpu_index in ctx.gpu_indices:
+                engine.spawn(
+                    ctx.planner.load_gpu(
+                        session, ctx.machine.gpu(gpu_index), ctx.medium
+                    ),
+                    name=f"restore-load-gpu{gpu_index}",
+                )
+        # 3. CPU state: lazy (on-demand) restore so the CPU can run now.
+        with obs.span("cpu-lazy-restore"):
+            cpu_session = yield from _drive(ctx.criu.restore(
+                ctx.image, ctx.process.host, ctx.medium, on_demand=True
+            ))
+        ctx.process.runtime.lazy_cpu_session = cpu_session
+        # 4. Watch for mis-speculation rollback, and drop interception
+        #    once everything is resident (twins stop running — §4.1's
+        #    "not invoked without checkpoint").
+        engine.spawn(
+            _rollback_watch(engine, session, ctx.process, ctx.medium,
+                            ctx.tracer),
+            name="restore-rollback-watch",
+        )
+        engine.spawn(_finish_watch(session, ctx.frontend),
+                     name="restore-finish-watch")
+
+    def phase_commit(self, ctx: ProtocolContext):
+        return ctx.process, ctx.frontend, ctx.session
 
 
 def restore_concurrent(engine: Engine, image: CheckpointImage, machine,
@@ -46,84 +161,11 @@ def restore_concurrent(engine: Engine, image: CheckpointImage, machine,
     all buffers restored immediately (GPU-direct migration already
     placed the data in device memory).
     """
-    image.require_finalized()
-    n_pages = (max(image.cpu_pages) + 1) if image.cpu_pages else 1
-    process = GpuProcess(engine, machine, name=name, gpu_indices=gpu_indices,
-                         cpu_pages=n_pages, cpu_page_size=image.cpu_page_size)
-    frontend = PhosFrontend(
-        engine, process,
-        mode="ipc" if context_pool is not None else frontend_mode,
+    protocol = ConcurrentRestore(ProtocolConfig(skip_data_copy=skip_data_copy))
+    return protocol.restore(
+        engine, image, machine, gpu_indices, medium, criu, name=name,
+        context_pool=context_pool, frontend_mode=frontend_mode, tracer=tracer,
     )
-    process.runtime.interceptor = frontend
-    # The span covers time-to-runnable (the §6 headline metric);
-    # background data movement shows up as separate gpu-load spans.
-    with obs.span("restore/concurrent", image=image.name):
-        # 1. Execution environment: pooled contexts bypass the creation
-        #    barrier; otherwise pay the full §2.3 cost.
-        ctx_span = tracer.begin("context-setup") if tracer else None
-
-        def setup_one(gpu_index):
-            reqs = ContextRequirements(
-                n_modules=len(image.gpu_modules.get(gpu_index, [])),
-                nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
-            )
-            if context_pool is not None:
-                ctx = yield from context_pool.acquire(gpu_index, reqs)
-            else:
-                ctx = yield from process.runtime.create_context(gpu_index, reqs)
-            process.runtime.adopt_context(gpu_index, ctx)
-            ctx.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
-
-        with obs.span("context-setup", pooled=context_pool is not None):
-            setups = [
-                engine.spawn(setup_one(i), name=f"ctx-setup-gpu{i}")
-                for i in gpu_indices
-            ]
-            yield engine.all_of(setups)
-        if ctx_span is not None:
-            tracer.end(ctx_span)
-        # 2. Buffer layout (addresses must match the checkpointed
-        #    process).
-        pairs_by_gpu = realloc_image_buffers(process, image, gpu_indices)
-        for gpu_index, pairs in pairs_by_gpu.items():
-            for buf, _record in pairs:
-                frontend.tables[gpu_index].register(buf)
-        session = RestoreSession(engine, image)
-        for gpu_index, pairs in pairs_by_gpu.items():
-            session.set_plan(gpu_index, pairs)
-        frontend.begin_restore(session)
-        if skip_data_copy:
-            for gpu_index, pairs in pairs_by_gpu.items():
-                for buf, record in pairs:
-                    buf.load_bytes(record.data)
-                    session.set_state(buf, RestoreState.RESTORED)
-                    session.fire_event(buf)
-            session.done.succeed()
-        else:
-            for gpu_index in gpu_indices:
-                engine.spawn(
-                    load_gpu_buffers(
-                        engine, session, machine.gpu(gpu_index), medium,
-                        tracer=tracer,
-                    ),
-                    name=f"restore-load-gpu{gpu_index}",
-                )
-        # 3. CPU state: lazy (on-demand) restore so the CPU can run now.
-        with obs.span("cpu-lazy-restore"):
-            cpu_session = yield from _drive(criu.restore(
-                image, process.host, medium, on_demand=True
-            ))
-        process.runtime.lazy_cpu_session = cpu_session
-        # 4. Watch for mis-speculation rollback, and drop interception
-        #    once everything is resident (twins stop running — §4.1's
-        #    "not invoked without checkpoint").
-        engine.spawn(
-            _rollback_watch(engine, session, process, medium, tracer),
-            name="restore-rollback-watch",
-        )
-        engine.spawn(_finish_watch(session, frontend),
-                     name="restore-finish-watch")
-    return process, frontend, session
 
 
 def _finish_watch(session: RestoreSession, frontend: PhosFrontend):
@@ -170,4 +212,4 @@ def _rollback_watch(engine: Engine, session: RestoreSession,
 
 
 # re-exported convenience
-__all__ = ["restore_concurrent", "restore_stop_world"]
+__all__ = ["ConcurrentRestore", "restore_concurrent", "restore_stop_world"]

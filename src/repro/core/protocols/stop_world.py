@@ -8,7 +8,8 @@ mis-speculation.
 
 The process is quiesced for the *entire* copy, so the application stall
 equals the full data movement time plus, on restore, the context
-creation barrier (§2.3).
+creation barrier (§2.3).  Neither direction needs the speculation
+frontend: the process is stopped, so there is nothing to validate.
 """
 
 from __future__ import annotations
@@ -17,7 +18,14 @@ from typing import Optional
 
 from repro import obs
 from repro.api.runtime import GpuProcess
-from repro.core.quiesce import quiesce, resume
+from repro.core.protocols.base import (
+    Protocol,
+    ProtocolConfig,
+    ProtocolContext,
+    record_modules,
+)
+from repro.core.protocols.registry import register
+from repro.core.quiesce import resume
 from repro.cpu.criu import CriuEngine
 from repro.gpu.context import ContextRequirements
 from repro.gpu.cost_model import PHOS_SPEC, BaselineSpec
@@ -28,34 +36,44 @@ from repro.storage.image import CheckpointImage, GpuBufferRecord
 from repro.storage.media import Medium
 
 
-def checkpoint_stop_world(engine: Engine, process: GpuProcess,
-                          medium: Medium, criu: CriuEngine,
-                          baseline: Optional[BaselineSpec] = None,
-                          name: str = "", keep_stopped: bool = False,
-                          tracer: Optional[Tracer] = None):
-    """Generator: quiesce, copy everything, resume.  Returns the image."""
-    baseline = baseline or PHOS_SPEC
-    image = CheckpointImage(name=name or f"stop-world-{process.name}")
-    with obs.span("checkpoint/stop-world", image=image.name,
-                  system=baseline.name):
-        yield from quiesce(engine, [process], tracer)
-        t_ckpt = engine.now
-        for gpu_index, ctx in process.contexts.items():
-            image.gpu_modules[gpu_index] = sorted(ctx.loaded_modules)
-        image.context_meta = {
-            "gpu_indices": list(process.gpu_indices),
-            "cpu_pages": process.host.memory.n_pages,
-        }
-        span = tracer.begin("stop-world-copy", system=baseline.name) if tracer else None
+@register
+class StopWorldCheckpoint(Protocol):
+    """Quiesce, copy everything, resume."""
+
+    name = "stop-world"
+    kind = "checkpoint"
+    aliases = ("stop_world", "stop-the-world")
+    supports = frozenset({"baseline", "keep_stopped"})
+    needs_frontend = False
+    summary = ("quiesce for the entire copy (baselines and PHOS's "
+               "mis-speculation fallback)")
+
+    def prepare(self, ctx: ProtocolContext) -> None:
+        ctx.baseline = self.config.baseline or PHOS_SPEC
+        ctx.image = CheckpointImage(
+            name=ctx.name or f"stop-world-{ctx.process.name}"
+        )
+
+    def span_attrs(self, ctx: ProtocolContext) -> dict:
+        return {"image": ctx.image.name, "system": ctx.baseline.name}
+
+    def phase_plan(self, ctx: ProtocolContext) -> None:
+        record_modules(ctx.image, ctx.process)
+
+    def phase_transfer(self, ctx: ProtocolContext):
+        engine, process, tracer = ctx.engine, ctx.process, ctx.tracer
+        span = (tracer.begin("stop-world-copy", system=ctx.baseline.name)
+                if tracer else None)
         with obs.span("copy"):
             # CPU state: the process is stopped, so a plain dump is
             # consistent.
-            yield from criu.dump_tracked(process.host, image, medium)
+            yield from ctx.criu.dump_tracked(process.host, ctx.image,
+                                             ctx.medium)
             # Each GPU copies over its own PCIe link concurrently.
             copies = [
                 engine.spawn(
-                    _copy_gpu_stopped(engine, process, gpu_index, image,
-                                      medium, baseline),
+                    _copy_gpu_stopped(engine, process, gpu_index, ctx.image,
+                                      ctx.medium, ctx.baseline),
                     name=f"sw-ckpt-gpu{gpu_index}",
                 )
                 for gpu_index in process.gpu_indices
@@ -63,9 +81,27 @@ def checkpoint_stop_world(engine: Engine, process: GpuProcess,
             yield engine.all_of(copies)
         if span is not None:
             tracer.end(span)
-        image.finalize(t_ckpt)
-        if not keep_stopped:
-            resume([process])
+
+    def phase_commit(self, ctx: ProtocolContext):
+        ctx.image.finalize(ctx.t_quiesce)
+        if not self.config.keep_stopped:
+            resume([ctx.process])
+        return ctx.image, None
+
+
+def checkpoint_stop_world(engine: Engine, process: GpuProcess,
+                          medium: Medium, criu: CriuEngine,
+                          baseline: Optional[BaselineSpec] = None,
+                          name: str = "", keep_stopped: bool = False,
+                          tracer: Optional[Tracer] = None):
+    """Generator: quiesce, copy everything, resume.  Returns the image."""
+    protocol = StopWorldCheckpoint(ProtocolConfig(
+        baseline=baseline, keep_stopped=keep_stopped,
+    ))
+    image, _session = yield from protocol.checkpoint(
+        engine, process=process, medium=medium, criu=criu, name=name,
+        tracer=tracer,
+    )
     return image
 
 
@@ -92,6 +128,96 @@ def _copy_gpu_stopped(engine, process, gpu_index, image, medium, baseline):
         ))
 
 
+@register
+class StopWorldRestore(Protocol):
+    """The full restoration barrier, then a runnable process."""
+
+    name = "stop-world"
+    kind = "restore"
+    aliases = ("stop_world", "stop-the-world")
+    supports = frozenset({"baseline"})
+    needs_frontend = False
+    summary = ("create contexts from scratch (§2.3 barrier), load "
+               "everything, then run")
+
+    def prepare(self, ctx: ProtocolContext) -> None:
+        ctx.image.require_finalized()
+        ctx.baseline = self.config.baseline or PHOS_SPEC
+
+    def span_attrs(self, ctx: ProtocolContext) -> dict:
+        return {"image": ctx.image.name, "system": ctx.baseline.name}
+
+    def phase_admit(self, ctx: ProtocolContext) -> None:
+        image = ctx.image
+        n_pages = (max(image.cpu_pages) + 1) if image.cpu_pages else 1
+        ctx.process = GpuProcess(
+            ctx.engine, ctx.machine, name=ctx.name,
+            gpu_indices=ctx.gpu_indices, cpu_pages=n_pages,
+            cpu_page_size=image.cpu_page_size,
+        )
+
+    def phase_plan(self, ctx: ProtocolContext):
+        engine, image, tracer = ctx.engine, ctx.image, ctx.tracer
+        gpu_indices = ctx.gpu_indices
+        ctx_span = (tracer.begin("context-create", system=ctx.baseline.name)
+                    if tracer else None)
+
+        def create_one(gpu_index):
+            reqs = ctx.context_requirements or ContextRequirements(
+                n_modules=len(image.gpu_modules.get(gpu_index, [])),
+                nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
+            )
+            context = yield from ctx.process.runtime.create_context(
+                gpu_index, reqs
+            )
+            context.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
+
+        # One init thread per device, as restore tools do.
+        with obs.span("context-create"):
+            creations = [
+                engine.spawn(create_one(i), name=f"ctx-create-gpu{i}")
+                for i in gpu_indices
+            ]
+            yield engine.all_of(creations)
+        if ctx_span is not None:
+            tracer.end(ctx_span)
+
+    def phase_transfer(self, ctx: ProtocolContext):
+        engine, image, tracer = ctx.engine, ctx.image, ctx.tracer
+        gpu_indices, medium, baseline = ctx.gpu_indices, ctx.medium, ctx.baseline
+        copy_span = (tracer.begin("restore-copy", system=baseline.name)
+                     if tracer else None)
+        buffers = realloc_image_buffers(ctx.process, image, gpu_indices)
+
+        def load_one_gpu(gpu_index):
+            gpu = ctx.machine.gpu(gpu_index)
+            bandwidth = baseline.effective_pcie_bw(gpu.spec)
+            dma = gpu.dma.for_direction(Direction.H2D)
+            for buf, record in buffers[gpu_index]:
+                if baseline.per_buffer_overhead > 0:
+                    yield engine.timeout(baseline.per_buffer_overhead)
+                req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
+                try:
+                    yield from medium.read_flow(record.size,
+                                                rate_cap=bandwidth)
+                finally:
+                    dma.release(req)
+                buf.load_bytes(record.data)
+
+        with obs.span("copy"):
+            loads = [
+                engine.spawn(load_one_gpu(i), name=f"sw-restore-gpu{i}")
+                for i in gpu_indices
+            ]
+            yield engine.all_of(loads)
+            yield from ctx.criu.restore(image, ctx.process.host, medium)
+        if copy_span is not None:
+            tracer.end(copy_span)
+
+    def phase_commit(self, ctx: ProtocolContext):
+        return ctx.process, None, None
+
+
 def restore_stop_world(engine: Engine, image: CheckpointImage, machine,
                        gpu_indices: list[int], medium: Medium,
                        criu: CriuEngine, name: str = "restored",
@@ -104,58 +230,11 @@ def restore_stop_world(engine: Engine, image: CheckpointImage, machine,
     buffer layout, loads all data, restores CPU state.  Returns the new
     process; the caller rebinds and resumes the workload.
     """
-    image.require_finalized()
-    baseline = baseline or PHOS_SPEC
-    n_pages = (max(image.cpu_pages) + 1) if image.cpu_pages else 1
-    process = GpuProcess(engine, machine, name=name, gpu_indices=gpu_indices,
-                         cpu_pages=n_pages, cpu_page_size=image.cpu_page_size)
-    with obs.span("restore/stop-world", image=image.name,
-                  system=baseline.name):
-        ctx_span = tracer.begin("context-create", system=baseline.name) if tracer else None
-
-        def create_one(gpu_index):
-            reqs = context_requirements or ContextRequirements(
-                n_modules=len(image.gpu_modules.get(gpu_index, [])),
-                nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
-            )
-            ctx = yield from process.runtime.create_context(gpu_index, reqs)
-            ctx.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
-
-        # One init thread per device, as restore tools do.
-        with obs.span("context-create"):
-            creations = [
-                engine.spawn(create_one(i), name=f"ctx-create-gpu{i}")
-                for i in gpu_indices
-            ]
-            yield engine.all_of(creations)
-        if ctx_span is not None:
-            tracer.end(ctx_span)
-        copy_span = tracer.begin("restore-copy", system=baseline.name) if tracer else None
-        buffers = realloc_image_buffers(process, image, gpu_indices)
-
-        def load_one_gpu(gpu_index):
-            gpu = machine.gpu(gpu_index)
-            bandwidth = baseline.effective_pcie_bw(gpu.spec)
-            dma = gpu.dma.for_direction(Direction.H2D)
-            for buf, record in buffers[gpu_index]:
-                if baseline.per_buffer_overhead > 0:
-                    yield engine.timeout(baseline.per_buffer_overhead)
-                req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
-                try:
-                    yield from medium.read_flow(record.size, rate_cap=bandwidth)
-                finally:
-                    dma.release(req)
-                buf.load_bytes(record.data)
-
-        with obs.span("copy"):
-            loads = [
-                engine.spawn(load_one_gpu(i), name=f"sw-restore-gpu{i}")
-                for i in gpu_indices
-            ]
-            yield engine.all_of(loads)
-            yield from criu.restore(image, process.host, medium)
-        if copy_span is not None:
-            tracer.end(copy_span)
+    protocol = StopWorldRestore(ProtocolConfig(baseline=baseline))
+    process, _frontend, _session = yield from protocol.restore(
+        engine, image, machine, gpu_indices, medium, criu, name=name,
+        context_requirements=context_requirements, tracer=tracer,
+    )
     return process
 
 

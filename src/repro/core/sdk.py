@@ -14,6 +14,8 @@ from typing import Optional
 from repro.api.runtime import GpuProcess
 from repro.core.daemon import Phos
 from repro.core.frequency import optimal_frequency
+from repro.core.protocols import registry
+from repro.core.protocols.base import ProtocolConfig
 from repro.sim.engine import Process
 
 
@@ -34,8 +36,18 @@ class PhosSdk:
         return optimal_frequency(n_gpus, failures_per_hour,
                                  checkpoint_overhead_hours)
 
-    def checkpoint(self, name: str = "", mode: str = "cow", **kwargs) -> bool:
+    @staticmethod
+    def protocols() -> list[str]:
+        """The checkpoint protocols an application may request by name."""
+        return registry.names("checkpoint")
+
+    def checkpoint(self, name: str = "", mode: str = "cow",
+                   config: Optional[ProtocolConfig] = None, **kwargs) -> bool:
         """Asynchronously request a checkpoint.
+
+        ``mode`` is any registered protocol name (see
+        :meth:`protocols`); tunables go in ``config`` (a
+        :class:`ProtocolConfig`) or as loose keywords.
 
         Returns True if a checkpoint was started; False if skipped
         because the previous one is still running (the SDK "will not
@@ -46,7 +58,8 @@ class PhosSdk:
         if self._inflight is not None and not self._inflight.triggered:
             self.checkpoints_skipped += 1
             return False
-        handle = self._phos.checkpoint(self._process, mode=mode, name=name, **kwargs)
+        handle = self._phos.checkpoint(self._process, mode=mode, name=name,
+                                       config=config, **kwargs)
         handle.add_callback(self._on_done)
         self._inflight = handle
         self.checkpoints_taken += 1

@@ -2,7 +2,10 @@
 
 A session holds the per-buffer protocol state shared between the
 frontend guards (running in application streams) and the backend copy
-engine.  State transitions:
+engine.  Only the speculating protocols carry one — the ``plan`` phase
+of ``cow``/``recopy`` creates a :class:`CheckpointSession`, the
+concurrent restore a :class:`RestoreSession`; stop-the-world and
+hw-dirty runs return ``session=None``.  State transitions:
 
 Checkpoint (CoW)::
 
@@ -73,10 +76,16 @@ class CheckpointStats:
 class CheckpointSession:
     """Shared state of one in-progress checkpoint."""
 
+    #: Protocols whose frontend guards need per-buffer session state.
+    SPECULATING_MODES = ("cow", "recopy")
+
     def __init__(self, engine: Engine, mode: str, image: CheckpointImage,
                  cow_pool_bytes: int = COW_POOL_BYTES) -> None:
-        if mode not in ("cow", "recopy"):
-            raise CheckpointError(f"unknown checkpoint mode {mode!r}")
+        if mode not in self.SPECULATING_MODES:
+            raise CheckpointError(
+                f"unknown checkpoint mode {mode!r}: sessions exist for "
+                f"{', '.join(self.SPECULATING_MODES)} only"
+            )
         self.engine = engine
         self.mode = mode
         self.image = image

@@ -13,9 +13,13 @@ Llama2-13B training.  Three variants:
 from __future__ import annotations
 
 from repro.baselines.singularity import singularity_checkpoint
-from repro.experiments.harness import ExperimentResult, build_world, setup_app
+from repro.experiments.harness import (
+    ExperimentResult,
+    build_world,
+    experiment_config,
+    setup_app,
+)
 from repro.obs.export import app_stall_components
-from repro.tasks.fault_tolerance import EXPERIMENT_CHUNK
 
 APP = "llama2-13b-train"
 
@@ -30,9 +34,9 @@ def _measure(system: str, prioritized: bool = True, steps: int = 3):
         yield from world.workload.run(steps)
         base = (eng.now - t0) / steps
         if system == "phos":
-            handle = phos.checkpoint(world.process, mode="cow",
-                                     prioritized=prioritized,
-                                     chunk_bytes=EXPERIMENT_CHUNK)
+            handle = phos.checkpoint(
+                world.process, mode="cow",
+                config=experiment_config(prioritized=prioritized))
         else:
             handle = eng.spawn(singularity_checkpoint(
                 eng, world.process, phos.medium, phos.criu,

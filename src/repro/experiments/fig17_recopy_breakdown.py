@@ -12,8 +12,13 @@ from __future__ import annotations
 
 from repro import units
 from repro.baselines.singularity import singularity_checkpoint
-from repro.experiments.harness import ExperimentResult, build_world, setup_app
-from repro.tasks.fault_tolerance import EXPERIMENT_CHUNK
+from repro.core.transfer import EXPERIMENT_CHUNK
+from repro.experiments.harness import (
+    ExperimentResult,
+    build_world,
+    experiment_config,
+    setup_app,
+)
 
 APP = "llama3-70b-infer"
 
@@ -24,9 +29,10 @@ def _measure_recopy(coordinated: bool, steps_during: int = 80):
     setup_app(world, warm=2)
 
     def driver(eng):
-        handle = phos.checkpoint(world.process, mode="recopy",
-                                 coordinated=coordinated,
-                                 chunk_bytes=2 * EXPERIMENT_CHUNK)
+        handle = phos.checkpoint(
+            world.process, mode="recopy",
+            config=experiment_config(coordinated=coordinated,
+                                     chunk_bytes=2 * EXPERIMENT_CHUNK))
         runner = eng.spawn(world.workload.run(steps_during))
         image, session = yield handle
         yield runner

@@ -11,8 +11,12 @@ from __future__ import annotations
 from repro.cluster import Machine
 from repro.core.daemon import Phos
 from repro.baselines.singularity import singularity_restore
-from repro.experiments.harness import ExperimentResult, build_world, setup_app
-from repro.tasks.fault_tolerance import EXPERIMENT_CHUNK
+from repro.experiments.harness import (
+    ExperimentResult,
+    build_world,
+    experiment_config,
+    setup_app,
+)
 
 APP = "llama2-13b-infer"
 TOKENS = 8
@@ -25,7 +29,7 @@ def _prepare_image():
 
     def driver(eng):
         image, session = yield phos.checkpoint(
-            world.process, mode="cow", chunk_bytes=EXPERIMENT_CHUNK
+            world.process, mode="cow", config=experiment_config()
         )
         return image
 

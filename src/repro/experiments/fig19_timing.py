@@ -10,8 +10,12 @@ the checkpoint finishes before the write-heavy update phase.
 from __future__ import annotations
 
 from repro import units
-from repro.experiments.harness import ExperimentResult, build_world, setup_app
-from repro.tasks.fault_tolerance import EXPERIMENT_CHUNK
+from repro.experiments.harness import (
+    ExperimentResult,
+    build_world,
+    experiment_config,
+    setup_app,
+)
 
 APP = "llama2-13b-train"
 
@@ -29,7 +33,7 @@ def _measure(timing: str, steps: int = 2):
         start = workload.steps_done
         if timing == "iteration-start":
             handle = phos.checkpoint(world.process, mode="cow",
-                                     chunk_bytes=EXPERIMENT_CHUNK)
+                                     config=experiment_config())
             t1 = eng.now
             yield from workload.run(steps, start=start)
         else:  # at the update phase: run most of an iteration first
@@ -43,7 +47,7 @@ def _measure(timing: str, steps: int = 2):
                 # optimizer about to start).
                 yield eng.timeout(0.76 * base)
                 return phos.checkpoint(world.process, mode="cow",
-                                       chunk_bytes=EXPERIMENT_CHUNK)
+                                       config=experiment_config())
 
             starter = eng.spawn(late_checkpoint(eng))
             yield from workload.run(steps, start=start)

@@ -27,6 +27,7 @@ from repro.apps.base import provision
 from repro.apps.specs import AppSpec, get_spec
 from repro.cluster import Cluster
 from repro.core.daemon import Phos
+from repro.core.protocols import ProtocolConfig
 from repro.core.quiesce import quiesce
 from repro.errors import CheckpointError, InvalidValueError
 from repro.sim.engine import Engine
@@ -117,10 +118,14 @@ class DistributedJob:
             g.touch()
 
     # -- consistent checkpoint -----------------------------------------------------
-    def checkpoint_all(self, name: str = ""):
+    def checkpoint_all(self, name: str = "",
+                       config: ProtocolConfig | None = None):
         """Generator: one globally-consistent CoW cut of every replica.
 
-        Returns the list of images (one per replica, same cut).
+        Every replica is checkpointed with the same ``config`` (one
+        :class:`ProtocolConfig` shared across machines, so the cut is
+        tuned uniformly).  Returns the list of images (one per replica,
+        same cut).
         """
         if not self.replicas:
             raise CheckpointError("job has no replicas to checkpoint")
@@ -131,7 +136,8 @@ class DistributedJob:
         yield from quiesce(self.engine, self.processes)
         handles = [
             phos.checkpoint(process, mode="cow",
-                            name=f"{name or 'dist'}-{machine.name}")
+                            name=f"{name or 'dist'}-{machine.name}",
+                            config=config)
             for machine, phos, process, _ in self.replicas
         ]
         results = yield self.engine.all_of(handles)

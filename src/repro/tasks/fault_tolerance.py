@@ -27,14 +27,16 @@ from repro.baselines.singularity import singularity_checkpoint, singularity_rest
 from repro.cluster import Machine
 from repro.core.daemon import Phos
 from repro.core.frequency import optimal_frequency, wasted_gpu_hours
+from repro.core.protocols import ProtocolConfig
+from repro.core.transfer import EXPERIMENT_CHUNK
 from repro.errors import CheckpointError, InvalidValueError
 from repro.sim import Engine
 
 SYSTEMS = ("phos", "singularity", "cuda-checkpoint")
 
-#: Coarser copy chunk for full-scale experiments (preemption granularity
-#: of ~1.3 ms instead of 160 us; same behaviour, 8x fewer sim events).
-EXPERIMENT_CHUNK = 32 * units.MIB
+__all__ = ["SYSTEMS", "EXPERIMENT_CHUNK", "FtMeasurement",
+           "measure_checkpoint_overhead", "measure_restore_time",
+           "wasted_fraction"]
 
 
 @dataclass
@@ -86,8 +88,9 @@ def measure_checkpoint_overhead(system: str, spec_name: str,
         baseline = eng.now - t0
         # Checkpoint at the beginning of the next iteration.
         if system == "phos":
-            handle = phos.checkpoint(process, mode="cow",
-                                     chunk_bytes=chunk_bytes)
+            handle = phos.checkpoint(
+                process, mode="cow",
+                config=ProtocolConfig(chunk_bytes=chunk_bytes))
         elif system == "singularity":
             handle = eng.spawn(singularity_checkpoint(
                 eng, process, phos.medium, phos.criu, tracer=phos.tracer))
@@ -131,8 +134,9 @@ def measure_restore_time(system: str, spec_name: str,
     def driver(eng):
         yield from workload.setup()
         yield from workload.run(1)
-        image, _ = yield phos.checkpoint(process, mode="cow",
-                                         chunk_bytes=chunk_bytes)
+        image, _ = yield phos.checkpoint(
+            process, mode="cow",
+            config=ProtocolConfig(chunk_bytes=chunk_bytes))
         t0 = eng.now
         if system == "phos":
             result = yield from phos_dst.restore(

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro import units
 from repro.core.daemon import Phos
 from repro.core.frequency import wasted_gpu_hours
+from repro.core.protocols import ProtocolConfig
 from repro.errors import CheckpointError
 from repro.sim.engine import Engine
 
@@ -65,7 +66,8 @@ class FaultToleranceController:
 
     def __init__(self, engine: Engine, phos: Phos, process, workload,
                  failures_per_hour: float, checkpoint_every_iters: int,
-                 seed: int = 1) -> None:
+                 seed: int = 1,
+                 checkpoint_config: ProtocolConfig | None = None) -> None:
         if checkpoint_every_iters < 1:
             raise CheckpointError("checkpoint interval must be >= 1 iteration")
         self.engine = engine
@@ -74,6 +76,7 @@ class FaultToleranceController:
         self.workload = workload
         self.failures_per_hour = failures_per_hour
         self.checkpoint_every = checkpoint_every_iters
+        self.checkpoint_config = checkpoint_config
         self._rng = random.Random(seed)
         self._next_failure = self._draw_failure_gap()
         self.latest_image = None
@@ -102,7 +105,8 @@ class FaultToleranceController:
                 inflight is None or inflight.triggered
             ):
                 inflight = self.phos.checkpoint(
-                    self.process, mode="cow", name=f"it-{completed}"
+                    self.process, mode="cow", name=f"it-{completed}",
+                    config=self.checkpoint_config,
                 )
                 inflight.add_callback(self._record_image(completed))
                 result.checkpoints += 1

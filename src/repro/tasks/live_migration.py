@@ -28,6 +28,7 @@ from repro.baselines.cuda_checkpoint import (
 from repro.baselines.singularity import singularity_checkpoint, singularity_restore
 from repro.cluster import Cluster
 from repro.core.daemon import Phos
+from repro.core.protocols import ProtocolConfig
 from repro.errors import InvalidValueError
 from repro.sim import Engine
 from repro.storage.media import Medium
@@ -89,8 +90,9 @@ def migrate(system: str, spec_name: str, warm_steps: int = 2,
         t_start = eng.now
         if system == "phos":
             handle = phos_src.checkpoint(
-                process, mode="recopy", medium=rdma, keep_stopped=True,
-                bandwidth_scale=scale, chunk_bytes=chunk_bytes,
+                process, mode="recopy", medium=rdma,
+                config=ProtocolConfig(keep_stopped=True, bandwidth_scale=scale,
+                                      chunk_bytes=chunk_bytes),
             )
             # The application keeps running through the pre-copy; it
             # blocks at the API gate when the final quiesce hits.

@@ -22,6 +22,7 @@ from repro.baselines.cuda_checkpoint import cuda_checkpoint_restore
 from repro.baselines.singularity import singularity_restore
 from repro.cluster import Machine
 from repro.core.daemon import Phos
+from repro.core.protocols import ProtocolConfig
 from repro.errors import InvalidValueError
 from repro.sim import Engine
 from repro.tasks.fault_tolerance import EXPERIMENT_CHUNK
@@ -66,8 +67,9 @@ def cold_start(system: str, spec_name: str, n_requests: int = 8,
         # Initialize the function up to its entry point, checkpoint it.
         yield from workload.setup()
         yield from workload.run(1)  # warm the runtime (JIT caches etc.)
-        image, _ = yield phos.checkpoint(process, mode="cow",
-                                         chunk_bytes=chunk_bytes)
+        image, _ = yield phos.checkpoint(
+            process, mode="cow",
+            config=ProtocolConfig(chunk_bytes=chunk_bytes))
         # A request arrives: cold-start from the checkpoint.
         t0 = eng.now
         if system == "phos":
