@@ -23,6 +23,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
 from bench_wallclock import (  # noqa: E402
     bench_events,
     bench_interpreter,
+    check_regressions,
     run_bench,
 )
 
@@ -42,7 +43,7 @@ def test_dma_coalescing_saves_events_with_identical_virtual_time():
 
 
 def test_quick_bench_writes_report(tmp_path):
-    report = run_bench(quick=True)
+    report = run_bench(quick=True, jobs=2)
     out = tmp_path / "BENCH_wallclock.json"
     out.write_text(json.dumps(report, indent=2))
     parsed = json.loads(out.read_text())
@@ -54,3 +55,23 @@ def test_quick_bench_writes_report(tmp_path):
         # Far below the 3x reference claim on purpose: this guard only
         # catches a fast-path regression, not machine-speed variance.
         assert row["speedup_vs_baseline"] > 1.2
+    par = parsed["experiments_parallel"]
+    assert par["jobs"] == 2
+    for name in ("fig11", "fig16"):
+        row = par[name]
+        assert row["wall_s_parallel"] > 0
+        assert row["n_cells"] >= 2
+        # No wall-clock assertion: the parallel speedup depends on the
+        # machine's core count (1-core CI runners see ~1x).
+
+
+def test_regress_check_flags_slow_figures():
+    committed = {"experiments": {"fig11": {"wall_s": 1.0}}}
+    fast = {"experiments": {"fig11": {"wall_s": 1.1}}}
+    slow = {"experiments": {"fig11": {"wall_s": 1.3},
+                            "untracked": {"wall_s": 9.9}}}
+    assert check_regressions(fast, committed) == []
+    failures = check_regressions(slow, committed)
+    assert len(failures) == 1 and failures[0].startswith("fig11")
+    # Nothing committed -> nothing to regress against.
+    assert check_regressions(slow, {}) == []

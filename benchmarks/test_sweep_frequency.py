@@ -10,21 +10,34 @@ import pytest
 
 from repro import units
 from repro.core.frequency import optimal_frequency, wasted_gpu_hours
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, run_cells
+from repro.parallel import Cell
 from repro.tasks.fault_tolerance import measure_checkpoint_overhead
 
 APP = "ppo-train"
 FAILURES = 1.0
 
 
-def run() -> ExperimentResult:
+def run_cell(cell: Cell) -> list[dict]:
+    """The one measured cell: per-checkpoint stall on the real workload.
+
+    The §A.1 curve evaluation is pure arithmetic over this measurement,
+    so only the world build-and-measure fans out.
+    """
+    m = measure_checkpoint_overhead("phos", cell.config["app"])
+    return [dict(checkpoint_stall=m.checkpoint_stall)]
+
+
+def run(jobs=None) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="sweep-frequency",
         title=f"Wasted GPU fraction vs checkpoint frequency ({APP})",
         columns=["ckpt_per_hour", "wasted_frac", "is_optimum"],
     )
-    m = measure_checkpoint_overhead("phos", APP)
-    overhead_h = m.checkpoint_stall / units.HOUR
+    (rows,) = run_cells(run_cell, [Cell("sweep-frequency", ("measure", APP),
+                                        {"app": APP})],
+                        jobs=jobs, label="sweep-frequency")
+    overhead_h = rows[0]["checkpoint_stall"] / units.HOUR
     restore_h = 30.0 / units.HOUR
     f_star = optimal_frequency(1, FAILURES, overhead_h)
     for factor in (0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 10.0):

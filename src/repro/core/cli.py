@@ -137,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("bench", help="regenerate one paper figure/table")
     p.add_argument("--exp", required=True, choices=sorted(_EXPERIMENTS))
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="fan independent experiment cells out over N "
+                        "worker processes (default: $REPRO_JOBS or 1; "
+                        "output is bit-identical at any N)")
     p.add_argument("--obs", action="store_true",
                    help="print one observability report per simulated world")
     p.add_argument("--profile", nargs="?", const="", metavar="FILE",
@@ -304,9 +308,14 @@ def cmd_study(args) -> int:
 def cmd_bench(args) -> int:
     import importlib
 
+    from repro import parallel
+
+    if args.jobs is not None:
+        parallel.set_default_jobs(args.jobs)
     module = importlib.import_module(_EXPERIMENTS[args.exp])
     if not args.obs:
         print(module.run().format())
+        _report_parallel(args)
         return 0
     from repro import obs
     from repro.experiments import harness
@@ -315,6 +324,7 @@ def cmd_bench(args) -> int:
     harness.collected_observers.clear()
     try:
         print(module.run().format())
+        _report_parallel(args)
         for label, observer in harness.collected_observers:
             _emit_obs(observer, label=label)
     finally:
@@ -322,6 +332,26 @@ def cmd_bench(args) -> int:
         harness.collected_observers.clear()
         obs.uninstall()
     return 0
+
+
+def _report_parallel(args) -> None:
+    """One summary line about the pool when ``--jobs`` was given."""
+    if args.jobs is None:
+        return
+    from repro import parallel
+
+    stats = parallel.last_run_stats()
+    if stats is None:
+        return
+    if stats.mode == "pool":
+        print(f"(parallel: {stats.n_cells} cells over {stats.workers_used} "
+              f"workers in {stats.wall_s:.2f}s, utilization "
+              f"{stats.utilization:.0%}, warm program-cache hits "
+              f"{stats.warm_cache_hits})")
+    else:
+        reason = stats.fallback_reason or "serial"
+        print(f"(parallel: serial fallback [{reason}], {stats.n_cells} "
+              f"cells in {stats.wall_s:.2f}s)")
 
 
 if __name__ == "__main__":

@@ -23,6 +23,9 @@ class BufferTable:
         self.gpu_index = gpu_index
         self._by_addr: dict[int, Buffer] = {}
         self._addrs: list[int] = []
+        #: Running byte total, maintained by register/unregister so
+        #: :meth:`total_bytes` is O(1) on the per-checkpoint hot path.
+        self._total_bytes = 0
         #: Memo for :meth:`resolve`.  Kernel arguments repeat across
         #: launches (the same pointer is speculated on every iteration),
         #: so the bisect lookup is memoized and flushed whenever the
@@ -34,6 +37,7 @@ class BufferTable:
             raise CheckpointError(f"buffer at {buf.addr:#x} registered twice")
         self._by_addr[buf.addr] = buf
         bisect.insort(self._addrs, buf.addr)
+        self._total_bytes += buf.size
         self._resolve_memo.clear()
 
     def unregister(self, buf: Buffer) -> None:
@@ -41,6 +45,7 @@ class BufferTable:
             raise CheckpointError(f"buffer at {buf.addr:#x} is not registered")
         del self._by_addr[buf.addr]
         self._addrs.remove(buf.addr)
+        self._total_bytes -= buf.size
         self._resolve_memo.clear()
 
     def resolve(self, addr: int) -> Optional[Buffer]:
@@ -65,7 +70,7 @@ class BufferTable:
         return (self._by_addr[a] for a in self._addrs)
 
     def total_bytes(self) -> int:
-        return sum(b.size for b in self._by_addr.values())
+        return self._total_bytes
 
     def __len__(self) -> int:
         return len(self._by_addr)

@@ -9,7 +9,8 @@ overlapping the copy; cuda-checkpoint is orders of magnitude slower.
 
 from __future__ import annotations
 
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, run_cells
+from repro.parallel import Cell
 from repro.tasks.fault_tolerance import (
     SYSTEMS,
     measure_checkpoint_overhead,
@@ -22,23 +23,38 @@ CHECKPOINT_APPS = ("resnet152-train", "ppo-train", "sd-train",
 RESTORE_APPS = ("resnet152-infer", "llama2-13b-infer")
 
 
+def cells(checkpoint_apps=CHECKPOINT_APPS,
+          restore_apps=RESTORE_APPS) -> list[Cell]:
+    """One cell per (direction, app, system) — each an isolated world."""
+    out = [Cell("fig11", ("checkpoint", app, system))
+           for app in checkpoint_apps for system in SYSTEMS]
+    out += [Cell("fig11", ("restore", app, system))
+            for app in restore_apps for system in SYSTEMS]
+    return out
+
+
+def run_cell(cell: Cell) -> list[dict]:
+    direction, app, system = cell.key
+    if direction == "checkpoint":
+        m = measure_checkpoint_overhead(system, app)
+        return [dict(direction="checkpoint", app=app, system=system,
+                     stall_s=m.checkpoint_stall if m.supported else None,
+                     supported=m.supported)]
+    stall = measure_restore_time(system, app)
+    return [dict(direction="restore", app=app, system=system,
+                 stall_s=stall, supported=stall == stall)]
+
+
 def run(checkpoint_apps=CHECKPOINT_APPS,
-        restore_apps=RESTORE_APPS) -> ExperimentResult:
+        restore_apps=RESTORE_APPS, jobs=None) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig11",
         title="Application stall time by C/R system",
         columns=["direction", "app", "system", "stall_s", "supported"],
         notes="paper: L13B-train ckpt stall PHOS 0.185 s vs Singularity 3.2 s",
     )
-    for app in checkpoint_apps:
-        for system in SYSTEMS:
-            m = measure_checkpoint_overhead(system, app)
-            result.add(direction="checkpoint", app=app, system=system,
-                       stall_s=m.checkpoint_stall if m.supported else None,
-                       supported=m.supported)
-    for app in restore_apps:
-        for system in SYSTEMS:
-            stall = measure_restore_time(system, app)
-            result.add(direction="restore", app=app, system=system,
-                       stall_s=stall, supported=stall == stall)
+    for rows in run_cells(run_cell, cells(checkpoint_apps, restore_apps),
+                          jobs=jobs, label="fig11"):
+        for row in rows:
+            result.add(**row)
     return result

@@ -17,11 +17,20 @@ from repro.experiments.harness import (
     ExperimentResult,
     build_world,
     experiment_config,
+    run_cells,
     setup_app,
 )
 from repro.obs.export import app_stall_components
+from repro.parallel import Cell
 
 APP = "llama2-13b-train"
+
+#: (variant, system, prioritized) — one isolated world each.
+VARIANTS = (
+    ("phos-cow", "phos", True),
+    ("phos-cow-no-prioritized-pcie", "phos", False),
+    ("singularity", "singularity", True),
+)
 
 
 def _measure(system: str, prioritized: bool = True, steps: int = 3):
@@ -61,7 +70,20 @@ def _measure(system: str, prioritized: bool = True, steps: int = 3):
     return base, stall, quiesce_s, cow_stall, attributed
 
 
-def run() -> ExperimentResult:
+def cells() -> list[Cell]:
+    return [Cell("fig16", key) for key in VARIANTS]
+
+
+def run_cell(cell: Cell) -> list[dict]:
+    variant, system, prioritized = cell.key
+    base, stall, quiesce_s, cow_stall, attributed = _measure(
+        system, prioritized)
+    return [dict(variant=variant, iter_s=base, total_stall_s=stall,
+                 quiesce_s=quiesce_s, cow_stall_s=cow_stall,
+                 attributed_s=attributed)]
+
+
+def run(jobs=None) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig16",
         title="CoW checkpoint stall breakdown (Llama2-13B training)",
@@ -71,14 +93,7 @@ def run() -> ExperimentResult:
               "on starved batch loads; Singularity stalls for the full copy"
               " (attributed_s needs --obs: gate + guard + DMA wait + twin)",
     )
-    for variant, system, prioritized in (
-        ("phos-cow", "phos", True),
-        ("phos-cow-no-prioritized-pcie", "phos", False),
-        ("singularity", "singularity", True),
-    ):
-        base, stall, quiesce_s, cow_stall, attributed = _measure(
-            system, prioritized)
-        result.add(variant=variant, iter_s=base, total_stall_s=stall,
-                   quiesce_s=quiesce_s, cow_stall_s=cow_stall,
-                   attributed_s=attributed)
+    for rows in run_cells(run_cell, cells(), jobs=jobs, label="fig16"):
+        for row in rows:
+            result.add(**row)
     return result

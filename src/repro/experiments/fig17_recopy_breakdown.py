@@ -17,8 +17,10 @@ from repro.experiments.harness import (
     ExperimentResult,
     build_world,
     experiment_config,
+    run_cells,
     setup_app,
 )
+from repro.parallel import Cell
 
 APP = "llama3-70b-infer"
 
@@ -64,7 +66,27 @@ def _measure_singularity():
     return downtime
 
 
-def run() -> ExperimentResult:
+def cells() -> list[Cell]:
+    return [
+        Cell("fig17", ("phos-recopy",), {"coordinated": True}),
+        Cell("fig17", ("phos-recopy-uncoordinated",), {"coordinated": False}),
+        Cell("fig17", ("singularity",)),
+    ]
+
+
+def run_cell(cell: Cell) -> list[dict]:
+    (variant,) = cell.key
+    if variant == "singularity":
+        return [dict(variant=variant, quiesce_s=None, recopy_s_per_gpu=None,
+                     recopied_gb_per_gpu=None,
+                     stop_world_s=_measure_singularity())]
+    quiesce_s, recopy_s, gb = _measure_recopy(cell.config["coordinated"])
+    return [dict(variant=variant, quiesce_s=quiesce_s,
+                 recopy_s_per_gpu=recopy_s, recopied_gb_per_gpu=gb,
+                 stop_world_s=None)]
+
+
+def run(jobs=None) -> ExperimentResult:
     result = ExperimentResult(
         exp_id="fig17",
         title="Recopy checkpoint breakdown (Llama3-70B inference, 8 GPUs)",
@@ -74,12 +96,7 @@ def run() -> ExperimentResult:
               "per GPU (47% less recopy time); recopy downtime 2.1 s vs "
               "9.7 s stop-the-world",
     )
-    for variant, coordinated in (("phos-recopy", True),
-                                 ("phos-recopy-uncoordinated", False)):
-        quiesce_s, recopy_s, gb = _measure_recopy(coordinated)
-        result.add(variant=variant, quiesce_s=quiesce_s,
-                   recopy_s_per_gpu=recopy_s, recopied_gb_per_gpu=gb,
-                   stop_world_s=None)
-    result.add(variant="singularity", quiesce_s=None, recopy_s_per_gpu=None,
-               recopied_gb_per_gpu=None, stop_world_s=_measure_singularity())
+    for rows in run_cells(run_cell, cells(), jobs=jobs, label="fig17"):
+        for row in rows:
+            result.add(**row)
     return result

@@ -15,8 +15,10 @@ from repro.experiments.harness import (
     ExperimentResult,
     build_world,
     experiment_config,
+    run_cells,
     setup_app,
 )
+from repro.parallel import Cell
 
 APP = "llama2-13b-infer"
 TOKENS = 8
@@ -38,16 +40,8 @@ def _prepare_image():
     return world, image
 
 
-def run() -> ExperimentResult:
-    result = ExperimentResult(
-        exp_id="fig18",
-        title="Concurrent-restore breakdown (Llama2-13B inference)",
-        columns=["variant", "context_s", "time_to_resume_s",
-                 "first_token_s", "n_tokens_total_s", "restore_stall_s"],
-        notes="paper: PHOS removes the 3.1 s context barrier and overlaps "
-              "copy with execution",
-    )
-    # --- PHOS concurrent restore -------------------------------------------------
+def _measure_phos() -> dict:
+    """PHOS concurrent restore (pooled contexts, copy overlaps decode)."""
     world, image = _prepare_image()
     eng = world.engine
     worker = Machine(eng, name="worker", n_gpus=world.spec.n_gpus)
@@ -70,14 +64,16 @@ def run() -> ExperimentResult:
         return (resume_at - t0, first_tok - t0, done - t0,
                 session.stall_time)
 
-    ctx_s = None
     resume_s, first_s, total_s, stall_s = eng.run_process(phos_driver(eng))
     eng.run()
     ctx_s = phos2.tracer.total("context-setup")
-    result.add(variant="phos-concurrent", context_s=ctx_s,
-               time_to_resume_s=resume_s, first_token_s=first_s,
-               n_tokens_total_s=total_s, restore_stall_s=stall_s)
-    # --- Singularity stop-the-world restore ----------------------------------------
+    return dict(variant="phos-concurrent", context_s=ctx_s,
+                time_to_resume_s=resume_s, first_token_s=first_s,
+                n_tokens_total_s=total_s, restore_stall_s=stall_s)
+
+
+def _measure_singularity() -> dict:
+    """Stop-the-world restore: contexts from scratch, full copy upfront."""
     world, image = _prepare_image()
     eng = world.engine
     worker = Machine(eng, name="worker", n_gpus=world.spec.n_gpus)
@@ -98,8 +94,34 @@ def run() -> ExperimentResult:
 
     resume_s, first_s, total_s = eng.run_process(sing_driver(eng))
     eng.run()
-    result.add(variant="singularity-stop-world",
-               context_s=phos2.tracer.total("context-create"),
-               time_to_resume_s=resume_s, first_token_s=first_s,
-               n_tokens_total_s=total_s, restore_stall_s=None)
+    return dict(variant="singularity-stop-world",
+                context_s=phos2.tracer.total("context-create"),
+                time_to_resume_s=resume_s, first_token_s=first_s,
+                n_tokens_total_s=total_s, restore_stall_s=None)
+
+
+def cells() -> list[Cell]:
+    return [Cell("fig18", ("phos-concurrent",)),
+            Cell("fig18", ("singularity-stop-world",))]
+
+
+def run_cell(cell: Cell) -> list[dict]:
+    (variant,) = cell.key
+    if variant == "phos-concurrent":
+        return [_measure_phos()]
+    return [_measure_singularity()]
+
+
+def run(jobs=None) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig18",
+        title="Concurrent-restore breakdown (Llama2-13B inference)",
+        columns=["variant", "context_s", "time_to_resume_s",
+                 "first_token_s", "n_tokens_total_s", "restore_stall_s"],
+        notes="paper: PHOS removes the 3.1 s context barrier and overlaps "
+              "copy with execution",
+    )
+    for rows in run_cells(run_cell, cells(), jobs=jobs, label="fig18"):
+        for row in rows:
+            result.add(**row)
     return result

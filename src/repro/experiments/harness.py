@@ -9,7 +9,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro import obs, units
+from repro import obs, parallel, units
 from repro.apps.base import provision
 from repro.apps.specs import get_spec
 from repro.cluster import Machine
@@ -26,6 +26,20 @@ OBSERVE = False
 #: Observers created by :func:`build_world` while :data:`OBSERVE` was on,
 #: as ``(label, observer)`` pairs in creation order.
 collected_observers: list[tuple[str, "obs.Observer"]] = []
+
+
+def run_cells(runner, cells, jobs=None, label: str = "") -> list:
+    """Fan experiment cells out over the process pool; merge in order.
+
+    Thin wrapper over :func:`repro.parallel.run_cells` that pins the
+    execution serial while ``--obs`` is active: observers live
+    in-process (``build_world`` installs them into
+    :data:`collected_observers`), so observed runs must not cross a
+    process boundary.  Results keep the declared cell order either
+    way — output is bit-identical at any job count.
+    """
+    return parallel.run_cells(runner, cells, jobs=jobs, label=label,
+                              serial_only=OBSERVE)
 
 
 def experiment_config(**tunables) -> ProtocolConfig:

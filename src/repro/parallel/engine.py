@@ -1,0 +1,354 @@
+"""The parallel experiment engine: cells, the pool, and the merge.
+
+Execution model
+---------------
+
+A *cell* is one ``(exp_id, cell_key, config)`` tuple naming an isolated
+measurement: the runner builds a fresh world (engine + machine + PHOS +
+app), measures, and returns plain picklable rows.  Cells share no
+state, so :func:`run_cells` may execute them in any order on any
+worker; determinism comes entirely from the **merge**, which returns
+results indexed by the declared cell order, never by completion order.
+
+Determinism contract
+--------------------
+
+``run_cells(runner, cells, jobs=N)`` produces the exact same list of
+results for every ``N`` (including the in-process serial fallback)
+provided the runner is a *pure function of its cell*: it must build
+its own world and derive nothing from process-global mutable state.
+The figure goldens under ``tests/goldens/`` pin this bit-for-bit at
+``--jobs 1`` and ``--jobs 4``.
+
+Workers are **spawn**-started (the portable, state-clean choice): each
+worker is a fresh interpreter that imports the runner by qualified
+name.  The worker initializer enables the per-worker warm
+:class:`~repro.gpu.isa.Program` cache (see
+:func:`repro.apps.base.enable_program_cache`) so consecutive cells on
+one worker reuse compiled kernel plans — a wall-clock optimization
+that is result-invariant because plans re-prove their preconditions
+against the actual memory at every bind.
+
+Fallback path
+-------------
+
+The pool is skipped — cells run serially, in declared order, in this
+process — whenever any of these hold:
+
+* resolved ``jobs <= 1`` or there is at most one cell;
+* ``REPRO_NO_PARALLEL=1`` (determinism debugging: one process, one
+  thread, breakpoints work);
+* this process *is* a pool worker (no nested pools);
+* ``serial_only=True`` was passed (the harness does this when ``--obs``
+  is active, because observers live in-process);
+* the runner or a cell fails to pickle, or the pool cannot be created.
+
+Every fallback bumps the ``parallel/fallback`` obs counter with a
+``reason`` label.
+
+Failure surfacing
+-----------------
+
+A cell that raises — or a worker that dies mid-cell — surfaces as a
+:class:`CellError` naming the experiment and the cell key.  The merge
+never hangs: a dead worker breaks its pool, which fails the pending
+futures immediately.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro import obs
+from repro.errors import ReproError
+
+#: Environment variable naming the default worker count (``--jobs``
+#: beats it; absent/unparsable means 1 = serial).
+JOBS_ENV = "REPRO_JOBS"
+
+#: Set to ``1`` to force the in-process serial fallback everywhere.
+NO_PARALLEL_ENV = "REPRO_NO_PARALLEL"
+
+#: Present (with any value) inside pool workers; guards nested pools.
+WORKER_ENV = "REPRO_PARALLEL_WORKER"
+
+#: Process-wide default set by ``phos ... --jobs`` (None → environment).
+_default_jobs: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent measurement: ``(exp_id, cell_key, config)``.
+
+    ``key`` labels the cell in merge order, error messages, and stats;
+    ``config`` carries the runner's picklable keyword payload.
+    """
+
+    exp_id: str
+    key: tuple
+    config: dict = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return f"{self.exp_id}[{', '.join(str(k) for k in self.key)}]"
+
+
+class CellError(ReproError):
+    """A cell failed (runner exception or worker death); names the cell."""
+
+    def __init__(self, cell: Cell, cause: BaseException) -> None:
+        self.cell = cell
+        super().__init__(
+            f"cell {cell.describe()} failed: {cause.__class__.__name__}: {cause}"
+        )
+
+
+@dataclass
+class PoolRunStats:
+    """What one :func:`run_cells` call did (wall clock, not virtual)."""
+
+    label: str
+    mode: str                      # "pool" | "serial"
+    jobs: int
+    n_cells: int
+    wall_s: float = 0.0
+    #: Per-cell wall seconds, in declared cell order.
+    cell_wall_s: list = field(default_factory=list)
+    #: sum(cell_wall_s) / (wall_s * jobs) — busy fraction of the pool.
+    utilization: float = 0.0
+    #: Warm ``Program``-cache hits summed over workers (0 when serial).
+    warm_cache_hits: int = 0
+    #: Distinct worker PIDs that ran at least one cell.
+    workers_used: int = 0
+    fallback_reason: str = ""
+
+
+_last_stats: Optional[PoolRunStats] = None
+
+
+def last_run_stats() -> Optional[PoolRunStats]:
+    """Stats of the most recent :func:`run_cells` call, if any."""
+    return _last_stats
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Install a process-wide default worker count (the CLI's ``--jobs``)."""
+    global _default_jobs
+    _default_jobs = jobs
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg > ``--jobs`` default > $REPRO_JOBS > 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    if _default_jobs is not None:
+        return max(1, int(_default_jobs))
+    env = os.environ.get(JOBS_ENV, "")
+    try:
+        return max(1, int(env))
+    except ValueError:
+        return 1
+
+
+# --------------------------------------------------------------------------
+# the shared pool
+# --------------------------------------------------------------------------
+
+#: One persistent executor per (max_workers, env signature).  Reuse
+#: across run_cells calls keeps workers — and their warm Program/plan
+#: caches — alive for a whole ``phos bench`` / bench-harness session.
+_pools: dict[tuple, ProcessPoolExecutor] = {}
+
+
+def _env_signature() -> tuple:
+    """Parent-env values baked into workers at spawn time.
+
+    Workers inherit the environment once; flags read dynamically by the
+    simulator (the fast-path kill switch) must therefore key the pool,
+    so tests flipping ``REPRO_NO_FASTPATH`` get matching workers.
+    """
+    return (os.environ.get("REPRO_NO_FASTPATH", ""),)
+
+
+def _get_pool(max_workers: int) -> ProcessPoolExecutor:
+    import multiprocessing
+
+    key = (max_workers, _env_signature())
+    pool = _pools.get(key)
+    if pool is None:
+        from repro.parallel import worker
+
+        pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=worker.init_worker,
+        )
+        _pools[key] = pool
+        obs.counter("parallel/pool/spawned").inc()
+    return pool
+
+
+def shutdown_pool() -> None:
+    """Tear down every cached executor (tests, atexit)."""
+    global _pools
+    pools, _pools = _pools, {}
+    for pool in pools.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(shutdown_pool)
+
+
+def _drop_pool(pool: ProcessPoolExecutor) -> None:
+    """Forget a broken executor so the next call starts a fresh one."""
+    for key, cached in list(_pools.items()):
+        if cached is pool:
+            del _pools[key]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+# --------------------------------------------------------------------------
+# execution
+# --------------------------------------------------------------------------
+
+def _picklable(runner, cells) -> bool:
+    try:
+        pickle.dumps(runner)
+        pickle.dumps(cells)
+        return True
+    except Exception:
+        return False
+
+
+def _run_serial(runner, cells: Sequence[Cell], stats: PoolRunStats) -> list:
+    results = []
+    for cell in cells:
+        t0 = time.perf_counter()
+        try:
+            results.append(runner(cell))
+        except Exception as exc:
+            raise CellError(cell, exc) from exc
+        stats.cell_wall_s.append(time.perf_counter() - t0)
+    return results
+
+
+def run_cells(runner: Callable[[Cell], object], cells: Sequence[Cell],
+              jobs: Optional[int] = None, label: str = "",
+              serial_only: bool = False) -> list:
+    """Execute ``runner(cell)`` for every cell; results in declared order.
+
+    ``runner`` must be a module-level callable (workers import it by
+    qualified name) and a pure function of its cell.  Returns one
+    result per cell, ordered like ``cells`` regardless of completion
+    order.  Raises :class:`CellError` for the first failing cell in
+    declared order.
+    """
+    global _last_stats
+    cells = list(cells)
+    n = resolve_jobs(jobs)
+    label = label or (cells[0].exp_id if cells else "empty")
+    stats = PoolRunStats(label=label, mode="serial", jobs=1, n_cells=len(cells))
+    _last_stats = stats
+
+    reason = ""
+    if serial_only:
+        reason = "serial-only"
+    elif os.environ.get(NO_PARALLEL_ENV):
+        reason = "env"
+    elif os.environ.get(WORKER_ENV):
+        reason = "nested"
+    elif n <= 1 or len(cells) <= 1:
+        reason = "jobs"
+    elif not _picklable(runner, cells):
+        reason = "pickle"
+
+    t0 = time.perf_counter()
+    if reason:
+        if reason not in ("jobs",):
+            obs.counter("parallel/fallback", reason=reason).inc()
+        stats.fallback_reason = reason
+        results = _run_serial(runner, cells, stats)
+        stats.wall_s = time.perf_counter() - t0
+        stats.utilization = 1.0 if stats.wall_s else 0.0
+        stats.workers_used = 1
+        _record_obs(stats)
+        return results
+
+    # Size the executor by the resolved job count, not the cell count:
+    # workers spawn lazily, and a jobs-keyed pool is shared across every
+    # figure in a bench session (warm Program/plan caches included).
+    max_workers = n
+    try:
+        pool = _get_pool(max_workers)
+    except OSError as exc:  # pragma: no cover - resource exhaustion
+        obs.counter("parallel/fallback", reason="pool").inc()
+        stats.fallback_reason = f"pool: {exc}"
+        results = _run_serial(runner, cells, stats)
+        stats.wall_s = time.perf_counter() - t0
+        stats.utilization = 1.0 if stats.wall_s else 0.0
+        stats.workers_used = 1
+        _record_obs(stats)
+        return results
+
+    from repro.parallel import worker
+
+    stats.mode = "pool"
+    stats.jobs = max_workers
+    results = []
+    futures = []
+    pids = set()
+    broken = False
+    try:
+        # Submission is inside the broken-pool handling too: a worker
+        # dying right after an early submit breaks the pool and makes
+        # the *next* submit() raise BrokenProcessPool itself.
+        try:
+            for cell in cells:
+                futures.append(pool.submit(worker.invoke, runner, cell))
+        except BrokenProcessPool as exc:
+            broken = True
+            raise CellError(cell, exc) from exc
+        for cell, future in zip(cells, futures):
+            try:
+                outcome = future.result()
+            except BrokenProcessPool as exc:
+                broken = True
+                raise CellError(cell, exc) from exc
+            except Exception as exc:
+                raise CellError(cell, exc) from exc
+            results.append(outcome.result)
+            stats.cell_wall_s.append(outcome.wall_s)
+            stats.warm_cache_hits += outcome.warm_hits
+            pids.add(outcome.pid)
+    finally:
+        if broken:
+            _drop_pool(pool)
+        stats.wall_s = time.perf_counter() - t0
+        stats.workers_used = len(pids)
+        busy = sum(stats.cell_wall_s)
+        if stats.wall_s > 0 and max_workers > 0:
+            stats.utilization = busy / (stats.wall_s * max_workers)
+        _record_obs(stats)
+    return results
+
+
+def _record_obs(stats: PoolRunStats) -> None:
+    """Mirror the run's stats into obs counters when an observer is on."""
+    if not obs.enabled():
+        return
+    obs.counter("parallel/cells", mode=stats.mode, exp=stats.label) \
+        .inc(len(stats.cell_wall_s))
+    obs.counter("parallel/cell_wall_s", exp=stats.label) \
+        .inc(sum(stats.cell_wall_s))
+    if stats.warm_cache_hits:
+        obs.counter("parallel/warm_program_hits", exp=stats.label) \
+            .inc(stats.warm_cache_hits)
+    if stats.mode == "pool":
+        obs.gauge("parallel/utilization", exp=stats.label) \
+            .set(stats.utilization)

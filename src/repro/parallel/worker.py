@@ -1,0 +1,59 @@
+"""Pool-worker side of the parallel experiment engine.
+
+Each worker is a **spawned** interpreter: nothing leaks in from the
+parent except the environment and the pickled ``(runner, cell)``
+pairs.  :func:`init_worker` runs once per worker process and
+
+* marks the process as a worker (``REPRO_PARALLEL_WORKER=1``) so a
+  runner that itself calls :func:`repro.parallel.run_cells` degrades
+  to serial instead of nesting pools;
+* enables the warm :class:`~repro.gpu.isa.Program` cache
+  (:func:`repro.apps.base.enable_program_cache`): consecutive cells on
+  the same worker rebuild identical kernel binaries, so sharing the
+  ``Program`` objects lets the compiled-plan cache of PR 2 stay warm
+  across cells.  This is purely a wall-clock effect — plans re-prove
+  their bind-time preconditions against the actual device memory on
+  every launch, so results stay bit-identical.
+
+:func:`invoke` wraps one cell run with wall-clock and warm-hit
+accounting; the parent folds these into
+:class:`~repro.parallel.engine.PoolRunStats`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+
+def init_worker() -> None:
+    os.environ[
+        "REPRO_PARALLEL_WORKER"
+    ] = "1"  # literal: engine.WORKER_ENV (kept import-light for spawn)
+    from repro.apps import base
+
+    base.enable_program_cache()
+
+
+@dataclass
+class CellOutcome:
+    """One executed cell: its result plus worker-side accounting."""
+
+    result: object
+    wall_s: float
+    warm_hits: int
+    pid: int
+
+
+def invoke(runner, cell) -> CellOutcome:
+    """Run one cell in this worker; called via ``pool.submit``."""
+    from repro.apps import base
+
+    hits0 = base.program_cache_hits()
+    t0 = time.perf_counter()
+    result = runner(cell)
+    wall = time.perf_counter() - t0
+    return CellOutcome(result=result, wall_s=wall,
+                       warm_hits=base.program_cache_hits() - hits0,
+                       pid=os.getpid())

@@ -80,6 +80,20 @@ def test_table_total_bytes(mem, table):
     assert table.total_bytes() == 1024
 
 
+def test_table_total_bytes_tracks_unregister(mem, table):
+    # The total is a running counter (O(1) on the checkpoint hot path):
+    # it must stay exact through register/unregister churn.
+    a = alloc(mem, table, 512)
+    b = alloc(mem, table, 256)
+    table.unregister(a)
+    assert table.total_bytes() == 256
+    table.register(a)
+    assert table.total_bytes() == 768
+    table.unregister(a)
+    table.unregister(b)
+    assert table.total_bytes() == 0
+
+
 # --- declared semantics (types 1-3) -----------------------------------------
 
 

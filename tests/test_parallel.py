@@ -1,0 +1,229 @@
+"""The parallel experiment engine: determinism, merge order, failures.
+
+Two layers of coverage:
+
+* **Engine unit tests** — declared-order merge under out-of-order
+  completion, failed cells surfacing as :class:`CellError` with their
+  cell key (runner exceptions *and* dead workers, which must break the
+  pool instead of hanging the merge), the ``REPRO_NO_PARALLEL``/
+  pickling/nested-worker fallbacks, job resolution precedence, and the
+  warm ``Program`` cache.
+* **Figure golden bit-identity** — the four goldened figures must
+  format identically at ``--jobs 1`` (in-process serial) and
+  ``--jobs 4`` (spawned pool).  CI re-runs these with
+  ``REPRO_NO_FASTPATH=1`` (see the ``parallel-matrix`` job), covering
+  the fast-path-off half of the determinism matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import parallel
+from repro.parallel import Cell, CellError
+from repro.parallel.engine import JOBS_ENV, NO_PARALLEL_ENV, WORKER_ENV
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+# -- module-level runners (pool workers import these by name) ---------------------
+
+def echo_cell(cell: Cell) -> tuple:
+    return ("ran", cell.key, cell.config.get("value"))
+
+
+def sleepy_cell(cell: Cell) -> tuple:
+    # Later-declared cells sleep less, so pool completion order is the
+    # reverse of declared order — the merge must undo that.
+    time.sleep(cell.config["sleep_s"])
+    return cell.key
+
+
+def boom_cell(cell: Cell):
+    if cell.config.get("boom"):
+        raise ValueError(f"injected failure in {cell.key}")
+    return cell.key
+
+
+def die_cell(cell: Cell):
+    if cell.config.get("die"):
+        os._exit(3)  # simulate a segfaulting worker, not an exception
+    return cell.key
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_cleanup():
+    # One shared pool serves the whole module (workers and their warm
+    # caches are reused across tests, like a real bench session).
+    yield
+    parallel.shutdown_pool()
+
+
+@pytest.fixture
+def no_env(monkeypatch):
+    for var in (JOBS_ENV, NO_PARALLEL_ENV, WORKER_ENV):
+        monkeypatch.delenv(var, raising=False)
+
+
+# -- job resolution ---------------------------------------------------------------
+
+def test_resolve_jobs_precedence(no_env, monkeypatch):
+    assert parallel.resolve_jobs() == 1
+    monkeypatch.setenv(JOBS_ENV, "3")
+    assert parallel.resolve_jobs() == 3
+    parallel.set_default_jobs(2)
+    try:
+        assert parallel.resolve_jobs() == 2     # CLI default beats env
+        assert parallel.resolve_jobs(5) == 5    # explicit beats both
+    finally:
+        parallel.set_default_jobs(None)
+    monkeypatch.setenv(JOBS_ENV, "banana")
+    assert parallel.resolve_jobs() == 1
+
+
+# -- merge order ------------------------------------------------------------------
+
+def test_serial_results_keep_declared_order(no_env):
+    cells = [Cell("t", (i,), {"value": i * 10}) for i in range(5)]
+    results = parallel.run_cells(echo_cell, cells, jobs=1)
+    assert results == [("ran", (i,), i * 10) for i in range(5)]
+    stats = parallel.last_run_stats()
+    assert stats.mode == "serial"
+    assert len(stats.cell_wall_s) == 5
+
+
+def test_pool_merge_is_declared_order_not_completion_order(no_env):
+    n = 4
+    cells = [Cell("t", (i,), {"sleep_s": (n - i) * 0.15}) for i in range(n)]
+    results = parallel.run_cells(sleepy_cell, cells, jobs=n)
+    assert results == [(i,) for i in range(n)]
+    stats = parallel.last_run_stats()
+    assert stats.mode == "pool"
+    assert stats.n_cells == n
+    assert stats.workers_used >= 2
+
+
+# -- failure surfacing ------------------------------------------------------------
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_failed_cell_raises_with_its_key(no_env, jobs):
+    cells = [Cell("exp", ("ok",)),
+             Cell("exp", ("bad", "cell"), {"boom": True}),
+             Cell("exp", ("later",))]
+    with pytest.raises(CellError) as err:
+        parallel.run_cells(boom_cell, cells, jobs=jobs)
+    assert "exp[bad, cell]" in str(err.value)
+    assert err.value.cell.key == ("bad", "cell")
+
+
+def test_dead_worker_surfaces_instead_of_hanging(no_env):
+    cells = [Cell("exp", ("victim",), {"die": True}),
+             Cell("exp", ("bystander",))]
+    with pytest.raises(CellError) as err:
+        parallel.run_cells(die_cell, cells, jobs=2)
+    assert "exp[" in str(err.value)
+    # The broken pool was dropped: the next run gets a fresh one and works.
+    results = parallel.run_cells(echo_cell, [Cell("exp", ("again",))] * 2,
+                                 jobs=2)
+    assert results == [("ran", ("again",), None)] * 2
+
+
+# -- fallbacks --------------------------------------------------------------------
+
+def test_no_parallel_env_forces_serial(no_env, monkeypatch):
+    monkeypatch.setenv(NO_PARALLEL_ENV, "1")
+    cells = [Cell("t", (i,)) for i in range(3)]
+    results = parallel.run_cells(echo_cell, cells, jobs=4)
+    assert [r[1] for r in results] == [(0,), (1,), (2,)]
+    stats = parallel.last_run_stats()
+    assert stats.mode == "serial"
+    assert stats.fallback_reason == "env"
+
+
+def test_unpicklable_runner_falls_back_to_serial(no_env):
+    captured = []
+
+    def local_runner(cell):  # closures don't pickle
+        captured.append(cell.key)
+        return cell.key
+
+    cells = [Cell("t", (i,)) for i in range(3)]
+    results = parallel.run_cells(local_runner, cells, jobs=4)
+    assert results == [(0,), (1,), (2,)]
+    assert captured == [(0,), (1,), (2,)]
+    assert parallel.last_run_stats().fallback_reason == "pickle"
+
+
+def test_worker_processes_never_nest_pools(no_env, monkeypatch):
+    monkeypatch.setenv(WORKER_ENV, "1")
+    results = parallel.run_cells(echo_cell, [Cell("t", (i,)) for i in range(2)],
+                                 jobs=4)
+    assert len(results) == 2
+    assert parallel.last_run_stats().fallback_reason == "nested"
+
+
+def test_serial_only_flag_pins_observed_runs(no_env):
+    results = parallel.run_cells(echo_cell, [Cell("t", (i,)) for i in range(2)],
+                                 jobs=4, serial_only=True)
+    assert len(results) == 2
+    assert parallel.last_run_stats().fallback_reason == "serial-only"
+
+
+# -- warm Program cache -----------------------------------------------------------
+
+def test_program_cache_reuses_identical_binaries(monkeypatch):
+    from repro.apps import base
+
+    monkeypatch.setattr(base, "_program_cache", {})
+    monkeypatch.setattr(base, "_program_cache_hits", 0)
+    from repro.gpu.program import build_copy
+
+    first = base._build_program(build_copy, "k0")
+    again = base._build_program(build_copy, "k0")
+    other = base._build_program(build_copy, "k1")
+    assert again is first
+    assert other is not first
+    assert base.program_cache_hits() == 1
+
+
+def test_program_cache_off_by_default(monkeypatch):
+    from repro.apps import base
+
+    monkeypatch.setattr(base, "_program_cache", None)
+    from repro.gpu.program import build_copy
+
+    assert base._build_program(build_copy, "k0") \
+        is not base._build_program(build_copy, "k0")
+
+
+# -- figure golden bit-identity ---------------------------------------------------
+
+def _golden(name: str) -> str:
+    return (GOLDENS / f"{name}.txt").read_text().rstrip("\n")
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_fig11_reduced_bit_identical_across_jobs(no_env, jobs):
+    from repro.experiments.fig11_stall import run
+
+    got = run(checkpoint_apps=("resnet152-train",),
+              restore_apps=("resnet152-infer",), jobs=jobs).format()
+    assert got.rstrip("\n") == _golden("fig11_reduced")
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+@pytest.mark.parametrize("fig,module", [
+    ("fig16", "repro.experiments.fig16_cow_breakdown"),
+    ("fig17", "repro.experiments.fig17_recopy_breakdown"),
+    ("fig18", "repro.experiments.fig18_restore_breakdown"),
+])
+def test_breakdown_figures_bit_identical_across_jobs(no_env, fig, module,
+                                                     jobs):
+    import importlib
+
+    got = importlib.import_module(module).run(jobs=jobs).format()
+    assert got.rstrip("\n") == _golden(fig)

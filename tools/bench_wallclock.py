@@ -13,10 +13,21 @@ Measures three things and writes them to ``BENCH_wallclock.json``:
 * **End-to-end experiment wall time** — fig11 / fig16 / fig17
   regenerated with the fast path on, against the pre-PR baseline
   recorded below, so future PRs get a perf trajectory.
+* **Parallel cell fan-out** (``experiments_parallel``) — the same
+  figures re-run through :mod:`repro.parallel` at ``--jobs N``,
+  recording per-figure parallel speedup, pool utilization, and warm
+  program-cache hits.  Output is bit-identical to the serial run (the
+  goldens pin this); only the wall clock moves.
+
+The tool also loads the **committed** ``BENCH_wallclock.json`` and
+exits nonzero when any tracked figure's serial wall time regresses
+more than 15% against it (``--no-regress-check`` to bypass, e.g. on a
+known-slower machine).
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_wallclock.py [--quick] [--out FILE]
+    PYTHONPATH=src python tools/bench_wallclock.py \
+        [--quick] [--jobs N] [--no-regress-check] [--out FILE]
 
 ``--quick`` runs a reduced workload set (fig11 + fig16, fewer
 micro-bench repetitions) for CI smoke jobs.
@@ -49,6 +60,22 @@ _EXPERIMENTS = {
     "fig16": "repro.experiments.fig16_cow_breakdown",
     "fig17": "repro.experiments.fig17_recopy_breakdown",
 }
+
+#: Committed reference report this run is compared against.
+COMMITTED_REPORT = REPO_ROOT / "BENCH_wallclock.json"
+
+#: A tracked figure may be at most this much slower (serial) than the
+#: committed report before the tool exits nonzero.
+REGRESS_TOLERANCE = 0.15
+
+
+def load_committed(path: Path = COMMITTED_REPORT) -> dict:
+    """The checked-in baseline report ({} when absent/unreadable)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return {}
 
 
 def bench_interpreter(repeats: int = 200) -> dict:
@@ -196,7 +223,58 @@ def bench_experiments(names: list[str], quick: bool = False) -> dict:
     return out
 
 
-def run_bench(quick: bool = False) -> dict:
+def bench_experiments_parallel(names: list[str], serial: dict,
+                               jobs: int = 4) -> dict:
+    """Per-figure wall time at ``--jobs N`` through the process pool.
+
+    ``serial`` is this run's ``experiments`` section; the parallel
+    speedup is measured against its wall times (same machine, same
+    run).  The shared pool persists across figures, so later figures
+    see warm workers and warm Program/plan caches.
+    """
+    from repro import parallel
+
+    out = {"jobs": jobs, "cpu_count": os.cpu_count()}
+    for name in names:
+        module = importlib.import_module(_EXPERIMENTS[name])
+        t0 = time.perf_counter()
+        module.run(jobs=jobs)
+        wall = time.perf_counter() - t0
+        stats = parallel.last_run_stats()
+        serial_wall = serial[name]["wall_s"]
+        out[name] = {
+            "wall_s_serial": serial_wall,
+            "wall_s_parallel": round(wall, 3),
+            "parallel_speedup": round(serial_wall / wall, 2),
+            "mode": stats.mode if stats else "unknown",
+            "n_cells": stats.n_cells if stats else 0,
+            "workers_used": stats.workers_used if stats else 0,
+            "utilization": round(stats.utilization, 3) if stats else 0.0,
+            "warm_cache_hits": stats.warm_cache_hits if stats else 0,
+        }
+    parallel.shutdown_pool()
+    return out
+
+
+def check_regressions(report: dict, committed: dict,
+                      tolerance: float = REGRESS_TOLERANCE) -> list[str]:
+    """Tracked figures whose serial wall regressed > tolerance."""
+    failures = []
+    baseline = committed.get("experiments", {})
+    for name, row in report.get("experiments", {}).items():
+        ref = baseline.get(name, {}).get("wall_s")
+        if not ref:
+            continue
+        if row["wall_s"] > ref * (1.0 + tolerance):
+            failures.append(
+                f"{name}: {row['wall_s']:.2f}s vs committed {ref:.2f}s "
+                f"(+{(row['wall_s'] / ref - 1.0) * 100:.0f}%, "
+                f"tolerance {tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def run_bench(quick: bool = False, jobs: int = 4) -> dict:
     experiments = ["fig11", "fig16"] if quick else ["fig11", "fig16", "fig17"]
     report = {
         "schema": "bench-wallclock/v1",
@@ -207,17 +285,26 @@ def run_bench(quick: bool = False) -> dict:
         "engine": bench_events(repeats=5 if quick else 20),
         "experiments": bench_experiments(experiments, quick=quick),
     }
+    report["experiments_parallel"] = bench_experiments_parallel(
+        experiments, report["experiments"], jobs=jobs)
     return report
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_wallclock.json"),
+    parser.add_argument("--out", default=str(COMMITTED_REPORT),
                         help="where to write the JSON report")
     parser.add_argument("--quick", action="store_true",
                         help="reduced workload set for CI smoke runs")
+    parser.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="worker processes for the parallel fan-out "
+                             "section (default 4)")
+    parser.add_argument("--no-regress-check", action="store_true",
+                        help="do not fail on >15%% serial regressions vs "
+                             "the committed BENCH_wallclock.json")
     args = parser.parse_args(argv)
-    report = run_bench(quick=args.quick)
+    committed = load_committed()
+    report = run_bench(quick=args.quick, jobs=args.jobs)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -232,7 +319,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name:12s}: {row['wall_s']:.2f}s wall "
               f"(baseline {row['baseline_wall_s']:.2f}s, "
               f"{row['speedup_vs_baseline']:.2f}x)")
+    par = report["experiments_parallel"]
+    for name in report["experiments"]:
+        row = par[name]
+        print(f"{name:12s}: --jobs {par['jobs']}: {row['wall_s_parallel']:.2f}s "
+              f"({row['parallel_speedup']:.2f}x vs serial, "
+              f"util {row['utilization']:.0%}, "
+              f"warm hits {row['warm_cache_hits']})")
     print(f"report written to {args.out}")
+    failures = check_regressions(report, committed)
+    if failures:
+        for line in failures:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        if not args.no_regress_check:
+            return 1
+        print("(--no-regress-check: regressions reported, not fatal)")
     return 0
 
 
