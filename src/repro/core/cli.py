@@ -135,6 +135,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: next to --obs-json output)")
     p.set_defaults(func=cmd_study)
 
+    p = sub.add_parser(
+        "chaos",
+        help="run the crash-consistency matrix (fault injection sweep)",
+    )
+    p.add_argument("--seed", type=int, default=1,
+                   help="fault-plan seed (the sweep is deterministic in it)")
+    p.add_argument("--checkpoint-protocol", action="append", default=None,
+                   metavar="NAME", choices=registry.names("checkpoint"),
+                   help="restrict the checkpoint axis (repeatable)")
+    p.add_argument("--restore-protocol", action="append", default=None,
+                   metavar="NAME", choices=registry.names("restore"),
+                   help="restrict the restore axis (repeatable)")
+    p.add_argument("--quiet", action="store_true",
+                   help="print only the summary line and failures")
+    p.set_defaults(func=cmd_chaos)
+
     p = sub.add_parser("bench", help="regenerate one paper figure/table")
     p.add_argument("--exp", required=True, choices=sorted(_EXPERIMENTS))
     p.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -303,6 +319,30 @@ def cmd_study(args) -> int:
 
     print(run().format())
     return 0
+
+
+def cmd_chaos(args) -> int:
+    import logging
+
+    from repro.chaos.matrix import sweep
+
+    # The sweep *expects* protocol runs to die; their error-level log
+    # lines are the matrix working as intended, not diagnostics.
+    logging.getLogger("repro").setLevel(logging.CRITICAL)
+    result = sweep(
+        seed=args.seed,
+        protocols=args.checkpoint_protocol,
+        restore_protocols=args.restore_protocol,
+    )
+    if args.quiet:
+        n_bad = len(result.failures)
+        print(f"chaos matrix seed={args.seed}: "
+              f"{len(result.cells) - n_bad}/{len(result.cells)} cells ok")
+        for cell in result.failures:
+            print(f"  FAIL {cell.label}: {cell.detail}")
+    else:
+        print(result.render())
+    return 0 if result.ok else 1
 
 
 def cmd_bench(args) -> int:

@@ -18,10 +18,15 @@ from typing import Optional
 
 from repro import obs
 from repro.api.nccl import NcclCommunicator
-from repro.errors import ContextPoolError
+from repro.errors import ContextCreationError, ContextPoolError
 from repro.gpu.context import ContextRequirements, GpuContext, create_context
 from repro.gpu.cost_model import DEFAULT_CONTEXT_COSTS, ContextCostModel
 from repro.sim.engine import Engine
+
+#: How many extra attempts a failed background refill gets before the
+#: pool gives up on that slot (surfaced via ``refill_failures`` and the
+#: ``context-pool/refill-failed`` counter, never silently).
+REFILL_RETRIES = 2
 
 
 class ContextPool:
@@ -42,6 +47,11 @@ class ContextPool:
         self.hits = 0
         self.misses = 0
         self.prefilled = False
+        #: Refill attempts that exhausted their retries: each one is a
+        #: pool slot lost until the next successful hand-out cycle, so
+        #: it must be visible — a silently shrinking pool turns every
+        #: later restore into a full-creation miss.
+        self.refill_failures = 0
 
     # -- boot-time fill -----------------------------------------------------------
     def prefill(self):
@@ -58,9 +68,18 @@ class ContextPool:
         )
         for gpu in self.machine.gpus:
             for _ in range(self.contexts_per_gpu):
-                ctx = yield from create_context(
-                    self.engine, gpu.index, reqs, self.costs
-                )
+                try:
+                    ctx = yield from create_context(
+                        self.engine, gpu.index, reqs, self.costs
+                    )
+                except ContextCreationError:
+                    # Boot keeps going with a smaller pool; the gap is
+                    # surfaced, and later hand-outs degrade to misses
+                    # instead of the daemon failing to start.
+                    self.refill_failures += 1
+                    obs.counter("context-pool/refill-failed",
+                                gpu=gpu.index, site="prefill").inc()
+                    continue
                 ctx.pooled = True
                 self._pools[gpu.index].append(ctx)
         self._group_comm = NcclCommunicator(
@@ -99,9 +118,17 @@ class ContextPool:
         self.misses += 1
         obs.counter("context-pool/misses", gpu=gpu_index).inc()
         t0 = self.engine.now
-        ctx = yield from create_context(
-            self.engine, gpu_index, requirements, self.costs
-        )
+        try:
+            ctx = yield from create_context(
+                self.engine, gpu_index, requirements, self.costs
+            )
+        except ContextCreationError:
+            # Propagate — the caller owns the retry/fallback policy —
+            # but never silently: a failed miss-path creation is the
+            # signal that restores are degrading.
+            obs.counter("context-pool/miss-create-failed",
+                        gpu=gpu_index).inc()
+            raise
         obs.record("context-pool/create-on-miss", t0, gpu=gpu_index)
         return ctx
 
@@ -122,17 +149,37 @@ class ContextPool:
         return NcclCommunicator(self.engine, gpu_indices)
 
     def _refill_one(self, gpu_index: int):
+        """Generator: re-create one pooled context after a hand-out.
+
+        Runs as an unobserved background process, so a creation failure
+        here used to shrink the pool *silently* — nobody awaits the
+        refill's result and the engine ignores failed processes.  Now a
+        failed attempt is counted, retried up to :data:`REFILL_RETRIES`
+        times, and a final give-up is surfaced via
+        ``context-pool/refill-failed`` and :attr:`refill_failures`
+        instead of vanishing.
+        """
         n_gpus = len(self.machine.gpus)
         reqs = ContextRequirements(
             n_modules=0, use_cublas=True,
             nccl_gpus=n_gpus if n_gpus > 1 else 0,
         )
-        ctx = yield from create_context(self.engine, gpu_index, reqs, self.costs)
-        ctx.pooled = True
-        self._pools[gpu_index].append(ctx)
-        obs.gauge("context-pool/available", gpu=gpu_index).set(
-            len(self._pools[gpu_index])
-        )
+        for _attempt in range(REFILL_RETRIES + 1):
+            try:
+                ctx = yield from create_context(
+                    self.engine, gpu_index, reqs, self.costs
+                )
+            except ContextCreationError:
+                obs.counter("context-pool/refill-failed",
+                            gpu=gpu_index, site="refill").inc()
+                continue
+            ctx.pooled = True
+            self._pools[gpu_index].append(ctx)
+            obs.gauge("context-pool/available", gpu=gpu_index).set(
+                len(self._pools[gpu_index])
+            )
+            return
+        self.refill_failures += 1
 
     def available(self, gpu_index: int) -> int:
         return len(self._pools[gpu_index])

@@ -33,7 +33,7 @@ from repro.core.protocols import registry
 from repro.core.protocols.base import ProtocolConfig
 from repro.core.quiesce import quiesce
 from repro.cpu.criu import CriuEngine
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, InvalidValueError, ReproError, SimulationError
 from repro.sim.engine import Engine, Process
 from repro.sim.trace import Tracer
 from repro.storage.image import CheckpointImage
@@ -59,6 +59,13 @@ class Phos:
             if use_context_pool else None
         )
         self.frontends: dict[int, PhosFrontend] = {}
+        #: In-flight protocol runs per process id: ``(handle, protocol)``
+        #: pairs.  ``kill`` tears these down instead of leaking copier
+        #: processes that keep holding DMA engines and writing into a
+        #: dead process's image.  ``handle`` is None for runs whose
+        #: driver already returned but whose background workers (restore
+        #: loaders, watches) are still live.
+        self._inflight: dict[int, list] = {}
 
     # -- service boot ------------------------------------------------------------
     def boot(self):
@@ -131,7 +138,26 @@ class Phos:
         obs.counter("phos/checkpoints", mode=protocol.name).inc()
         handle = self.engine.spawn(gen, name=f"phos-ckpt-{process.name}")
         handle.add_callback(self._log_checkpoint_done)
+        self._register_inflight(process, handle, protocol)
         return handle
+
+    def _register_inflight(self, process: GpuProcess, handle,
+                           protocol) -> None:
+        """Track a protocol run so ``kill`` can cancel it."""
+        entries = self._inflight.setdefault(process.id, [])
+        entry = (handle, protocol)
+        entries.append(entry)
+        if handle is None:
+            return
+
+        def _done(_event, pid=process.id, entry=entry) -> None:
+            remaining = self._inflight.get(pid)
+            if remaining and entry in remaining:
+                remaining.remove(entry)
+                if not remaining:
+                    self._inflight.pop(pid, None)
+
+        handle.add_callback(_done)
 
     def _log_checkpoint_done(self, event) -> None:
         if not event.ok:
@@ -156,8 +182,22 @@ class Phos:
         One global quiesce spans every process; each process is then
         checkpointed with CoW separately.  Result: list of
         ``(image, session)`` pairs.
+
+        All-or-nothing: if any per-process run fails, the surviving
+        siblings' already-committed images are revoked on the medium
+        (a partial set is not a consistent cut and must never be
+        restorable) and a :class:`CheckpointError` naming the failed
+        process is raised.
         """
         processes = list(processes)
+        if not processes:
+            raise InvalidValueError(
+                "checkpoint_consistent needs at least one process"
+            )
+        if name and not name.strip():
+            raise InvalidValueError(
+                f"checkpoint name must not be whitespace-only, got {name!r}"
+            )
         medium = medium or self.medium
         config = ProtocolConfig(coordinated=coordinated,
                                 prioritized=prioritized)
@@ -168,12 +208,11 @@ class Phos:
             # barrier above already made the cut consistent, so the
             # per-process quiesce is a no-op time-wise (CPU stopped,
             # GPUs drained).  Resume happens inside each protocol run.
-            results = []
-            procs = []
+            handles = []
             for process in processes:
                 frontend = self.frontend_of(process)
                 protocol = registry.create("cow", config=config)
-                procs.append(self.engine.spawn(
+                handle = self.engine.spawn(
                     protocol.checkpoint(
                         self.engine, process=process, frontend=frontend,
                         medium=medium, criu=self.criu,
@@ -181,16 +220,73 @@ class Phos:
                         tracer=self.tracer,
                     ),
                     name=f"phos-ckpt-{process.name}",
-                ))
-            values = yield self.engine.all_of(procs)
-            results.extend(values)
+                )
+                self._register_inflight(process, handle, protocol)
+                handles.append((process, handle))
+            # Wait for every run individually (all_of fails fast and
+            # would leave siblings unaccounted), collecting failures.
+            results = []
+            failures = []
+            for process, handle in handles:
+                try:
+                    value = yield handle
+                except ReproError as err:
+                    failures.append((process, err))
+                else:
+                    results.append(value)
+            if failures:
+                catalog = getattr(medium, "images", None)
+                for image, _session in results:
+                    if catalog is not None:
+                        catalog.revoke(image, reason=(
+                            "sibling process failed its consistent "
+                            "checkpoint"
+                        ))
+                    else:
+                        image.revoke("sibling process failed its "
+                                     "consistent checkpoint")
+                failed_names = ", ".join(p.name for p, _err in failures)
+                raise CheckpointError(
+                    f"consistent checkpoint failed for process(es) "
+                    f"{failed_names}: {failures[0][1]}"
+                ) from failures[0][1]
             return results
 
         return self.engine.spawn(orchestrate(), name="phos-ckpt-consistent")
 
     def kill(self, process: GpuProcess) -> None:
-        """Tear down a (failed) process: release its device memory and
-        detach its frontend, as the OS would when the process dies."""
+        """Tear down a (failed) process, as the OS would when it dies.
+
+        Cancels the process's in-flight protocol runs *before* touching
+        its memory: sessions are aborted synchronously (so copiers
+        already queued at this timestamp exit at their next buffer
+        boundary instead of snapshotting freed memory), then the driver
+        and its workers are interrupted (their recovery path releases
+        DMA engines, shadows, and the frontend gate), and only then is
+        the device memory released and the frontend detached.
+        """
+        teardown = CheckpointError(
+            f"process {process.name!r} killed mid-protocol"
+        )
+        for handle, protocol in self._inflight.pop(process.id, []):
+            ctx = getattr(protocol, "last_context", None)
+            session = getattr(ctx, "session", None)
+            if session is not None:
+                try:
+                    session.abort(f"process {process.name!r} killed")
+                except TypeError:
+                    session.abort()  # RestoreSession.abort() takes no reason
+            if handle is not None and not handle.triggered:
+                try:
+                    handle.interrupt(teardown)
+                except SimulationError:  # pragma: no cover - settle race
+                    pass
+            for worker in list(getattr(ctx, "workers", ()) or ()):
+                if not worker.triggered:
+                    try:
+                        worker.interrupt(teardown)
+                    except SimulationError:  # pragma: no cover
+                        pass
         for gpu_index, bufs in process.runtime.allocations.items():
             gpu = process.machine.gpu(gpu_index)
             for buf in list(bufs):
@@ -215,10 +311,21 @@ class Phos:
         ``(process, frontend, session)`` as soon as the process may
         run; stop-the-world mode returns the process after everything
         is loaded (frontend and session are None).
+
+        ``gpu_indices=None`` means "use the GPUs the image was taken
+        on".  An explicit empty list is a caller bug (the old truthiness
+        check silently fell back to the image metadata) and raises
+        :class:`~repro.errors.InvalidValueError`.
         """
         medium = medium or self.medium
         machine = machine or self.machine
-        gpu_indices = gpu_indices or list(image.context_meta.get("gpu_indices", [0]))
+        if gpu_indices is not None and len(gpu_indices) == 0:
+            raise InvalidValueError(
+                "gpu_indices=[] names no restore target; pass None to "
+                "use the GPUs recorded in the image"
+            )
+        if gpu_indices is None:
+            gpu_indices = list(image.context_meta.get("gpu_indices", [0]))
         if mode is None:
             mode = "concurrent" if concurrent else "stop-world"
         if config is None and skip_data_copy:
@@ -236,4 +343,9 @@ class Phos:
         )
         if frontend is not None:
             self.frontends[process.id] = frontend
+        # The concurrent restore keeps background loaders and watches
+        # running after the driver returns; track them so ``kill`` of
+        # the restored process cancels them instead of leaking them.
+        if protocol.last_context is not None and protocol.last_context.workers:
+            self._register_inflight(process, None, protocol)
         return process, frontend, session

@@ -24,16 +24,35 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import obs, units
+from repro import chaos, obs, units
 from repro.core.session import BufState, CheckpointSession, RestoreSession, RestoreState
 from repro.cpu.criu import CriuEngine
 from repro.gpu.device import Gpu
 from repro.gpu.dma import CHECKPOINT_PRIORITY, Direction
 from repro.gpu.memory import Buffer
 from repro.sim.engine import Engine
+from repro.sim.resources import acquired
 from repro.sim.trace import Tracer
 from repro.storage.image import GpuBufferRecord
 from repro.storage.media import Medium
+
+
+def _move_retried(engine: Engine, retry, site: str, *args, **kwargs):
+    """Generator: one buffer move, retried per the protocol's policy.
+
+    ``retry=None`` (legacy callers, app-driven moves) runs the move
+    once; a :class:`~repro.core.retry.RetryPolicy` restarts the whole
+    buffer on a transient :class:`~repro.errors.DmaError`.  Restarting
+    is safe because the image record is only written after the full
+    move completes.
+    """
+    if retry is None:
+        result = yield from _move_buffer(engine, *args, **kwargs)
+        return result
+    result = yield from retry.run(
+        engine, lambda: _move_buffer(engine, *args, **kwargs), site=site,
+    )
+    return result
 
 
 def copy_gpu_buffers(engine: Engine, session: CheckpointSession, gpu: Gpu,
@@ -41,6 +60,7 @@ def copy_gpu_buffers(engine: Engine, session: CheckpointSession, gpu: Gpu,
                      bandwidth_scale: float = 1.0,
                      per_buffer_overhead: float = 0.0,
                      chunk_bytes: Optional[int] = None,
+                     retry=None,
                      tracer: Optional[Tracer] = None):
     """Generator: move one GPU's planned buffers into the image.
 
@@ -54,64 +74,72 @@ def copy_gpu_buffers(engine: Engine, session: CheckpointSession, gpu: Gpu,
         plan = session.plan[gpu.index]
         shadow_queue = session.shadow_ready[gpu.index]
         held = None
-        if not prioritized:
-            # The unoptimized data path (Fig. 16b ablation): the whole
-            # bulk load is one monolithic submission that occupies a DMA
-            # engine until the copy completes — application transfers
-            # starve.
-            held = yield gpu.dma.pool.acquire(priority=CHECKPOINT_PRIORITY)
-        cursor = 0
-        while not session.aborted:
-            buf = None
-            while shadow_queue:
-                candidate = shadow_queue.popleft()
-                if session.state_of(candidate) is BufState.SHADOWED:
-                    buf = candidate
-                    break
-            if buf is None:
-                while cursor < len(plan) and session.state_of(plan[cursor]) is BufState.DONE:
-                    cursor += 1
-                if cursor >= len(plan):
-                    break
-                buf = plan[cursor]
-            state = session.state_of(buf)
-            if state is BufState.SHADOW_IN_FLIGHT:
-                yield session.event_for(buf, "shadow")
+        try:
+            if not prioritized:
+                # The unoptimized data path (Fig. 16b ablation): the whole
+                # bulk load is one monolithic submission that occupies a DMA
+                # engine until the copy completes — application transfers
+                # starve.
+                held = yield from acquired(
+                    gpu.dma.pool, priority=CHECKPOINT_PRIORITY
+                )
+            cursor = 0
+            while not session.aborted:
+                buf = None
+                while shadow_queue:
+                    candidate = shadow_queue.popleft()
+                    if session.state_of(candidate) is BufState.SHADOWED:
+                        buf = candidate
+                        break
+                if buf is None:
+                    while cursor < len(plan) and session.state_of(plan[cursor]) is BufState.DONE:
+                        cursor += 1
+                    if cursor >= len(plan):
+                        break
+                    buf = plan[cursor]
                 state = session.state_of(buf)
-            if state is BufState.DONE:
-                continue
-            if state is BufState.NOT_STARTED:
-                session.set_state(buf, BufState.COPY_IN_FLIGHT)
-            if per_buffer_overhead > 0:
-                yield engine.timeout(per_buffer_overhead)
-            from_shadow = buf.id in session.shadows
-            copy_start = engine.now
-            yield from _move_buffer(
-                engine, gpu, medium, buf.size, Direction.D2H, bandwidth,
-                chunked=prioritized, chunk_bytes=chunk_bytes,
-                held=held,
-            )
-            if from_shadow:
-                # A shadow drain frees CoW pool quota (§4.2) — worth its
-                # own phase in the breakdown.
-                obs.record("drain-shadow", copy_start, gpu=gpu.index,
-                           bytes=buf.size)
-                obs.counter("cow/shadow-drained", gpu=gpu.index).inc()
-            source = session.shadows.get(buf.id, buf)
-            record = GpuBufferRecord(
-                buffer_id=buf.id, addr=buf.addr, size=buf.size,
-                data=source.snapshot(), tag=buf.tag,
-            )
-            session.image.add_gpu_buffer(gpu.index, record)
-            session.stats.bytes_copied += buf.size
-            shadow = session.shadows.pop(buf.id, None)
-            if shadow is not None:
-                gpu.memory.free(shadow)
-                session.release_pool(gpu.index, shadow.size)
-            session.set_state(buf, BufState.DONE)
-            session.fire_event(buf)
-        if held is not None:
-            gpu.dma.pool.release(held)
+                if state is BufState.SHADOW_IN_FLIGHT:
+                    yield session.event_for(buf, "shadow")
+                    state = session.state_of(buf)
+                if state is BufState.DONE:
+                    continue
+                if state is BufState.NOT_STARTED:
+                    session.set_state(buf, BufState.COPY_IN_FLIGHT)
+                if per_buffer_overhead > 0:
+                    yield engine.timeout(per_buffer_overhead)
+                from_shadow = buf.id in session.shadows
+                copy_start = engine.now
+                yield from _move_retried(
+                    engine, retry, "gpu-copy",
+                    gpu, medium, buf.size, Direction.D2H, bandwidth,
+                    chunked=prioritized, chunk_bytes=chunk_bytes,
+                    held=held,
+                )
+                if from_shadow:
+                    # A shadow drain frees CoW pool quota (§4.2) — worth its
+                    # own phase in the breakdown.
+                    obs.record("drain-shadow", copy_start, gpu=gpu.index,
+                               bytes=buf.size)
+                    obs.counter("cow/shadow-drained", gpu=gpu.index).inc()
+                source = session.shadows.get(buf.id, buf)
+                record = GpuBufferRecord(
+                    buffer_id=buf.id, addr=buf.addr, size=buf.size,
+                    data=source.snapshot(), tag=buf.tag,
+                )
+                session.image.add_gpu_buffer(gpu.index, record)
+                session.stats.bytes_copied += buf.size
+                shadow = session.shadows.pop(buf.id, None)
+                if shadow is not None:
+                    gpu.memory.free(shadow)
+                    session.release_pool(gpu.index, shadow.size)
+                session.set_state(buf, BufState.DONE)
+                session.fire_event(buf)
+        finally:
+            # Release-in-finally: a fault (or a teardown interrupt landing
+            # anywhere in the loop) must not strand the monolithic DMA
+            # engine hold.
+            if held is not None and not held.released:
+                gpu.dma.pool.release(held)
         # Deferred frees: buffers the app released mid-checkpoint.
         for buf in session.deferred_frees.get(gpu.index, ()):
             gpu.memory.free(buf)
@@ -125,6 +153,7 @@ def recopy_gpu_dirty(engine: Engine, session: CheckpointSession, gpu: Gpu,
                      bandwidth_scale: float = 1.0,
                      chunk_bytes: Optional[int] = None,
                      dirty_ids: Optional[set[int]] = None,
+                     retry=None,
                      tracer: Optional[Tracer] = None):
     """Generator: overwrite the image with dirty buffers' fresh content.
 
@@ -145,8 +174,9 @@ def recopy_gpu_dirty(engine: Engine, session: CheckpointSession, gpu: Gpu,
             buf = by_id.get(buf_id)
             if buf is None or buf_id in session.freed_ids.get(gpu.index, ()):
                 continue  # unknown or freed: it has no t2 state to capture
-            yield from _move_buffer(
-                engine, gpu, medium, buf.size, Direction.D2H,
+            yield from _move_retried(
+                engine, retry, "gpu-recopy",
+                gpu, medium, buf.size, Direction.D2H,
                 gpu.spec.pcie_bw * bandwidth_scale,
                 chunked=prioritized, chunk_bytes=chunk_bytes,
             )
@@ -174,6 +204,8 @@ def _move_buffer(engine: Engine, gpu: Gpu, medium: Medium, nbytes: int,
     ``held`` set the caller already owns an engine (the unoptimized
     monolithic bulk load) and no per-step arbitration happens.
     """
+    if chaos._injector is not None:
+        chaos._injector.trip("dma-error")
     dma = gpu.dma.for_direction(direction)
     link = medium.write_link if direction is Direction.D2H else medium.read_link
     step = (chunk_bytes or units.CHECKPOINT_CHUNK) if chunked else nbytes
@@ -191,7 +223,7 @@ def _move_buffer(engine: Engine, gpu: Gpu, medium: Medium, nbytes: int,
         while moved < nbytes:
             this = min(step, nbytes - moved)
             if held is None and req is None:
-                req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
+                req = yield from acquired(dma, priority=CHECKPOINT_PRIORITY)
             yield from link.flow(this, rate_cap=bandwidth)
             moved += this
             moved_counter.inc(this)
@@ -215,11 +247,15 @@ def checkpoint_all(engine: Engine, session: CheckpointSession, process,
                    coordinated: bool = True, prioritized: bool = True,
                    bandwidth_scale: float = 1.0,
                    chunk_bytes: Optional[int] = None,
+                   retry=None, workers: Optional[list] = None,
                    tracer: Optional[Tracer] = None):
     """Generator: the full concurrent copy phase (CPU + all GPUs).
 
     Returns the CPU dump result (whose ``dirty_after_copy`` the recopy
-    protocol consumes).
+    protocol consumes).  Spawned streams are appended to ``workers``
+    (the protocol context's teardown list) so a failed run can cancel
+    its surviving siblings — ``all_of`` fails fast on the first error
+    but does not stop the others.
     """
     dump = (criu.dump_cow if session.mode == "cow" else criu.dump_tracked)
 
@@ -232,8 +268,13 @@ def checkpoint_all(engine: Engine, session: CheckpointSession, process,
         yield from copy_gpu_buffers(
             engine, session, gpu, medium, prioritized=prioritized,
             bandwidth_scale=bandwidth_scale, chunk_bytes=chunk_bytes,
-            tracer=tracer,
+            retry=retry, tracer=tracer,
         )
+
+    def track(procs):
+        if workers is not None:
+            workers.extend(procs)
+        return procs
 
     if coordinated:
         cpu_span = tracer.begin("cpu-copy") if tracer else None
@@ -241,16 +282,16 @@ def checkpoint_all(engine: Engine, session: CheckpointSession, process,
             cpu_result = yield from cpu_stream()
         if cpu_span is not None:
             tracer.end(cpu_span)
-        gpu_procs = [
+        gpu_procs = track([
             engine.spawn(gpu_stream(i), name=f"ckpt-gpu{i}") for i in session.plan
-        ]
+        ])
         yield engine.all_of(gpu_procs)
     else:
         cpu_proc = engine.spawn(cpu_stream(), name="ckpt-cpu")
-        gpu_procs = [
+        gpu_procs = track([cpu_proc] + [
             engine.spawn(gpu_stream(i), name=f"ckpt-gpu{i}") for i in session.plan
-        ]
-        yield engine.all_of([cpu_proc] + gpu_procs)
+        ])
+        yield engine.all_of(gpu_procs)
         cpu_result = cpu_proc.result
     return cpu_result
 
@@ -262,6 +303,7 @@ def load_gpu_buffers(engine: Engine, session: RestoreSession, gpu: Gpu,
                      medium: Medium, prioritized: bool = True,
                      bandwidth_scale: float = 1.0,
                      chunk_bytes: Optional[int] = None,
+                     retry=None,
                      tracer: Optional[Tracer] = None):
     """Generator: the background copier of the concurrent restore.
 
@@ -294,8 +336,9 @@ def load_gpu_buffers(engine: Engine, session: RestoreSession, gpu: Gpu,
                 target = order[cursor]
             buf, record = pairs[target.id]
             session.set_state(buf, RestoreState.LOAD_IN_FLIGHT)
-            yield from _move_buffer(
-                engine, gpu, medium, buf.size, Direction.H2D, bandwidth,
+            yield from _move_retried(
+                engine, retry, "gpu-load",
+                gpu, medium, buf.size, Direction.H2D, bandwidth,
                 chunked=prioritized, chunk_bytes=chunk_bytes,
             )
             buf.load_bytes(record.data)

@@ -34,11 +34,11 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Any, ClassVar, Optional
 
-from repro import obs
-from repro.core.quiesce import quiesce
+from repro import chaos, obs, units
+from repro.core.quiesce import quiesce, resume
 from repro.core.session import COW_POOL_BYTES
 from repro.core.transfer import TransferPlanner
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, ReproError, SimulationError
 
 #: The declarative phase sequence of a checkpoint protocol run.
 CHECKPOINT_PHASES = ("admit", "quiesce", "plan", "transfer", "validate",
@@ -48,6 +48,10 @@ CHECKPOINT_PHASES = ("admit", "quiesce", "plan", "transfer", "validate",
 #: data, and commit the runnable process; validation happens *after*
 #: commit, live, via the restore session's rollback watch.
 RESTORE_PHASES = ("admit", "plan", "transfer", "commit")
+
+#: Retry tunables every hardened protocol supports (unioned into each
+#: concrete protocol's ``supports`` so ``phos protocols`` lists them).
+RETRY_SUPPORTS = frozenset({"max_retries", "retry_backoff"})
 
 
 @dataclass(frozen=True)
@@ -86,6 +90,13 @@ class ProtocolConfig:
     #: Restore-side: mark all buffers resident immediately (GPU-direct
     #: migration already placed the data in device memory).
     skip_data_copy: bool = False
+    #: Transient-failure budget: how many times a failed DMA move or
+    #: context creation is retried before the run aborts.
+    max_retries: int = 2
+    #: Base backoff before the first retry; doubles per attempt, capped
+    #: at 32x (see :mod:`repro.core.retry`).  Only spent after a fault,
+    #: so fault-free runs are virtual-time identical at any setting.
+    retry_backoff: float = 1 * units.MSEC
 
     def __post_init__(self) -> None:
         if self.precopy_rounds < 0:
@@ -103,6 +114,14 @@ class ProtocolConfig:
         if self.bandwidth_scale <= 0:
             raise CheckpointError(
                 f"bandwidth_scale must be positive, got {self.bandwidth_scale}"
+            )
+        if self.max_retries < 0:
+            raise CheckpointError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff <= 0:
+            raise CheckpointError(
+                f"retry_backoff must be positive, got {self.retry_backoff}"
             )
 
     @classmethod
@@ -163,6 +182,17 @@ class ProtocolContext:
     baseline: Any = None
     #: Scratch space for protocol-specific state.
     extras: dict = field(default_factory=dict)
+    #: Every simulation process this run spawned (copiers, context
+    #: creators, watches).  A failed run interrupts the untriggered
+    #: ones so no orphaned generator keeps holding DMA engines or
+    #: priority-resource slots; ``Phos.kill`` cancels them too.
+    workers: list = field(default_factory=list)
+
+    def spawn_worker(self, gen, name: str):
+        """Spawn a child simulation process and track it for teardown."""
+        proc = self.engine.spawn(gen, name=name)
+        self.workers.append(proc)
+        return proc
 
 
 class Protocol:
@@ -236,6 +266,7 @@ class Protocol:
             name=name, tracer=tracer, process=process, frontend=frontend,
             planner=planner or TransferPlanner(engine, self.config, tracer),
         )
+        ctx.planner.workers = ctx.workers
         self.last_context = ctx
         return self._run_checkpoint(ctx)
 
@@ -261,38 +292,171 @@ class Protocol:
             context_requirements=context_requirements,
             planner=planner or TransferPlanner(engine, self.config, tracer),
         )
+        ctx.planner.workers = ctx.workers
         self.last_context = ctx
         return self._run_restore(ctx)
 
     def _run_checkpoint(self, ctx: ProtocolContext):
         self.prepare(ctx)
-        with obs.span(f"checkpoint/{self.name}", **self.span_attrs(ctx)):
-            yield from self._phase(self.phase_admit, ctx)
-            yield from self._phase(self.phase_quiesce, ctx)
-            yield from self._phase(self.phase_plan, ctx)
-            yield from self._phase(self.phase_transfer, ctx)
-            if not self.phase_validate(ctx):
-                result = yield from self._phase(self.phase_abort, ctx)
-                return result
-            result = yield from self._phase(self.phase_commit, ctx)
-        return result
+        catalog = getattr(ctx.medium, "images", None)
+        if catalog is not None:
+            catalog.stage(ctx.image)
+        committed = False
+        try:
+            with obs.span(f"checkpoint/{self.name}", **self.span_attrs(ctx)):
+                yield from self._phase(self.phase_admit, ctx, "admit")
+                yield from self._phase(self.phase_quiesce, ctx, "quiesce")
+                yield from self._phase(self.phase_plan, ctx, "plan")
+                yield from self._phase(self.phase_transfer, ctx, "transfer")
+                self._chaos_enter("validate", ctx)
+                if not self.phase_validate(ctx):
+                    obs.counter("protocol/aborts", protocol=self.name,
+                                outcome="mis-speculation").inc()
+                    result = yield from self._phase(
+                        self.phase_abort, ctx, "abort"
+                    )
+                    return result
+                result = yield from self._phase(self.phase_commit, ctx,
+                                                "commit")
+                committed = True
+            return result
+        except BaseException as err:
+            self._recover_failed_checkpoint(ctx, err)
+            raise
+        finally:
+            if catalog is not None:
+                if committed:
+                    catalog.commit(ctx.image)
+                else:
+                    catalog.discard(
+                        ctx.image,
+                        reason=f"{self.name} checkpoint did not commit",
+                    )
 
     def _run_restore(self, ctx: ProtocolContext):
         self.prepare(ctx)
-        yield from self._phase(self.phase_admit, ctx)
-        with obs.span(f"restore/{self.name}", **self.span_attrs(ctx)):
-            yield from self._phase(self.phase_plan, ctx)
-            yield from self._phase(self.phase_transfer, ctx)
-        result = yield from self._phase(self.phase_commit, ctx)
-        return result
+        try:
+            yield from self._phase(self.phase_admit, ctx, "admit")
+            with obs.span(f"restore/{self.name}", **self.span_attrs(ctx)):
+                yield from self._phase(self.phase_plan, ctx, "plan")
+                yield from self._phase(self.phase_transfer, ctx, "transfer")
+            result = yield from self._phase(self.phase_commit, ctx, "commit")
+            return result
+        except BaseException as err:
+            self._recover_failed_restore(ctx, err)
+            raise
 
-    @staticmethod
-    def _phase(method, ctx):
+    def _phase(self, method, ctx, phase: str):
         """Run one phase hook, plain or generator, returning its result."""
+        self._chaos_enter(phase, ctx)
         out = method(ctx)
         if inspect.isgenerator(out):
             out = yield from out
         return out
+
+    def _chaos_enter(self, phase: str, ctx: ProtocolContext) -> None:
+        """Report a phase entry to an armed fault injector (if any)."""
+        if chaos._injector is not None:
+            chaos._injector.enter_phase(self.name, phase, ctx)
+
+    # -- crash recovery ------------------------------------------------------------
+    def _recover_failed_checkpoint(self, ctx: ProtocolContext,
+                                   err: BaseException) -> None:
+        """Tear a dying checkpoint run down to a clean, resumed state.
+
+        Runs synchronously from the driver's except clause whatever
+        phase the failure hit: cancels in-flight copier processes,
+        marks the session aborted (so already-resumed copier loops exit
+        at their next buffer boundary), detaches the frontend session
+        if this run still owns it, frees CoW shadows and deferred
+        frees, and reopens the process's API gate.  Every step is
+        idempotent — phase-level cleanup (e.g. CoW's transfer
+        ``finally``) may already have run.
+        """
+        obs.counter("protocol/aborts", protocol=self.name,
+                    outcome="crash").inc()
+        self._cancel_workers(ctx, err)
+        session = ctx.session
+        if session is not None:
+            session.abort(f"protocol-failure: {err}")
+        frontend = ctx.frontend
+        if (frontend is not None and session is not None
+                and frontend.ckpt_session is session):
+            frontend.end_checkpoint()
+        if session is not None and ctx.process is not None:
+            self._release_session_memory(session, ctx.process)
+        if ctx.process is not None:
+            resume([ctx.process])
+
+    def _recover_failed_restore(self, ctx: ProtocolContext,
+                                err: BaseException) -> None:
+        """Tear a dying restore run down cleanly.
+
+        The half-built process is abandoned: background loaders and
+        watches are cancelled, the frontend's restore session is
+        detached, and the partially-restored allocations are freed so
+        the target machine's memory is not leaked.
+        """
+        obs.counter("protocol/aborts", protocol=self.name,
+                    outcome="crash").inc()
+        self._cancel_workers(ctx, err)
+        session = ctx.session
+        if session is not None:
+            session.aborted = True
+        frontend = ctx.frontend
+        if (frontend is not None and session is not None
+                and frontend.restore_session is session):
+            frontend.end_restore()
+        process = ctx.process
+        if process is not None and getattr(process, "runtime", None) is not None:
+            for gpu_index, bufs in process.runtime.allocations.items():
+                gpu = process.machine.gpu(gpu_index)
+                for buf in list(bufs):
+                    try:
+                        gpu.memory.free(buf)
+                    except ReproError:
+                        pass  # already freed by phase-level cleanup
+                bufs.clear()
+
+    @staticmethod
+    def _cancel_workers(ctx: ProtocolContext, err: BaseException) -> None:
+        """Interrupt every still-running child this run spawned."""
+        for worker in ctx.workers:
+            if not worker.triggered:
+                try:
+                    worker.interrupt(CheckpointError(
+                        f"protocol run torn down: {err}"
+                    ))
+                except SimulationError:  # pragma: no cover - settle race
+                    pass
+
+    @staticmethod
+    def _release_session_memory(session, process) -> None:
+        """Free CoW shadows and deferred frees a dying run left behind.
+
+        Mirrors the CoW transfer phase's own cleanup but tolerates
+        partial prior cleanup and a killed process (whose allocations
+        ``Phos.kill`` already freed): every free is individually
+        guarded, and pool quota is returned exactly once per shadow
+        because the shadow is popped before its free is attempted.
+        """
+        for gpu_index in list(session.plan):
+            gpu = process.machine.gpu(gpu_index)
+            by_id = {b.id: b for b in session.plan[gpu_index]}
+            for buf_id in [bid for bid in list(session.shadows)
+                           if bid in by_id]:
+                shadow = session.shadows.pop(buf_id)
+                try:
+                    gpu.memory.free(shadow)
+                except ReproError:
+                    pass
+                session.release_pool(gpu_index, shadow.size)
+            for buf in session.deferred_frees.get(gpu_index, ()):
+                try:
+                    gpu.memory.free(buf)
+                except ReproError:
+                    pass
+            session.deferred_frees[gpu_index] = []
 
     # -- hooks ---------------------------------------------------------------------
     def prepare(self, ctx: ProtocolContext) -> None:

@@ -15,6 +15,7 @@ from typing import Optional
 from repro import obs
 from repro.core.frontend import PhosFrontend
 from repro.core.protocols.base import (
+    RETRY_SUPPORTS,
     Protocol,
     ProtocolConfig,
     ProtocolContext,
@@ -41,7 +42,7 @@ class CowCheckpoint(Protocol):
     supports = frozenset({
         "coordinated", "prioritized", "chunk_bytes", "cow_pool_bytes",
         "parent",
-    })
+    }) | RETRY_SUPPORTS
     needs_frontend = True
     summary = ("concurrent copy isolated by CoW guards; image equals a "
                "stop-the-world checkpoint at t1 (§4.2)")
@@ -77,7 +78,10 @@ class CowCheckpoint(Protocol):
                     ctx.session, ctx.process, ctx.medium, ctx.criu
                 )
         finally:
-            ctx.frontend.end_checkpoint()
+            # Guarded for idempotence: a teardown (chaos kill, daemon
+            # kill) may race this finally with the driver's recovery.
+            if ctx.frontend.ckpt_session is ctx.session:
+                ctx.frontend.end_checkpoint()
             _release_shadows(ctx.session, ctx.process)
 
     def phase_validate(self, ctx: ProtocolContext) -> bool:
@@ -156,14 +160,10 @@ def _inherit_unchanged(frontend: PhosFrontend, session: CheckpointSession,
 
 
 def _release_shadows(session: CheckpointSession, process) -> None:
-    """Free any shadows left behind by an aborted copy phase."""
-    for gpu_index in session.plan:
-        gpu = process.machine.gpu(gpu_index)
-        by_id = {b.id: b for b in session.plan[gpu_index]}
-        for buf_id in [bid for bid in session.shadows if bid in by_id]:
-            shadow = session.shadows.pop(buf_id)
-            gpu.memory.free(shadow)
-            session.release_pool(gpu_index, shadow.size)
-        for buf in session.deferred_frees.get(gpu_index, ()):
-            gpu.memory.free(buf)
-        session.deferred_frees[gpu_index] = []
+    """Free any shadows left behind by an aborted copy phase.
+
+    Delegates to the protocol engine's idempotent teardown helper so a
+    teardown racing this phase-level cleanup (chaos kill, daemon kill)
+    never double-frees or double-credits the CoW pool.
+    """
+    Protocol._release_session_memory(session, process)

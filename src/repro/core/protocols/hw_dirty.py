@@ -25,6 +25,7 @@ from typing import Optional
 from repro import obs
 from repro.api.runtime import GpuProcess
 from repro.core.protocols.base import (
+    RETRY_SUPPORTS,
     Protocol,
     ProtocolConfig,
     ProtocolContext,
@@ -47,7 +48,7 @@ class HwDirtyCheckpoint(Protocol):
     name = "hw-dirty"
     kind = "checkpoint"
     aliases = ("hw_dirty", "hw-recopy")
-    supports = frozenset({"chunk_bytes", "keep_stopped"})
+    supports = frozenset({"chunk_bytes", "keep_stopped"}) | RETRY_SUPPORTS
     needs_frontend = False
     summary = ("hypothetical §9 hardware-dirty-bit recopy: no "
                "speculation, write set read from per-buffer dirty bits")
@@ -96,7 +97,8 @@ class HwDirtyCheckpoint(Protocol):
                 ))
 
         copies = [
-            engine.spawn(copy_gpu(i, only_dirty=False), name=f"hw-ckpt-gpu{i}")
+            ctx.spawn_worker(copy_gpu(i, only_dirty=False),
+                             name=f"hw-ckpt-gpu{i}")
             for i in process.gpu_indices
         ]
         yield engine.all_of(copies)
@@ -106,7 +108,8 @@ class HwDirtyCheckpoint(Protocol):
         yield from ctx.criu.recopy_dirty(process.host, ctx.image, ctx.medium,
                                          dirty_pages)
         recopies = [
-            engine.spawn(copy_gpu(i, only_dirty=True), name=f"hw-recopy-gpu{i}")
+            ctx.spawn_worker(copy_gpu(i, only_dirty=True),
+                             name=f"hw-recopy-gpu{i}")
             for i in process.gpu_indices
         ]
         yield engine.all_of(recopies)

@@ -13,6 +13,7 @@ from typing import Optional
 from repro import obs
 from repro.core.frontend import PhosFrontend
 from repro.core.protocols.base import (
+    RETRY_SUPPORTS,
     Protocol,
     ProtocolConfig,
     ProtocolContext,
@@ -38,7 +39,7 @@ class RecopyCheckpoint(Protocol):
     supports = frozenset({
         "coordinated", "prioritized", "chunk_bytes", "keep_stopped",
         "bandwidth_scale", "precopy_rounds",
-    })
+    }) | RETRY_SUPPORTS
     needs_frontend = True
     summary = ("concurrent copy with dirty tracking, re-quiesce, recopy "
                "the delta; image equals a stop-the-world checkpoint at "
@@ -102,7 +103,7 @@ class RecopyCheckpoint(Protocol):
                     session.dirty[gpu_index] -= snapshot[gpu_index]
                 with obs.span("precopy-round", bytes=round_bytes):
                     passes = [
-                        engine.spawn(
+                        ctx.spawn_worker(
                             ctx.planner.recopy_dirty(
                                 session, process.machine.gpu(gpu_index),
                                 ctx.medium, dirty_ids=snapshot[gpu_index],
@@ -116,7 +117,9 @@ class RecopyCheckpoint(Protocol):
             session.final_quiesce_start = engine.now
             yield from quiesce(engine, [process], ctx.tracer)
         finally:
-            ctx.frontend.end_checkpoint()
+            # Guarded for idempotence against a racing teardown.
+            if ctx.frontend.ckpt_session is session:
+                ctx.frontend.end_checkpoint()
         ctx.t_image = engine.now
         # Recopy dirty GPU buffers and dirty CPU pages, stopped.
         span = ctx.tracer.begin("recopy") if ctx.tracer else None
@@ -127,7 +130,7 @@ class RecopyCheckpoint(Protocol):
             # Each GPU recopies its dirty delta over its own link,
             # concurrently.
             recopies = [
-                engine.spawn(
+                ctx.spawn_worker(
                     ctx.planner.recopy_dirty(
                         session, process.machine.gpu(gpu_index), ctx.medium,
                     ),

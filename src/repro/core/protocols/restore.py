@@ -20,7 +20,13 @@ from typing import Optional
 from repro import obs
 from repro.api.runtime import GpuProcess
 from repro.core.frontend import PhosFrontend
-from repro.core.protocols.base import Protocol, ProtocolConfig, ProtocolContext
+from repro.core.protocols.base import (
+    RETRY_SUPPORTS,
+    Protocol,
+    ProtocolConfig,
+    ProtocolContext,
+)
+from repro.errors import ContextCreationError
 from repro.core.protocols.registry import register
 from repro.core.protocols.stop_world import realloc_image_buffers, restore_stop_world
 from repro.core.quiesce import quiesce, resume
@@ -42,7 +48,7 @@ class ConcurrentRestore(Protocol):
     aliases = ("on-demand", "concurrent-restore")
     supports = frozenset({
         "skip_data_copy", "prioritized", "chunk_bytes", "bandwidth_scale",
-    })
+    }) | RETRY_SUPPORTS
     needs_frontend = False  # it *creates* the frontend for the new process
     summary = ("resume immediately after context+layout setup; data "
                "streams in the background with on-demand fetch (§6)")
@@ -80,18 +86,35 @@ class ConcurrentRestore(Protocol):
                 n_modules=len(image.gpu_modules.get(gpu_index, [])),
                 nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
             )
-            if context_pool is not None:
-                context = yield from context_pool.acquire(gpu_index, reqs)
-            else:
-                context = yield from ctx.process.runtime.create_context(
+
+            def acquire_ctx():
+                # Graceful pool degradation: a failed pool acquire falls
+                # back to direct creation within the same attempt instead
+                # of failing the restore; direct-creation failures are
+                # then retried by the protocol's policy.
+                if context_pool is not None:
+                    try:
+                        pooled = yield from context_pool.acquire(
+                            gpu_index, reqs
+                        )
+                        return pooled
+                    except ContextCreationError:
+                        obs.counter("context-pool/acquire-fallback",
+                                    gpu=gpu_index).inc()
+                created = yield from ctx.process.runtime.create_context(
                     gpu_index, reqs
                 )
+                return created
+
+            context = yield from ctx.planner.retry.run(
+                engine, acquire_ctx, site="ctx-setup"
+            )
             ctx.process.runtime.adopt_context(gpu_index, context)
             context.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
 
         with obs.span("context-setup", pooled=context_pool is not None):
             setups = [
-                engine.spawn(setup_one(i), name=f"ctx-setup-gpu{i}")
+                ctx.spawn_worker(setup_one(i), name=f"ctx-setup-gpu{i}")
                 for i in gpu_indices
             ]
             yield engine.all_of(setups)
@@ -120,7 +143,7 @@ class ConcurrentRestore(Protocol):
             session.done.succeed()
         else:
             for gpu_index in ctx.gpu_indices:
-                engine.spawn(
+                ctx.spawn_worker(
                     ctx.planner.load_gpu(
                         session, ctx.machine.gpu(gpu_index), ctx.medium
                     ),
@@ -135,13 +158,13 @@ class ConcurrentRestore(Protocol):
         # 4. Watch for mis-speculation rollback, and drop interception
         #    once everything is resident (twins stop running — §4.1's
         #    "not invoked without checkpoint").
-        engine.spawn(
+        ctx.spawn_worker(
             _rollback_watch(engine, session, ctx.process, ctx.medium,
                             ctx.tracer),
             name="restore-rollback-watch",
         )
-        engine.spawn(_finish_watch(session, ctx.frontend),
-                     name="restore-finish-watch")
+        ctx.spawn_worker(_finish_watch(session, ctx.frontend),
+                         name="restore-finish-watch")
 
     def phase_commit(self, ctx: ProtocolContext):
         return ctx.process, ctx.frontend, ctx.session

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro import obs
+from repro import chaos, obs
 from repro.api.runtime import GpuProcess
 from repro.core.protocols.base import (
+    RETRY_SUPPORTS,
     Protocol,
     ProtocolConfig,
     ProtocolContext,
@@ -31,6 +32,7 @@ from repro.gpu.context import ContextRequirements
 from repro.gpu.cost_model import PHOS_SPEC, BaselineSpec
 from repro.gpu.dma import CHECKPOINT_PRIORITY, Direction
 from repro.sim.engine import Engine
+from repro.sim.resources import acquired
 from repro.sim.trace import Tracer
 from repro.storage.image import CheckpointImage, GpuBufferRecord
 from repro.storage.media import Medium
@@ -43,7 +45,7 @@ class StopWorldCheckpoint(Protocol):
     name = "stop-world"
     kind = "checkpoint"
     aliases = ("stop_world", "stop-the-world")
-    supports = frozenset({"baseline", "keep_stopped"})
+    supports = frozenset({"baseline", "keep_stopped"}) | RETRY_SUPPORTS
     needs_frontend = False
     summary = ("quiesce for the entire copy (baselines and PHOS's "
                "mis-speculation fallback)")
@@ -71,9 +73,10 @@ class StopWorldCheckpoint(Protocol):
                                              ctx.medium)
             # Each GPU copies over its own PCIe link concurrently.
             copies = [
-                engine.spawn(
+                ctx.spawn_worker(
                     _copy_gpu_stopped(engine, process, gpu_index, ctx.image,
-                                      ctx.medium, ctx.baseline),
+                                      ctx.medium, ctx.baseline,
+                                      retry=ctx.planner.retry),
                     name=f"sw-ckpt-gpu{gpu_index}",
                 )
                 for gpu_index in process.gpu_indices
@@ -105,7 +108,8 @@ def checkpoint_stop_world(engine: Engine, process: GpuProcess,
     return image
 
 
-def _copy_gpu_stopped(engine, process, gpu_index, image, medium, baseline):
+def _copy_gpu_stopped(engine, process, gpu_index, image, medium, baseline,
+                      retry=None):
     gpu = process.machine.gpu(gpu_index)
     bandwidth = baseline.effective_pcie_bw(gpu.spec)
     dma = gpu.dma.for_direction(Direction.D2H)
@@ -113,15 +117,25 @@ def _copy_gpu_stopped(engine, process, gpu_index, image, medium, baseline):
         f"dma/{dma.name}/bytes", priority=CHECKPOINT_PRIORITY, cls="bulk",
         direction=Direction.D2H.value,
     )
-    for buf in list(process.runtime.allocations[gpu_index]):
-        if baseline.per_buffer_overhead > 0:
-            yield engine.timeout(baseline.per_buffer_overhead)
-        req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
+
+    def move_one(buf):
+        if chaos._injector is not None:
+            chaos._injector.trip("dma-error")
+        req = yield from acquired(dma, priority=CHECKPOINT_PRIORITY)
         try:
             yield from medium.write_flow(buf.size, rate_cap=bandwidth)
         finally:
             dma.release(req)
         moved_counter.inc(buf.size)
+
+    for buf in list(process.runtime.allocations[gpu_index]):
+        if baseline.per_buffer_overhead > 0:
+            yield engine.timeout(baseline.per_buffer_overhead)
+        if retry is None:
+            yield from move_one(buf)
+        else:
+            yield from retry.run(engine, lambda b=buf: move_one(b),
+                                 site="sw-ckpt")
         image.add_gpu_buffer(gpu_index, GpuBufferRecord(
             buffer_id=buf.id, addr=buf.addr, size=buf.size,
             data=buf.snapshot(), tag=buf.tag,
@@ -135,7 +149,7 @@ class StopWorldRestore(Protocol):
     name = "stop-world"
     kind = "restore"
     aliases = ("stop_world", "stop-the-world")
-    supports = frozenset({"baseline"})
+    supports = frozenset({"baseline"}) | RETRY_SUPPORTS
     needs_frontend = False
     summary = ("create contexts from scratch (§2.3 barrier), load "
                "everything, then run")
@@ -167,15 +181,22 @@ class StopWorldRestore(Protocol):
                 n_modules=len(image.gpu_modules.get(gpu_index, [])),
                 nccl_gpus=len(gpu_indices) if len(gpu_indices) > 1 else 0,
             )
-            context = yield from ctx.process.runtime.create_context(
-                gpu_index, reqs
+
+            def attempt():
+                created = yield from ctx.process.runtime.create_context(
+                    gpu_index, reqs
+                )
+                return created
+
+            context = yield from ctx.planner.retry.run(
+                engine, attempt, site="ctx-create"
             )
             context.loaded_modules.update(image.gpu_modules.get(gpu_index, []))
 
         # One init thread per device, as restore tools do.
         with obs.span("context-create"):
             creations = [
-                engine.spawn(create_one(i), name=f"ctx-create-gpu{i}")
+                ctx.spawn_worker(create_one(i), name=f"ctx-create-gpu{i}")
                 for i in gpu_indices
             ]
             yield engine.all_of(creations)
@@ -193,20 +214,28 @@ class StopWorldRestore(Protocol):
             gpu = ctx.machine.gpu(gpu_index)
             bandwidth = baseline.effective_pcie_bw(gpu.spec)
             dma = gpu.dma.for_direction(Direction.H2D)
-            for buf, record in buffers[gpu_index]:
-                if baseline.per_buffer_overhead > 0:
-                    yield engine.timeout(baseline.per_buffer_overhead)
-                req = yield dma.acquire(priority=CHECKPOINT_PRIORITY)
+
+            def fetch_one(record):
+                if chaos._injector is not None:
+                    chaos._injector.trip("dma-error")
+                req = yield from acquired(dma, priority=CHECKPOINT_PRIORITY)
                 try:
                     yield from medium.read_flow(record.size,
                                                 rate_cap=bandwidth)
                 finally:
                     dma.release(req)
+
+            for buf, record in buffers[gpu_index]:
+                if baseline.per_buffer_overhead > 0:
+                    yield engine.timeout(baseline.per_buffer_overhead)
+                yield from ctx.planner.retry.run(
+                    engine, lambda r=record: fetch_one(r), site="sw-restore"
+                )
                 buf.load_bytes(record.data)
 
         with obs.span("copy"):
             loads = [
-                engine.spawn(load_one_gpu(i), name=f"sw-restore-gpu{i}")
+                ctx.spawn_worker(load_one_gpu(i), name=f"sw-restore-gpu{i}")
                 for i in gpu_indices
             ]
             yield engine.all_of(loads)

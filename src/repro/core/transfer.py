@@ -22,12 +22,13 @@ from typing import TYPE_CHECKING, Optional
 
 from repro import units
 from repro.core.engine import (
-    _move_buffer,
+    _move_retried,
     checkpoint_all,
     copy_gpu_buffers,
     load_gpu_buffers,
     recopy_gpu_dirty,
 )
+from repro.core.retry import RetryPolicy
 from repro.gpu.dma import Direction
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (base imports us)
@@ -45,6 +46,13 @@ class TransferPlanner:
         self.engine = engine
         self.config = config
         self.tracer = tracer
+        #: The run's transient-failure policy (DMA moves restarted up to
+        #: ``config.max_retries`` times with exponential backoff).
+        self.retry = RetryPolicy(config.max_retries, config.retry_backoff)
+        #: Bound by the protocol drivers to the run context's worker
+        #: list, so streams spawned down in ``checkpoint_all`` are
+        #: cancellable on teardown.
+        self.workers: Optional[list] = None
 
     # -- planning ------------------------------------------------------------------
     def copy_order(self, mode: str) -> Optional[str]:
@@ -71,6 +79,7 @@ class TransferPlanner:
             prioritized=self.config.prioritized,
             bandwidth_scale=self.config.bandwidth_scale,
             chunk_bytes=self.config.chunk_bytes,
+            retry=self.retry, workers=self.workers,
             tracer=self.tracer,
         )
 
@@ -82,6 +91,7 @@ class TransferPlanner:
             bandwidth_scale=self.config.bandwidth_scale,
             per_buffer_overhead=per_buffer_overhead,
             chunk_bytes=self.config.chunk_bytes,
+            retry=self.retry,
             tracer=self.tracer,
         )
 
@@ -93,6 +103,7 @@ class TransferPlanner:
             bandwidth_scale=self.config.bandwidth_scale,
             chunk_bytes=self.config.chunk_bytes,
             dirty_ids=dirty_ids,
+            retry=self.retry,
             tracer=self.tracer,
         )
 
@@ -104,6 +115,7 @@ class TransferPlanner:
             prioritized=self.config.prioritized,
             bandwidth_scale=self.config.bandwidth_scale,
             chunk_bytes=self.config.chunk_bytes,
+            retry=self.retry,
             tracer=self.tracer,
         )
 
@@ -113,7 +125,8 @@ class TransferPlanner:
         """Generator: move ``nbytes`` over one GPU's DMA + the medium."""
         if bandwidth is None:
             bandwidth = gpu.spec.pcie_bw * self.config.bandwidth_scale
-        return _move_buffer(
-            self.engine, gpu, medium, nbytes, direction, bandwidth,
+        return _move_retried(
+            self.engine, self.retry, "move",
+            gpu, medium, nbytes, direction, bandwidth,
             chunked=chunked, chunk_bytes=self.config.chunk_bytes,
         )

@@ -40,6 +40,14 @@ class KernelFault(GpuError):
     """A kernel program faulted during interpretation."""
 
 
+class DmaError(GpuError):
+    """A DMA transfer failed mid-flight (injected or hardware)."""
+
+
+class ContextCreationError(GpuError):
+    """Creating a GPU context failed (driver error, injected fault)."""
+
+
 class IsaError(GpuError):
     """A kernel program is structurally invalid (bad register, label...)."""
 
@@ -54,6 +62,14 @@ class CheckpointError(ReproError):
 
 class SpeculationFailure(CheckpointError):
     """The validator observed an access outside the speculated sets."""
+
+
+class TornImageError(CheckpointError):
+    """An image failed integrity validation (CRC mismatch, uncommitted)."""
+
+
+class ProtocolCrashError(CheckpointError):
+    """The checkpointer/restorer itself died mid-protocol (injected)."""
 
 
 class ContextPoolError(ReproError):

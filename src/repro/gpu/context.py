@@ -70,6 +70,10 @@ def create_context(
     Pays the full driver-init + module-load + library-handle cost
     (§2.3's restoration barrier).  Returns the new context.
     """
+    from repro import chaos  # late import: context is a low-level leaf module
+
+    if chaos._injector is not None:
+        chaos._injector.trip("context-error")
     costs = costs or DEFAULT_CONTEXT_COSTS
     duration = costs.full_creation_time(
         n_modules=requirements.n_modules,

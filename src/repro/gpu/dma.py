@@ -19,9 +19,9 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-from repro import obs, units
+from repro import chaos, obs, units
 from repro.sim.engine import Engine
-from repro.sim.resources import PriorityResource
+from repro.sim.resources import PriorityResource, acquired
 
 #: Application PCIe traffic: highest priority (lowest number).
 APP_PRIORITY = 0
@@ -106,6 +106,11 @@ def transfer(
     """
     if nbytes <= 0:
         return 0
+    # Fault injection targets bulk (checkpoint/restore) traffic only:
+    # the chaos fault model is "the C/R data path failed", not "the
+    # application's own PCIe batch load failed".
+    if chaos._injector is not None and priority != APP_PRIORITY:
+        chaos._injector.trip("dma-error")
     res = engines.for_direction(direction)
     moved_counter = obs.counter(
         f"dma/{res.name}/bytes",
@@ -114,7 +119,7 @@ def transfer(
         direction=direction.value,
     )
     if chunk_bytes is None:
-        req = yield res.acquire(priority=priority)
+        req = yield from acquired(res, priority=priority)
         try:
             yield engine.timeout(units.transfer_time(nbytes, bandwidth))
         finally:
@@ -129,7 +134,7 @@ def transfer(
     )
     moved = 0
     while moved < nbytes:
-        req = yield res.acquire(priority=priority)
+        req = yield from acquired(res, priority=priority)
         try:
             if res.queue_len > 0:
                 # Contended: exactly the historical per-chunk step —

@@ -239,6 +239,29 @@ class PriorityResource(Resource):
         ))
 
 
+def acquired(resource: Resource, priority: int = 0):
+    """Interrupt-safe acquire: ``req = yield from acquired(res, ...)``.
+
+    The naked pattern ``req = yield res.acquire()`` leaks a slot when the
+    waiting process is interrupted: the exception is thrown at the yield,
+    the assignment never happens, and the queued (or just-granted)
+    request is orphaned — permanently holding or eventually claiming a
+    slot for a dead process.  This helper owns the request across the
+    wait and cancels/returns it if anything is thrown in, relying on the
+    release contract above (releasing a waiter withdraws it; releasing a
+    granted request returns the slot).  Exactly one yield, so virtual
+    timestamps are unchanged.
+    """
+    req = resource.acquire(priority=priority)
+    try:
+        yield req
+    except BaseException:
+        if not req.released:
+            resource.release(req)
+        raise
+    return req
+
+
 class Store:
     """An unbounded FIFO mailbox of items.
 

@@ -55,6 +55,12 @@ class CheckpointImage:
     #: Virtual time at which the checkpoint logically happened.
     checkpoint_time: Optional[float] = None
     finalized: bool = False
+    #: Atomic-commit state (two-phase publish via :class:`ImageCatalog`):
+    #: a staged image becomes ``committed`` only at ``phase_commit``; a
+    #: torn or superseded image is ``revoked`` and can never be restored.
+    committed: bool = False
+    revoked: bool = False
+    revoked_reason: str = ""
 
     def add_gpu_buffer(self, gpu_index: int, record: GpuBufferRecord) -> None:
         """Insert/overwrite one buffer's record (recopy overwrites)."""
@@ -74,7 +80,21 @@ class CheckpointImage:
         self.checkpoint_time = checkpoint_time
         self.finalized = True
 
+    def revoke(self, reason: str) -> None:
+        """Mark the image unrestorable (torn / part of a failed set)."""
+        if not self.revoked:
+            self.revoked = True
+            self.revoked_reason = reason
+
     def require_finalized(self) -> None:
+        if self.revoked:
+            from repro.errors import TornImageError
+
+            raise TornImageError(
+                f"image {self.name!r} was revoked "
+                f"({self.revoked_reason or 'unknown reason'}); "
+                "cannot restore from it"
+            )
         if not self.finalized:
             raise CheckpointError(
                 f"image {self.name!r} is not finalized; cannot restore from it"
@@ -98,3 +118,62 @@ class CheckpointImage:
 
     def buffer_count(self, gpu_index: int) -> int:
         return len(self.gpu_buffers.get(gpu_index, {}))
+
+
+class ImageCatalog:
+    """Two-phase image publication on a checkpoint medium.
+
+    A protocol run *stages* its image before moving any data and
+    *commits* it only after ``phase_commit`` finalized it — so at no
+    point is a torn, half-written image visible as restorable, whatever
+    phase the checkpointer died in.  A failed run *discards* its staged
+    entry (revoking the image); a consistency violation discovered after
+    commit (e.g. a sibling of a multi-process checkpoint failing)
+    *revokes* a committed entry.
+    """
+
+    def __init__(self) -> None:
+        self._staged: dict[int, CheckpointImage] = {}
+        self._committed: dict[int, CheckpointImage] = {}
+
+    # -- two-phase lifecycle -----------------------------------------------
+    def stage(self, image: CheckpointImage) -> None:
+        """Register an in-progress image (not restorable yet)."""
+        if image.id in self._committed:
+            raise CheckpointError(
+                f"image {image.name!r} is already committed"
+            )
+        self._staged[image.id] = image
+
+    def commit(self, image: CheckpointImage) -> None:
+        """Publish a finalized image as restorable (the atomic flip)."""
+        image.require_finalized()
+        self._staged.pop(image.id, None)
+        image.committed = True
+        self._committed[image.id] = image
+
+    def discard(self, image: CheckpointImage, reason: str = "") -> None:
+        """Drop a staged image after a failed/aborted run (idempotent)."""
+        self._staged.pop(image.id, None)
+        if not image.committed:
+            image.revoke(reason or "checkpoint did not commit")
+
+    def revoke(self, image: CheckpointImage, reason: str) -> None:
+        """Withdraw a committed image (e.g. an inconsistent sibling)."""
+        self._committed.pop(image.id, None)
+        self._staged.pop(image.id, None)
+        image.committed = False
+        image.revoke(reason)
+
+    # -- introspection ------------------------------------------------------
+    def is_committed(self, image: CheckpointImage) -> bool:
+        return image.id in self._committed
+
+    def is_staged(self, image: CheckpointImage) -> bool:
+        return image.id in self._staged
+
+    def committed_images(self) -> list[CheckpointImage]:
+        return list(self._committed.values())
+
+    def staged_images(self) -> list[CheckpointImage]:
+        return list(self._staged.values())

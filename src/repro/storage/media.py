@@ -14,6 +14,7 @@ from typing import Optional
 from repro import units
 from repro.sim.engine import Engine
 from repro.sim.fluid import FluidLink
+from repro.storage.image import ImageCatalog
 
 
 class Medium:
@@ -32,6 +33,11 @@ class Medium:
         self.latency = latency
         self.write_link = FluidLink(engine, write_bw, name=f"{name}-write")
         self.read_link = FluidLink(engine, read_bw, name=f"{name}-read")
+        #: Two-phase image publication: protocol runs stage their image
+        #: here and flip it to committed only at ``phase_commit``, so a
+        #: checkpointer dying mid-protocol never leaves a torn image
+        #: visible as restorable on this medium.
+        self.images = ImageCatalog()
 
     def write_flow(self, nbytes: float, rate_cap: Optional[float] = None):
         """Generator: persist ``nbytes`` to this medium."""

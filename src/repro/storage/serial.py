@@ -22,8 +22,10 @@ import zlib
 from pathlib import Path
 from typing import Union
 
+import os
+
 from repro.cpu.process import KernelObject
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, TornImageError
 from repro.storage.image import CheckpointImage, GpuBufferRecord
 
 MAGIC = b"PHOSIMG1"
@@ -85,25 +87,38 @@ def save_image(image: CheckpointImage, path: Union[str, Path]) -> int:
     meta_bytes = json.dumps(metadata, separators=(",", ":")).encode()
 
     # Pass 2: stream header, metadata, and blobs with a rolling CRC.
+    # The write is atomic: everything goes to a temporary sibling first
+    # and ``os.replace`` publishes it in one step, so a writer dying
+    # mid-stream can only ever leave a stray ``.tmp`` behind — never a
+    # truncated file under the image's real name.
     crc = 0
     size = 0
     path = Path(path)
-    with open(path, "wb") as fh:
-        def emit(chunk) -> None:
-            nonlocal crc, size
-            view = memoryview(chunk)
-            fh.write(view)
-            crc = zlib.crc32(view, crc)
-            size += view.nbytes
+    tmp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp_path, "wb") as fh:
+            def emit(chunk) -> None:
+                nonlocal crc, size
+                view = memoryview(chunk)
+                fh.write(view)
+                crc = zlib.crc32(view, crc)
+                size += view.nbytes
 
-        emit(_HEADER.pack(MAGIC, FORMAT_VERSION, len(meta_bytes)))
-        emit(meta_bytes)
-        for _page_idx, data in cpu_blobs:
-            emit(data)
-        for data in gpu_blobs:
-            emit(data)
-        fh.write(_TRAILER.pack(crc))
-        size += _TRAILER.size
+            emit(_HEADER.pack(MAGIC, FORMAT_VERSION, len(meta_bytes)))
+            emit(meta_bytes)
+            for _page_idx, data in cpu_blobs:
+                emit(data)
+            for data in gpu_blobs:
+                emit(data)
+            fh.write(_TRAILER.pack(crc))
+            size += _TRAILER.size
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     return size
 
 
@@ -111,11 +126,11 @@ def load_image(path: Union[str, Path]) -> CheckpointImage:
     """Load and validate an image written by :func:`save_image`."""
     raw = Path(path).read_bytes()
     if len(raw) < _HEADER.size + _TRAILER.size:
-        raise CheckpointError(f"{path}: file too short to be a PHOS image")
+        raise TornImageError(f"{path}: file too short to be a PHOS image")
     body, trailer = raw[: -_TRAILER.size], raw[-_TRAILER.size :]
     (crc,) = _TRAILER.unpack(trailer)
     if zlib.crc32(body) != crc:
-        raise CheckpointError(f"{path}: CRC mismatch (corrupt image)")
+        raise TornImageError(f"{path}: CRC mismatch (corrupt image)")
     magic, version, meta_len = _HEADER.unpack_from(body)
     if magic != MAGIC:
         raise CheckpointError(f"{path}: not a PHOS image (bad magic)")

@@ -38,6 +38,9 @@ class FtRunResult:
     recomputed_iters: int = 0
     restore_seconds: float = 0.0
     checkpoint_stall_seconds: float = 0.0
+    #: Failures that landed while a checkpoint was still in flight and
+    #: tore it down mid-protocol (only with ``mid_checkpoint_kills``).
+    mid_checkpoint_kills: int = 0
 
     @property
     def useful_seconds(self) -> float:
@@ -67,7 +70,8 @@ class FaultToleranceController:
     def __init__(self, engine: Engine, phos: Phos, process, workload,
                  failures_per_hour: float, checkpoint_every_iters: int,
                  seed: int = 1,
-                 checkpoint_config: ProtocolConfig | None = None) -> None:
+                 checkpoint_config: ProtocolConfig | None = None,
+                 mid_checkpoint_kills: bool = False) -> None:
         if checkpoint_every_iters < 1:
             raise CheckpointError("checkpoint interval must be >= 1 iteration")
         self.engine = engine
@@ -77,6 +81,13 @@ class FaultToleranceController:
         self.failures_per_hour = failures_per_hour
         self.checkpoint_every = checkpoint_every_iters
         self.checkpoint_config = checkpoint_config
+        #: When True, a failure that lands mid-checkpoint kills the
+        #: process immediately — the in-flight protocol is torn down by
+        #: ``Phos.kill`` (workers cancelled, session aborted, staged
+        #: image discarded) instead of being politely awaited first.
+        #: This is the realistic failure model: machines do not wait
+        #: for checkpoints to finish before crashing.
+        self.mid_checkpoint_kills = mid_checkpoint_kills
         self._rng = random.Random(seed)
         self._next_failure = self._draw_failure_gap()
         self.latest_image = None
@@ -116,7 +127,12 @@ class FaultToleranceController:
                 # --- failure! ------------------------------------------------
                 result.failures += 1
                 if inflight is not None and not inflight.triggered:
-                    yield inflight
+                    if self.mid_checkpoint_kills:
+                        # The kill below aborts the in-flight protocol;
+                        # its image is discarded, never committed.
+                        result.mid_checkpoint_kills += 1
+                    else:
+                        yield inflight
                 t_fail = engine.now
                 self.phos.kill(self.process)
                 restored = yield from self.phos.restore(

@@ -343,6 +343,86 @@ def test_cli_protocols_subcommand_lists_table():
     assert " -> ".join(RESTORE_PHASES) in out
 
 
+# -- abort-path resource accounting ------------------------------------------------
+
+def _assert_engine_resources_quiet(machine, observer):
+    """After any abort, no resource user/waiter and no open span remains."""
+    for gpu in machine.gpus:
+        assert list(gpu.dma.pool.iter_users()) == []
+        assert list(gpu.dma.pool.iter_waiting()) == []
+    open_spans = [n.name for n in observer.spans.iter_nodes() if n.open]
+    assert open_spans == []
+
+
+def test_mis_speculation_abort_releases_every_resource():
+    """phase_abort (validator hit) leaves no DMA request or open span."""
+    from repro import obs
+
+    eng, machine, phos, process, _ = make_world()
+    app = ToyApp(process, buf_size=256 * MIB, kernel_flops=1e9)
+    observer = obs.install(eng)
+    try:
+        def driver(eng):
+            yield from app.setup()
+            yield from app.run(1)
+            hidden = app.bufs["out"]
+            sneaky = build_global_writer("sneaky", "hidden_out", hidden.addr)
+            yield from quiesce(eng, [process])
+            handle = phos.checkpoint(process, mode="cow")
+            yield from process.runtime.launch_kernel(
+                0, sneaky, [app.bufs["input"].addr, 8], 8,
+                cost=KernelCost(flops=1e9), sync=True,
+            )
+            image, session = yield handle
+            return image, session
+
+        image, session = eng.run_process(driver(eng))
+        eng.run()
+        assert session.aborted
+        assert image.finalized  # the stop-the-world retry committed
+        _assert_engine_resources_quiet(machine, observer)
+        aborts = sum(c.value for c in observer.metrics.find(
+            "protocol/aborts"))
+        assert aborts >= 1
+    finally:
+        obs.uninstall()
+
+
+def test_crash_abort_releases_every_resource():
+    """A mid-transfer crash (chaos) leaves the engine just as quiet."""
+    from repro import chaos, obs
+    from repro.chaos import FaultPlan, FaultSpec
+
+    eng, machine, phos, process, app = make_world()
+    observer = obs.install(eng)
+    try:
+        chaos.install(FaultPlan(faults=(
+            FaultSpec(kind="crash-checkpointer", protocol="cow",
+                      phase="transfer"),
+        )), engine=eng, killer=phos.kill)
+
+        def driver(eng):
+            yield from app.setup()
+            yield from app.run(2)
+            try:
+                yield phos.checkpoint(process, mode="cow")
+            except CheckpointError as err:
+                return err
+            return None
+
+        err = eng.run_process(driver(eng))
+        eng.run()
+        chaos.uninstall()
+        assert err is not None
+        _assert_engine_resources_quiet(machine, observer)
+        # The frontend is back in pass-through mode.
+        assert phos.frontend_of(process).ckpt_session is None
+        assert phos.frontend_of(process).restore_session is None
+    finally:
+        chaos.uninstall()
+        obs.uninstall()
+
+
 # -- figure bit-identity regression ------------------------------------------------
 
 def _golden(name: str) -> str:

@@ -13,6 +13,11 @@ Measures three things and writes them to ``BENCH_wallclock.json``:
 * **End-to-end experiment wall time** — fig11 / fig16 / fig17
   regenerated with the fast path on, against the pre-PR baseline
   recorded below, so future PRs get a perf trajectory.
+* **Chaos hook overhead** (``chaos_overhead``) — the fault-injection
+  hooks' cost on the fig16 workload, decomposed as deterministic hook
+  hit count × microbenchmarked per-hit cost, for both the disabled
+  guard and an armed-but-never-matching plan (must stay under 2%;
+  ``--section chaos_overhead`` runs it alone).
 * **Parallel cell fan-out** (``experiments_parallel``) — the same
   figures re-run through :mod:`repro.parallel` at ``--jobs N``,
   recording per-figure parallel speedup, pool utilization, and warm
@@ -27,7 +32,8 @@ known-slower machine).
 Usage::
 
     PYTHONPATH=src python tools/bench_wallclock.py \
-        [--quick] [--jobs N] [--no-regress-check] [--out FILE]
+        [--quick] [--jobs N] [--no-regress-check] [--out FILE] \
+        [--section chaos_overhead]
 
 ``--quick`` runs a reduced workload set (fig11 + fig16, fewer
 micro-bench repetitions) for CI smoke jobs.
@@ -36,6 +42,7 @@ micro-bench repetitions) for CI smoke jobs.
 from __future__ import annotations
 
 import argparse
+import gc
 import importlib
 import json
 import os
@@ -67,6 +74,11 @@ COMMITTED_REPORT = REPO_ROOT / "BENCH_wallclock.json"
 #: A tracked figure may be at most this much slower (serial) than the
 #: committed report before the tool exits nonzero.
 REGRESS_TOLERANCE = 0.15
+
+#: An armed-but-never-matching chaos plan may cost at most this much
+#: extra fig16 wall time before the tool exits nonzero (the
+#: ``chaos_overhead`` section; see docs/robustness.md).
+CHAOS_OVERHEAD_TOLERANCE = 0.02
 
 
 def load_committed(path: Path = COMMITTED_REPORT) -> dict:
@@ -256,6 +268,103 @@ def bench_experiments_parallel(names: list[str], serial: dict,
     return out
 
 
+def bench_chaos_overhead(repeats: int = 3) -> dict:
+    """Disabled-hook and armed-but-idle chaos overhead on fig16.
+
+    A direct wall-clock A/B of fig16 cannot resolve a 2% bound on a
+    busy machine (CPU frequency drift alone swings it ±5%), so the
+    overhead is decomposed into two *stable* measurements: the hook
+    hit count of a fig16 run (a pure function of the virtual clock,
+    exactly reproducible) and the per-hit cost of each hook state
+    (nanosecond-scale microbenchmarks, min over batches).  Their
+    product over the fig16 CPU time is the overhead ratio checked
+    against :data:`CHAOS_OVERHEAD_TOLERANCE` — once for the disabled
+    guard (``chaos._injector is not None``) every instrumented site
+    pays, and once for an armed injector whose plan never matches, an
+    upper bound on running with chaos on but not yet tripped.
+    """
+    from repro import chaos
+
+    module = importlib.import_module(_EXPERIMENTS["fig16"])
+
+    def timed() -> float:
+        gc.collect()  # park collector debt outside the timed region
+        gc.disable()
+        try:
+            t0 = time.process_time()
+            module.run()
+            return time.process_time() - t0
+        finally:
+            gc.enable()
+
+    timed()  # warm the import/plan caches
+    cpu_s = min(timed() for _ in range(repeats))
+
+    # Hook hits per kind: every spec matches everywhere but its
+    # occurrence is unreachable, so _should_trip counts each visit
+    # without ever tripping.
+    counting = tuple(chaos.FaultSpec(kind=kind, occurrence=2**31)
+                     for kind in chaos.KINDS)
+    injector = chaos.install(chaos.FaultPlan(faults=counting))
+    try:
+        module.run()
+        if injector.injected:
+            raise AssertionError(
+                f"counting plan injected {injector.injected!r}")
+    finally:
+        chaos.uninstall()
+    hits = {s.kind: injector._visits.get(id(s), 0) for s in counting}
+    phase_hits = hits["crash-checkpointer"]  # one per _phase entry
+    site_hits = hits["dma-error"] + hits["context-error"]
+
+    batch = 100_000
+
+    def per_hit(fn) -> float:
+        best = float("inf")
+        for _ in range(5):
+            t0 = time.perf_counter()
+            for _ in range(batch):
+                fn()
+            best = min(best, time.perf_counter() - t0)
+        return best / batch
+
+    never = chaos.FaultPlan(faults=tuple(
+        chaos.FaultSpec(kind=kind, protocol="__never-matches__")
+        for kind in chaos.KINDS
+    ))
+    armed = chaos.install(never)
+    try:
+        cost_phase = per_hit(
+            lambda: armed.enter_phase("cow", "transfer", None))
+        cost_site = per_hit(lambda: armed.trip("dma-error"))
+    finally:
+        chaos.uninstall()
+
+    def disabled_guard() -> None:
+        if chaos._injector is not None:  # what every call site pays
+            raise AssertionError("chaos should be uninstalled")
+
+    cost_disabled = per_hit(disabled_guard)
+
+    disabled_overhead = (phase_hits + site_hits) * cost_disabled / cpu_s
+    armed_overhead = (phase_hits * cost_phase
+                      + site_hits * cost_site) / cpu_s
+    return {
+        "figure": "fig16",
+        "cpu_s_fig16": round(cpu_s, 3),
+        "hook_hits": {"phase_entries": phase_hits, "sites": site_hits},
+        "ns_per_hit": {
+            "disabled_guard": round(cost_disabled * 1e9, 1),
+            "armed_phase_entry": round(cost_phase * 1e9, 1),
+            "armed_site": round(cost_site * 1e9, 1),
+        },
+        "disabled_overhead": round(disabled_overhead, 6),
+        "armed_idle_overhead": round(armed_overhead, 6),
+        "tolerance": CHAOS_OVERHEAD_TOLERANCE,
+        "within_tolerance": armed_overhead <= CHAOS_OVERHEAD_TOLERANCE,
+    }
+
+
 def check_regressions(report: dict, committed: dict,
                       tolerance: float = REGRESS_TOLERANCE) -> list[str]:
     """Tracked figures whose serial wall regressed > tolerance."""
@@ -287,15 +396,33 @@ def run_bench(quick: bool = False, jobs: int = 4) -> dict:
     }
     report["experiments_parallel"] = bench_experiments_parallel(
         experiments, report["experiments"], jobs=jobs)
+    if not quick:  # the chaos-matrix CI job runs this section explicitly
+        report["chaos_overhead"] = bench_chaos_overhead()
     return report
+
+
+def _print_chaos_overhead(row: dict) -> None:
+    hits = row["hook_hits"]
+    ns = row["ns_per_hit"]
+    print(f"chaos hooks : fig16 {row['cpu_s_fig16']:.2f}s CPU, "
+          f"{hits['phase_entries']} phase + {hits['sites']} site hits; "
+          f"disabled {ns['disabled_guard']:.0f} ns/hit "
+          f"({row['disabled_overhead'] * 100:.4f}%), "
+          f"armed idle {row['armed_idle_overhead'] * 100:.4f}% "
+          f"(tolerance {row['tolerance'] * 100:.0f}%)")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=str(COMMITTED_REPORT),
-                        help="where to write the JSON report")
+    parser.add_argument("--out", default=None,
+                        help="where to write the JSON report (default "
+                             "BENCH_wallclock.json; with --section, only "
+                             "written when given explicitly)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced workload set for CI smoke runs")
+    parser.add_argument("--section", choices=["chaos_overhead"],
+                        help="run a single named section instead of the "
+                             "full benchmark")
     parser.add_argument("--jobs", type=int, default=4, metavar="N",
                         help="worker processes for the parallel fan-out "
                              "section (default 4)")
@@ -303,9 +430,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="do not fail on >15%% serial regressions vs "
                              "the committed BENCH_wallclock.json")
     args = parser.parse_args(argv)
+    if args.section == "chaos_overhead":
+        row = bench_chaos_overhead()
+        _print_chaos_overhead(row)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump({"schema": "bench-wallclock/v1",
+                           "chaos_overhead": row}, fh,
+                          indent=2, sort_keys=True)
+                fh.write("\n")
+        if not row["within_tolerance"] and not args.no_regress_check:
+            print(f"REGRESSION: chaos hook overhead "
+                  f"{row['armed_idle_overhead'] * 100:.2f}% exceeds "
+                  f"{CHAOS_OVERHEAD_TOLERANCE * 100:.0f}%", file=sys.stderr)
+            return 1
+        return 0
     committed = load_committed()
     report = run_bench(quick=args.quick, jobs=args.jobs)
-    with open(args.out, "w", encoding="utf-8") as fh:
+    out = args.out or str(COMMITTED_REPORT)
+    with open(out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     interp = report["interpreter"]
@@ -326,8 +469,15 @@ def main(argv: list[str] | None = None) -> int:
               f"({row['parallel_speedup']:.2f}x vs serial, "
               f"util {row['utilization']:.0%}, "
               f"warm hits {row['warm_cache_hits']})")
-    print(f"report written to {args.out}")
+    co = report.get("chaos_overhead")
+    if co:
+        _print_chaos_overhead(co)
+    print(f"report written to {out}")
     failures = check_regressions(report, committed)
+    if co and not co["within_tolerance"]:
+        failures.append(
+            f"chaos hook overhead {co['armed_idle_overhead'] * 100:.2f}% on "
+            f"fig16 exceeds {CHAOS_OVERHEAD_TOLERANCE * 100:.0f}%")
     if failures:
         for line in failures:
             print(f"REGRESSION: {line}", file=sys.stderr)
