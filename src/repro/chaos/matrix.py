@@ -176,6 +176,9 @@ def _gpu_snapshot(process) -> dict:
 
 def _image_state(image) -> dict:
     """``{(gpu, addr): bytes}`` recorded in a checkpoint image."""
+    from repro.storage.delta import materialize
+
+    image = materialize(image)
     state = {}
     for gpu_index, records in image.gpu_buffers.items():
         for record in records.values():

@@ -99,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=registry.names("checkpoint"))
     p.add_argument("--steps", type=int, default=3,
                    help="iterations to run concurrently with the checkpoint")
+    p.add_argument("--incremental", action="store_true",
+                   help="take a chain-root checkpoint first, run --steps "
+                        "more iterations, then measure an incremental "
+                        "(delta) checkpoint chained onto it")
     p.add_argument("--obs", action="store_true",
                    help="print the observability report (phases, DMA, counters)")
     p.add_argument("--obs-json", metavar="FILE",
@@ -219,13 +223,25 @@ def cmd_checkpoint(args) -> int:
     process, workload = provision(engine, machine, spec)
     phos.attach(process)
 
+    mode = "incremental" if args.incremental else args.mode
+
     def driver(engine):
         yield from workload.setup()
         yield from workload.run(2)
         t0 = engine.now
         yield from workload.run(args.steps)
         baseline = engine.now - t0
-        handle = phos.checkpoint(process, mode=args.mode)
+        parent = None
+        if args.incremental:
+            # Chain root first; the measured checkpoint is the delta.
+            parent, _ = yield phos.checkpoint(
+                process, mode="incremental", name="chain-root"
+            )
+            yield from workload.run(args.steps)
+        if parent is not None:
+            handle = phos.checkpoint(process, mode=mode, parent=parent)
+        else:
+            handle = phos.checkpoint(process, mode=mode)
         t1 = engine.now
         yield from workload.run(args.steps)
         stall = (engine.now - t1) - baseline
@@ -238,7 +254,7 @@ def cmd_checkpoint(args) -> int:
     engine.run()
     from repro.core.report import checkpoint_report
 
-    print(f"app={args.app} mode={args.mode}")
+    print(f"app={args.app} mode={mode}")
     print(f"  iteration time     : {units.fmt_seconds(iter_s)}")
     print(f"  application stall  : {units.fmt_seconds(stall)}")
     print(checkpoint_report(image, session, phos.tracer))

@@ -113,17 +113,18 @@ class Phos:
         """Start a checkpoint; returns the (awaitable) background process.
 
         ``mode`` is a registry name or alias (``cow``, ``recopy``,
-        ``stop-world``, ``hw-dirty``); unknown names raise
-        :class:`CheckpointError` listing the registered protocols.
+        ``stop-world``, ``hw-dirty``, ``incremental``); unknown names
+        raise :class:`CheckpointError` listing the registered protocols.
         Tunables travel as a :class:`ProtocolConfig` (``config=``) or
         as loose keywords (``chunk_bytes=...``, ``parent=...``, …);
         combinations a protocol does not support are rejected eagerly.
 
         The result of the returned process is ``(image, session)``
         (``session`` is None for protocols without a speculation
-        session).  ``parent`` (CoW only) makes the checkpoint
-        incremental: buffers unwritten since the parent inherit its
-        records.
+        session).  ``parent`` makes the checkpoint incremental: with
+        ``mode="cow"`` buffers unwritten since the parent inherit its
+        records; with ``mode="incremental"`` the result is a
+        chunk-deduplicated :class:`~repro.storage.delta.DeltaImage`.
         """
         protocol = registry.create(mode, config=config, **tunables)
         frontend = (self.frontend_of(process) if protocol.needs_frontend
@@ -167,9 +168,10 @@ class Phos:
         session = event.value[1] if isinstance(event.value, tuple) else None
         aborted = getattr(session, "aborted", False)
         logger.info(
-            "checkpoint done: image=%s bytes=%d buffers=%d aborted=%s t=%g",
-            image.name, image.total_bytes(),
-            sum(len(b) for b in image.gpu_buffers.values()), aborted,
+            "checkpoint done: image=%s bytes=%d stored=%d buffers=%d "
+            "aborted=%s t=%g",
+            image.name, image.total_bytes(), image.stored_bytes(),
+            image.total_buffer_count(), aborted,
             self.engine.now,
         )
 
@@ -319,6 +321,17 @@ class Phos:
         """
         medium = medium or self.medium
         machine = machine or self.machine
+        from repro.storage.delta import DeltaImage, materialize
+
+        if isinstance(image, DeltaImage):
+            # Chain-aware restore: walk the parent references up front
+            # and hand the restore protocols a plain full image.  A
+            # broken chain (cycle, missing or revoked parent, chunk
+            # hash mismatch) fails here, before any state is touched.
+            catalog = getattr(medium, "images", None)
+            resolve = catalog.lookup if catalog is not None else None
+            image = materialize(image, resolve=resolve)
+            obs.counter("storage/chain-restores").inc()
         if gpu_indices is not None and len(gpu_indices) == 0:
             raise InvalidValueError(
                 "gpu_indices=[] names no restore target; pass None to "

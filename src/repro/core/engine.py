@@ -248,16 +248,21 @@ def checkpoint_all(engine: Engine, session: CheckpointSession, process,
                    bandwidth_scale: float = 1.0,
                    chunk_bytes: Optional[int] = None,
                    retry=None, workers: Optional[list] = None,
+                   cpu_dump=None,
                    tracer: Optional[Tracer] = None):
     """Generator: the full concurrent copy phase (CPU + all GPUs).
 
     Returns the CPU dump result (whose ``dirty_after_copy`` the recopy
-    protocol consumes).  Spawned streams are appended to ``workers``
-    (the protocol context's teardown list) so a failed run can cancel
-    its surviving siblings — ``all_of`` fails fast on the first error
-    but does not stop the others.
+    protocol consumes).  ``cpu_dump`` overrides the CPU dump generator
+    (the incremental protocol passes a parent-aware delta dump);
+    the default follows the session mode.  Spawned streams are appended
+    to ``workers`` (the protocol context's teardown list) so a failed
+    run can cancel its surviving siblings — ``all_of`` fails fast on
+    the first error but does not stop the others.
     """
-    dump = (criu.dump_cow if session.mode == "cow" else criu.dump_tracked)
+    dump = cpu_dump
+    if dump is None:
+        dump = (criu.dump_cow if session.mode == "cow" else criu.dump_tracked)
 
     def cpu_stream():
         result = yield from dump(process.host, session.image, medium)

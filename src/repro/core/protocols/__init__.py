@@ -17,6 +17,9 @@ Every protocol is a phase-structured subclass of
   end time;
 * ``hw-dirty`` — :mod:`repro.core.protocols.hw_dirty`: the §9
   hypothetical hardware-dirty-bit recopy (no speculation frontend);
+* ``incremental`` — :mod:`repro.core.protocols.incremental`: delta
+  checkpoints against a parent image (chunk-level dedup, cost scales
+  with dirty bytes);
 * ``concurrent`` (restore) — :mod:`repro.core.protocols.restore`:
   concurrent on-demand restore (§6) with rollback-to-stop-world on
   mis-speculation.
@@ -35,6 +38,10 @@ from repro.core.protocols.base import (
 )
 from repro.core.protocols.cow import CowCheckpoint, checkpoint_cow
 from repro.core.protocols.hw_dirty import HwDirtyCheckpoint, checkpoint_recopy_hw
+from repro.core.protocols.incremental import (
+    IncrementalCheckpoint,
+    checkpoint_incremental,
+)
 from repro.core.protocols.recopy import RecopyCheckpoint, checkpoint_recopy
 from repro.core.protocols.restore import ConcurrentRestore, restore_concurrent, restore_stop_world
 from repro.core.protocols.stop_world import (
@@ -51,12 +58,14 @@ __all__ = [
     "ProtocolContext",
     "registry",
     "CowCheckpoint",
+    "IncrementalCheckpoint",
     "RecopyCheckpoint",
     "StopWorldCheckpoint",
     "StopWorldRestore",
     "HwDirtyCheckpoint",
     "ConcurrentRestore",
     "checkpoint_cow",
+    "checkpoint_incremental",
     "checkpoint_recopy",
     "checkpoint_recopy_hw",
     "checkpoint_stop_world",

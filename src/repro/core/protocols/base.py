@@ -82,7 +82,8 @@ class ProtocolConfig:
     #: Iterative concurrent pre-copy rounds before the final quiesce
     #: (recopy's §4.3 iterative extension).
     precopy_rounds: int = 0
-    #: Parent image for incremental checkpointing (CoW only).
+    #: Parent image for incremental checkpointing (CoW record
+    #: inheritance, or the ``incremental`` protocol's delta chain).
     parent: Optional[Any] = None
     #: Cost model of the system taking the checkpoint (stop-the-world
     #: baselines; None = PHOS itself).

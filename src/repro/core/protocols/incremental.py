@@ -1,0 +1,204 @@
+"""The incremental (delta) checkpoint protocol.
+
+Rides the recopy machinery (§4.3 dirty tracking, t2 semantics) but
+produces a :class:`~repro.storage.delta.DeltaImage`: buffers the
+write-heat history proves unwritten since the parent checkpoint are
+skipped entirely (pure parent references), captured buffers are
+chunk-diffed against the parent's materialized bytes at commit, and the
+CPU dump ships only the pages that differ from the parent's.  The §A.1
+frequency model is the motivation — per-checkpoint cost that scales
+with *dirty* bytes pushes the optimal checkpoint frequency f* up.
+
+Without a parent the protocol degrades gracefully to a self-contained
+chain root (all chunks local), so ``mode="incremental"`` works in every
+context a full checkpoint does; an SDK loop that passes its previous
+image as ``parent`` gets first-full-then-delta for free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import obs
+from repro.core.frontend import PhosFrontend
+from repro.core.protocols.base import (
+    RETRY_SUPPORTS,
+    Protocol,
+    ProtocolConfig,
+    ProtocolContext,
+    record_modules,
+)
+from repro.core.protocols.registry import register
+from repro.core.quiesce import quiesce, resume
+from repro.core.session import BufState, CheckpointSession
+from repro.cpu.criu import CriuEngine
+from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
+from repro.storage.delta import DeltaImage, materialize, seal_delta
+from repro.storage.image import CheckpointImage
+from repro.storage.media import Medium
+
+
+@register
+class IncrementalCheckpoint(Protocol):
+    """Delta checkpoint: skip parent-clean buffers, store changed chunks."""
+
+    name = "incremental"
+    kind = "checkpoint"
+    aliases = ("delta",)
+    supports = frozenset({
+        "coordinated", "prioritized", "chunk_bytes", "keep_stopped",
+        "bandwidth_scale", "parent",
+    }) | RETRY_SUPPORTS
+    needs_frontend = True
+    summary = ("recopy-style concurrent copy that skips buffers unwritten "
+               "since the parent image and stores only changed chunks "
+               "(content-addressed dedup); image equals a stop-the-world "
+               "checkpoint at t2")
+
+    def prepare(self, ctx: ProtocolContext) -> None:
+        parent = self.config.parent
+        if parent is not None:
+            parent.require_finalized()
+        ctx.image = DeltaImage(
+            name=ctx.name or f"incremental-{ctx.process.name}",
+            parent_id=parent.id if parent is not None else None,
+            parent_name=parent.name if parent is not None else "",
+            parent_ref=parent,
+        )
+
+    def phase_admit(self, ctx: ProtocolContext):
+        # A checkpoint of a partially-restored process would capture
+        # not-yet-loaded buffers; wait for any in-flight restore first.
+        if ctx.frontend.restore_session is not None:
+            yield ctx.frontend.restore_session.done
+
+    def phase_plan(self, ctx: ProtocolContext) -> None:
+        record_modules(ctx.image, ctx.process)
+        parent = self.config.parent
+        if parent is not None:
+            # Materialize the parent chain once, up front (host-side
+            # work: the chunk index lives in daemon DRAM, no virtual
+            # time).  A broken chain fails the run here, before any
+            # data moves.
+            catalog = getattr(ctx.medium, "images", None)
+            resolve = catalog.lookup if catalog is not None else None
+            ctx.extras["parent_full"] = materialize(parent, resolve=resolve)
+        ctx.session = CheckpointSession(ctx.engine, "recopy", ctx.image)
+        ctx.frontend.begin_checkpoint(
+            ctx.session, hot_order=ctx.planner.copy_order(self.name)
+        )
+        if parent is not None:
+            ctx.extras["reused"] = _mark_unchanged(
+                ctx.frontend, ctx.session, ctx.extras["parent_full"]
+            )
+        resume([ctx.process])
+
+    def phase_transfer(self, ctx: ProtocolContext):
+        engine, session, process = ctx.engine, ctx.session, ctx.process
+        parent_full = ctx.extras.get("parent_full")
+        cpu_dump = None
+        if parent_full is not None:
+            def cpu_dump(host, image, medium):
+                return ctx.criu.dump_delta(host, image, medium,
+                                           parent_full.cpu_pages)
+        try:
+            with obs.span("copy"):
+                yield from ctx.planner.copy_all(
+                    session, process, ctx.medium, ctx.criu,
+                    cpu_dump=cpu_dump,
+                )
+            # Re-quiesce (writes during the drain still tracked; writes
+            # to a skipped buffer re-dirty it and force its recapture).
+            session.final_quiesce_start = engine.now
+            yield from quiesce(engine, [process], ctx.tracer)
+        finally:
+            # Guarded for idempotence against a racing teardown.
+            if ctx.frontend.ckpt_session is session:
+                ctx.frontend.end_checkpoint()
+        ctx.t_image = engine.now
+        with obs.span("recopy"):
+            dirty_pages = process.host.memory.dirty_pages()
+            yield from ctx.criu.recopy_dirty(process.host, ctx.image,
+                                             ctx.medium, dirty_pages)
+            recopies = [
+                ctx.spawn_worker(
+                    ctx.planner.recopy_dirty(
+                        session, process.machine.gpu(gpu_index), ctx.medium,
+                    ),
+                    name=f"recopy-gpu{gpu_index}",
+                )
+                for gpu_index in session.plan
+            ]
+            yield engine.all_of(recopies)
+            for gpu_index in session.plan:
+                # Buffers freed during the window do not exist at t2.
+                for buf_id in session.freed_ids[gpu_index]:
+                    ctx.image.gpu_buffers.get(gpu_index, {}).pop(buf_id, None)
+
+    def phase_commit(self, ctx: ProtocolContext):
+        session = ctx.session
+        freed = {
+            gpu_index: set(session.freed_ids.get(gpu_index, ()))
+            for gpu_index in session.plan
+        }
+        seal_delta(ctx.image, ctx.extras.get("parent_full"),
+                   reused=ctx.extras.get("reused"), freed=freed)
+        ctx.image.finalize(ctx.t_image)
+        if not self.config.keep_stopped:
+            resume([ctx.process])
+        return ctx.image, ctx.session
+
+
+def _mark_unchanged(frontend: PhosFrontend, session: CheckpointSession,
+                    parent_full: CheckpointImage) -> dict[int, set[int]]:
+    """Mark parent-clean buffers DONE; returns the reused ids per GPU.
+
+    Same soundness argument as CoW's incremental inheritance: the
+    write-heat history is kept honest by validated speculation inside
+    checkpoint windows, and validator-reported hidden writes update it,
+    so a buffer is only skipped when it provably matches the parent.  A
+    write landing *after* this marking re-dirties the buffer (DONE
+    buffers stay dirty-tracked in recopy mode) and the final recopy
+    pass recaptures it.
+    """
+    cutoff = parent_full.checkpoint_time
+    reused: dict[int, set[int]] = {}
+    for gpu_index, plan in session.plan.items():
+        parent_records = parent_full.gpu_buffers.get(gpu_index, {})
+        ids: set[int] = set()
+        for buf in plan:
+            record = parent_records.get(buf.id)
+            if record is None or record.addr != buf.addr or record.size != buf.size:
+                continue  # layout changed: full capture for this buffer
+            history = frontend.write_history.get(buf.id)
+            if history is not None and history[1] > cutoff:
+                continue  # written since the parent: must be re-captured
+            session.set_state(buf, BufState.DONE)
+            session.stats.bytes_skipped_incremental += buf.size
+            ids.add(buf.id)
+        reused[gpu_index] = ids
+    return reused
+
+
+def checkpoint_incremental(engine: Engine, frontend: PhosFrontend,
+                           medium: Medium, criu: CriuEngine, name: str = "",
+                           parent: Optional[CheckpointImage] = None,
+                           coordinated: bool = True, prioritized: bool = True,
+                           keep_stopped: bool = False,
+                           bandwidth_scale: float = 1.0,
+                           chunk_bytes: Optional[int] = None,
+                           tracer: Optional[Tracer] = None):
+    """Generator: one incremental checkpoint.  Returns ``(image, session)``.
+
+    ``parent=None`` produces a self-contained chain root.
+    """
+    protocol = IncrementalCheckpoint(ProtocolConfig(
+        parent=parent, coordinated=coordinated, prioritized=prioritized,
+        keep_stopped=keep_stopped, bandwidth_scale=bandwidth_scale,
+        chunk_bytes=chunk_bytes,
+    ))
+    return protocol.checkpoint(
+        engine, process=frontend.process, frontend=frontend, medium=medium,
+        criu=criu, name=name, tracer=tracer,
+    )

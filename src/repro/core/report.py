@@ -19,15 +19,28 @@ def checkpoint_report(image: CheckpointImage,
                       session: Optional[CheckpointSession] = None,
                       tracer: Optional[Tracer] = None) -> str:
     """A multi-line summary of one completed checkpoint."""
+    from repro.storage.delta import DeltaImage
+
     lines = [f"checkpoint report: {image.name}"]
     lines.append(f"  taken at (virtual) : t={image.checkpoint_time:g} s")
+    is_delta = isinstance(image, DeltaImage) and image.sealed
+    n_gpus = len(image.delta_gpu) if is_delta else len(image.gpu_buffers)
     lines.append(f"  GPU state          : "
                  f"{units.fmt_bytes(image.gpu_bytes())} in "
-                 f"{sum(len(b) for b in image.gpu_buffers.values())} buffers "
-                 f"across {len(image.gpu_buffers)} GPU(s)")
+                 f"{image.total_buffer_count()} buffers "
+                 f"across {n_gpus} GPU(s)")
     lines.append(f"  CPU state          : "
                  f"{units.fmt_bytes(image.cpu_bytes())} in "
-                 f"{len(image.cpu_pages)} pages")
+                 f"{len(image.cpu_pages)} pages"
+                 + (" stored" if is_delta else ""))
+    if is_delta:
+        parent = image.parent_name or ("(chain root)" if image.parent_id
+                                       is None else image.parent_id)
+        lines.append(f"  delta parent       : {parent}")
+        lines.append(f"  delta stored       : "
+                     f"{units.fmt_bytes(image.stored_bytes())} "
+                     f"({image.chunks_written} chunks written, "
+                     f"{image.chunks_reused} reused)")
     if session is not None:
         s = session.stats
         lines.append(f"  protocol           : {session.mode}"

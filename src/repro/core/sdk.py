@@ -54,10 +54,21 @@ class PhosSdk:
         block application execution unless the last checkpoint is not
         done" — we choose skipping over blocking, which is what a
         frequency-driven training loop wants).
+
+        With ``mode="incremental"`` and no explicit ``parent``, the
+        SDK chains onto its own most recent completed image: the first
+        call produces a self-contained chain root, every later call a
+        delta — exactly the first-full-then-delta loop a training job
+        wants.
         """
         if self._inflight is not None and not self._inflight.triggered:
             self.checkpoints_skipped += 1
             return False
+        if (mode in ("incremental", "delta") and config is None
+                and "parent" not in kwargs):
+            parent = self.last_image
+            if parent is not None and not parent.revoked:
+                kwargs["parent"] = parent
         handle = self._phos.checkpoint(self._process, mode=mode, name=name,
                                        config=config, **kwargs)
         handle.add_callback(self._on_done)

@@ -71,8 +71,12 @@ class TransferPlanner:
         return None
 
     # -- checkpoint side -----------------------------------------------------------
-    def copy_all(self, session, process, medium, criu):
-        """Generator: the full concurrent copy phase (CPU + all GPUs)."""
+    def copy_all(self, session, process, medium, criu, cpu_dump=None):
+        """Generator: the full concurrent copy phase (CPU + all GPUs).
+
+        ``cpu_dump`` overrides the CPU dump generator (the incremental
+        protocol's parent-aware delta dump).
+        """
         return checkpoint_all(
             self.engine, session, process, medium, criu,
             coordinated=self.config.coordinated,
@@ -80,6 +84,7 @@ class TransferPlanner:
             bandwidth_scale=self.config.bandwidth_scale,
             chunk_bytes=self.config.chunk_bytes,
             retry=self.retry, workers=self.workers,
+            cpu_dump=cpu_dump,
             tracer=self.tracer,
         )
 

@@ -20,6 +20,7 @@ Timing: page copies flow through the target medium's links, capped at
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro import obs, units
 from repro.cpu.memory import FAULT_NOT_PRESENT, FAULT_WRITE_PROTECTED, HostMemory
@@ -110,6 +111,32 @@ class CriuEngine:
         image.kernel_objects = list(process.kernel_objects)
         return result
 
+    def dump_delta(self, process: HostProcess, image: CheckpointImage,
+                   medium: Medium, parent_pages: dict[int, bytes]):
+        """Generator: dirty-tracking dump of only the pages that differ
+        from a parent image's (materialized) pages.
+
+        The incremental checkpoint protocol's CPU side: unchanged pages
+        are referenced from the parent instead of re-shipped, so the
+        dump cost scales with the delta.  Pages dirtied while the copy
+        runs are reported for the quiesced recopy pass, exactly like
+        :meth:`dump_tracked`.
+        """
+        mem = process.memory
+        mem.clear_soft_dirty()
+        result = CpuDumpResult()
+        changed = [
+            index for index in range(mem.n_pages)
+            if parent_pages.get(index) != mem.pages[index].snapshot()
+        ]
+        with obs.span("criu-dump", mode="delta", pages=len(changed)):
+            yield from self._copy_pages(mem, image, medium, {}, result,
+                                        indices=changed)
+        result.dirty_after_copy = mem.dirty_pages()
+        image.cpu_control = process.control_state()
+        image.kernel_objects = list(process.kernel_objects)
+        return result
+
     def recopy_dirty(self, process: HostProcess, image: CheckpointImage,
                      medium: Medium, dirty: list[int]):
         """Generator: overwrite the image with the dirty pages' content."""
@@ -127,9 +154,13 @@ class CriuEngine:
         return len(dirty)
 
     def _copy_pages(self, mem: HostMemory, image: CheckpointImage, medium: Medium,
-                    preserved: dict[int, bytes], result: CpuDumpResult):
+                    preserved: dict[int, bytes], result: CpuDumpResult,
+                    indices: Optional[list[int]] = None):
         image.cpu_page_size = mem.page_size
-        indices = list(range(mem.n_pages))
+        if indices is None:
+            indices = list(range(mem.n_pages))
+        if not indices:
+            return
         shard = (len(indices) + self.dump_threads - 1) // self.dump_threads
 
         def worker(chunk):

@@ -1,0 +1,340 @@
+"""Incremental, deduplicated checkpoint images (delta chains).
+
+A full checkpoint re-ships every buffer; the §A.1 frequency model says
+the real fault-tolerance lever is checkpoint *frequency*, which means
+per-checkpoint cost must scale with *dirty* bytes.  This module is the
+storage half of that: a :class:`DeltaImage` stores, per buffer, a
+content-addressed chunk table (one hash per fixed-size chunk of the
+buffer's captured bytes) plus **only the chunks that changed** since a
+named parent image.  Everything else is a reference into the parent.
+
+The rules:
+
+* a delta names exactly one parent by catalog id (``parent_id``); a
+  chain root has ``parent_id=None`` and carries all of its chunks
+  locally (a self-contained "full" delta);
+* :func:`materialize` walks the parent references — with cycle and
+  missing/revoked-parent detection — and reassembles a plain, full
+  :class:`~repro.storage.image.CheckpointImage`, verifying every chunk
+  against its recorded hash on the way (a corrupt or mismatched parent
+  surfaces as :class:`~repro.errors.TornImageError`, never as silently
+  wrong bytes);
+* a buffer absent from the delta's table did not exist at the delta's
+  checkpoint time (it was freed) — the table is authoritative;
+* :class:`~repro.storage.image.ImageCatalog` enforces the commit-order
+  side: a delta commits only while its parent is committed and
+  unrevoked, and revoking a parent revokes the whole descendant chain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro import obs
+from repro.errors import TornImageError
+from repro.storage.image import CheckpointImage, GpuBufferRecord
+
+#: Default content chunk (applies to the captured payload bytes).
+CHUNK_BYTES = 256
+
+#: blake2b digest length for chunk addresses (16 bytes ~ no collisions
+#: at simulator scale, half the metadata of a full 32-byte digest).
+DIGEST_SIZE = 16
+
+
+def hash_chunk(chunk: bytes) -> bytes:
+    """The content address of one chunk."""
+    return hashlib.blake2b(chunk, digest_size=DIGEST_SIZE).digest()
+
+
+def chunk_hashes(data: bytes, chunk_bytes: int = CHUNK_BYTES) -> list[bytes]:
+    """Content addresses of every chunk of ``data``, in order."""
+    return [hash_chunk(data[off : off + chunk_bytes])
+            for off in range(0, len(data), chunk_bytes)]
+
+
+def chunk_count(data_len: int, chunk_bytes: int) -> int:
+    return (data_len + chunk_bytes - 1) // chunk_bytes
+
+
+@dataclass
+class DeltaBufferRecord:
+    """One buffer in a delta image: full chunk table, partial payload.
+
+    ``hashes`` covers the buffer's complete captured payload
+    (``data_len`` bytes); ``chunks`` holds the payload of only the
+    chunks this delta stores itself — every other chunk is resolved
+    from the parent image at materialize time.
+    """
+
+    buffer_id: int
+    addr: int
+    size: int            # logical buffer size (what the cost model charges)
+    data_len: int        # captured payload length (materialized prefix)
+    tag: str = ""
+    hashes: list[bytes] = field(default_factory=list)
+    chunks: dict[int, bytes] = field(default_factory=dict)
+
+    def stored_bytes(self) -> int:
+        return sum(len(c) for c in self.chunks.values())
+
+
+@dataclass
+class DeltaImage(CheckpointImage):
+    """A checkpoint image that stores only chunks changed vs a parent.
+
+    During the protocol run it accumulates captured buffers in the
+    inherited ``gpu_buffers`` / ``cpu_pages`` exactly like a full image
+    (the data movers are unchanged); :func:`seal_delta` then converts
+    the captured state into the chunk tables and drops every byte the
+    parent already holds.
+    """
+
+    parent_id: Optional[str] = None
+    parent_name: str = ""
+    #: Direct reference to the parent image while both live in one
+    #: process (cleared by serialization; restore falls back to catalog
+    #: resolution by ``parent_id``).
+    parent_ref: Optional[CheckpointImage] = None
+    chunk_bytes: int = CHUNK_BYTES
+    #: ``gpu index -> buffer id -> DeltaBufferRecord`` (after sealing).
+    delta_gpu: dict[int, dict[int, DeltaBufferRecord]] = field(
+        default_factory=dict
+    )
+    #: Logical CPU page count of the materialized state (stored pages
+    #: may be far fewer: pages equal to the parent's are dropped).
+    cpu_logical_pages: int = 0
+    sealed: bool = False
+    chunks_written: int = 0
+    chunks_reused: int = 0
+
+    # -- sizes ---------------------------------------------------------------
+    def gpu_bytes(self, gpu_index: Optional[int] = None) -> int:
+        """Logical bytes of the *materialized* GPU state."""
+        if not self.sealed:
+            return super().gpu_bytes(gpu_index)
+        if gpu_index is not None:
+            return sum(r.size
+                       for r in self.delta_gpu.get(gpu_index, {}).values())
+        return sum(r.size for per_gpu in self.delta_gpu.values()
+                   for r in per_gpu.values())
+
+    def cpu_bytes(self) -> int:
+        """Logical bytes of the *materialized* CPU state."""
+        if not self.sealed:
+            return super().cpu_bytes()
+        return self.cpu_logical_pages * self.cpu_page_size
+
+    def buffer_count(self, gpu_index: int) -> int:
+        if not self.sealed:
+            return super().buffer_count(gpu_index)
+        return len(self.delta_gpu.get(gpu_index, {}))
+
+    def total_buffer_count(self) -> int:
+        if not self.sealed:
+            return super().total_buffer_count()
+        return sum(len(per_gpu) for per_gpu in self.delta_gpu.values())
+
+    def stored_bytes(self) -> int:
+        """Bytes this delta actually stores (its own chunks + pages)."""
+        own_chunks = sum(r.stored_bytes() for per_gpu in self.delta_gpu.values()
+                        for r in per_gpu.values())
+        own_pages = sum(len(p) for p in self.cpu_pages.values())
+        return own_chunks + own_pages
+
+
+def seal_delta(image: DeltaImage,
+               parent_full: Optional[CheckpointImage],
+               reused: Optional[dict[int, set[int]]] = None,
+               freed: Optional[dict[int, set[int]]] = None) -> None:
+    """Convert an image's captured state into its delta representation.
+
+    ``parent_full`` is the parent's *materialized* state (None for a
+    chain root).  ``reused`` names, per GPU, the buffers the protocol
+    skipped entirely because the write-heat history proved them
+    unwritten since the parent — they get a pure-reference record (full
+    hash table, zero local chunks).  ``freed`` buffers are dropped:
+    they do not exist at the delta's checkpoint time.
+    """
+    if image.sealed:
+        raise TornImageError(f"delta image {image.name!r} sealed twice")
+    cb = image.chunk_bytes
+    reused = reused or {}
+    freed = freed or {}
+    parent_hash_cache: dict[tuple[int, int], list[bytes]] = {}
+
+    def parent_record(gpu: int, buf_id: int):
+        if parent_full is None:
+            return None
+        return parent_full.gpu_buffers.get(gpu, {}).get(buf_id)
+
+    def parent_hashes(gpu: int, buf_id: int, rec) -> list[bytes]:
+        key = (gpu, buf_id)
+        if key not in parent_hash_cache:
+            parent_hash_cache[key] = chunk_hashes(rec.data, cb)
+        return parent_hash_cache[key]
+
+    # Captured buffers: diff their payload chunk-by-chunk vs the parent.
+    for gpu, records in sorted(image.gpu_buffers.items()):
+        table = image.delta_gpu.setdefault(gpu, {})
+        gone = freed.get(gpu, set())
+        for buf_id, rec in sorted(records.items()):
+            if buf_id in gone:
+                continue
+            hashes = chunk_hashes(rec.data, cb)
+            prec = parent_record(gpu, buf_id)
+            delta_rec = DeltaBufferRecord(
+                buffer_id=rec.buffer_id, addr=rec.addr, size=rec.size,
+                data_len=len(rec.data), tag=rec.tag, hashes=hashes,
+            )
+            if (prec is not None and prec.addr == rec.addr
+                    and prec.size == rec.size
+                    and len(prec.data) == len(rec.data)):
+                phashes = parent_hashes(gpu, buf_id, prec)
+                for i, h in enumerate(hashes):
+                    if h != phashes[i]:
+                        delta_rec.chunks[i] = rec.data[i * cb : (i + 1) * cb]
+                image.chunks_reused += len(hashes) - len(delta_rec.chunks)
+                image.chunks_written += len(delta_rec.chunks)
+            else:
+                # New buffer or layout change: every chunk is local.
+                for i in range(len(hashes)):
+                    delta_rec.chunks[i] = rec.data[i * cb : (i + 1) * cb]
+                image.chunks_written += len(delta_rec.chunks)
+            table[buf_id] = delta_rec
+
+    # Untouched buffers the protocol never captured: pure references.
+    for gpu, ids in sorted(reused.items()):
+        table = image.delta_gpu.setdefault(gpu, {})
+        gone = freed.get(gpu, set())
+        for buf_id in sorted(ids):
+            if buf_id in table or buf_id in gone:
+                continue  # recaptured (written mid-window) or freed
+            prec = parent_record(gpu, buf_id)
+            if prec is None:
+                raise TornImageError(
+                    f"delta image {image.name!r} reuses buffer {buf_id} "
+                    "which the parent does not hold"
+                )
+            hashes = parent_hashes(gpu, buf_id, prec)
+            table[buf_id] = DeltaBufferRecord(
+                buffer_id=prec.buffer_id, addr=prec.addr, size=prec.size,
+                data_len=len(prec.data), tag=prec.tag, hashes=list(hashes),
+            )
+            image.chunks_reused += len(hashes)
+
+    # CPU pages: drop the ones whose content the parent already stores.
+    if parent_full is not None:
+        for index in [i for i, data in image.cpu_pages.items()
+                      if parent_full.cpu_pages.get(i) == data]:
+            del image.cpu_pages[index]
+    image.cpu_logical_pages = int(
+        image.context_meta.get("cpu_pages", len(image.cpu_pages))
+    )
+    image.gpu_buffers.clear()
+    image.sealed = True
+    obs.counter("storage/chunks-written").inc(image.chunks_written)
+    obs.counter("storage/chunks-reused").inc(image.chunks_reused)
+    obs.counter("storage/delta-bytes").inc(image.stored_bytes())
+
+
+def materialize(image: CheckpointImage,
+                resolve: Optional[Callable[[str],
+                                           Optional[CheckpointImage]]] = None
+                ) -> CheckpointImage:
+    """A full image equivalent to ``image``, walking its parent chain.
+
+    Full images pass through unchanged.  For a delta, the chain is
+    walked via ``parent_ref`` (same-process) or ``resolve(parent_id)``
+    (a catalog lookup); a cycle, a missing parent, or a revoked parent
+    raises :class:`TornImageError`.  Every chunk — local or inherited —
+    is verified against its recorded content address.
+    """
+    if not isinstance(image, DeltaImage):
+        return image
+    image.require_finalized()
+    chain: list[DeltaImage] = []
+    seen: set[str] = set()
+    base: Optional[CheckpointImage] = None
+    node: CheckpointImage = image
+    while isinstance(node, DeltaImage):
+        if node.id in seen:
+            raise TornImageError(
+                f"delta chain of image {image.name!r} contains a cycle "
+                f"(image id {node.id!r} seen twice)"
+            )
+        seen.add(node.id)
+        chain.append(node)
+        if node.parent_id is None:
+            break
+        parent = node.parent_ref
+        if parent is None and resolve is not None:
+            parent = resolve(node.parent_id)
+        if parent is None:
+            raise TornImageError(
+                f"delta image {node.name!r} names parent "
+                f"{node.parent_id!r} which cannot be resolved; the chain "
+                "is broken"
+            )
+        parent.require_finalized()
+        if not isinstance(parent, DeltaImage):
+            base = parent
+            break
+        node = parent
+    full = base
+    for delta in reversed(chain):
+        full = _apply_delta(delta, full)
+    return full
+
+
+def _apply_delta(delta: DeltaImage,
+                 parent_full: Optional[CheckpointImage]) -> CheckpointImage:
+    """One chain step: parent's materialized state + this delta."""
+    cb = delta.chunk_bytes
+    full = CheckpointImage(name=delta.name)
+    full.cpu_page_size = delta.cpu_page_size
+    full.cpu_control = dict(delta.cpu_control)
+    full.kernel_objects = list(delta.kernel_objects)
+    full.gpu_modules = {g: list(m) for g, m in delta.gpu_modules.items()}
+    full.context_meta = dict(delta.context_meta)
+    if parent_full is not None:
+        full.cpu_pages.update(parent_full.cpu_pages)
+    full.cpu_pages.update(delta.cpu_pages)
+    for gpu, table in delta.delta_gpu.items():
+        for buf_id, rec in table.items():
+            n_chunks = chunk_count(rec.data_len, cb)
+            if len(rec.hashes) != n_chunks:
+                raise TornImageError(
+                    f"delta image {delta.name!r}: buffer {buf_id} chunk "
+                    f"table has {len(rec.hashes)} entries for "
+                    f"{n_chunks} chunks"
+                )
+            prec = (parent_full.gpu_buffers.get(gpu, {}).get(buf_id)
+                    if parent_full is not None else None)
+            parts = []
+            for i, want in enumerate(rec.hashes):
+                chunk = rec.chunks.get(i)
+                if chunk is None:
+                    if prec is None or len(prec.data) != rec.data_len:
+                        raise TornImageError(
+                            f"delta image {delta.name!r}: buffer {buf_id} "
+                            f"chunk {i} is inherited but the parent does "
+                            "not hold matching bytes"
+                        )
+                    chunk = prec.data[i * cb : (i + 1) * cb]
+                if hash_chunk(chunk) != want:
+                    raise TornImageError(
+                        f"delta image {delta.name!r}: buffer {buf_id} "
+                        f"chunk {i} fails its content-address check "
+                        "(corrupt chunk or wrong parent)"
+                    )
+                parts.append(chunk)
+            data = b"".join(parts)
+            full.gpu_buffers.setdefault(gpu, {})[buf_id] = GpuBufferRecord(
+                buffer_id=rec.buffer_id, addr=rec.addr, size=rec.size,
+                data=data, tag=rec.tag,
+            )
+    full.finalize(delta.checkpoint_time)
+    return full

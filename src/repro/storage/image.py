@@ -9,12 +9,24 @@ needs before it can launch anything.
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import CheckpointError
 
-_image_ids = itertools.count(1)
+_image_seq = itertools.count(1)
+
+
+def _new_image_id() -> str:
+    """A collision-safe image identity.
+
+    Qualified by the creating OS process id: images born in different
+    ``repro.parallel`` pool workers (each of which restarts the module
+    counter at 1) stay distinct when their results are merged into one
+    catalog/world.
+    """
+    return f"{os.getpid():x}.{next(_image_seq)}"
 
 
 @dataclass
@@ -39,7 +51,7 @@ class CheckpointImage:
     """
 
     name: str = ""
-    id: int = field(default_factory=lambda: next(_image_ids))
+    id: str = field(default_factory=_new_image_id)
     #: CPU pages: page index -> bytes (functional content).
     cpu_pages: dict[int, bytes] = field(default_factory=dict)
     cpu_control: dict[str, int] = field(default_factory=dict)
@@ -119,6 +131,13 @@ class CheckpointImage:
     def buffer_count(self, gpu_index: int) -> int:
         return len(self.gpu_buffers.get(gpu_index, {}))
 
+    def total_buffer_count(self) -> int:
+        return sum(len(per_gpu) for per_gpu in self.gpu_buffers.values())
+
+    def stored_bytes(self) -> int:
+        """Bytes the image actually stores (== logical for full images)."""
+        return self.total_bytes()
+
 
 class ImageCatalog:
     """Two-phase image publication on a checkpoint medium.
@@ -130,11 +149,19 @@ class ImageCatalog:
     entry (revoking the image); a consistency violation discovered after
     commit (e.g. a sibling of a multi-process checkpoint failing)
     *revokes* a committed entry.
+
+    Delta images (:class:`~repro.storage.delta.DeltaImage`) add a chain
+    rule: a delta commits only while its parent is committed and
+    unrevoked here, and revoking a parent revokes every (staged or
+    committed) descendant — a chain with a hole in it must never look
+    restorable.
     """
 
     def __init__(self) -> None:
-        self._staged: dict[int, CheckpointImage] = {}
-        self._committed: dict[int, CheckpointImage] = {}
+        self._staged: dict[str, CheckpointImage] = {}
+        self._committed: dict[str, CheckpointImage] = {}
+        #: ``parent id -> [delta children]`` for revocation cascade.
+        self._children: dict[str, list[CheckpointImage]] = {}
 
     # -- two-phase lifecycle -----------------------------------------------
     def stage(self, image: CheckpointImage) -> None:
@@ -143,14 +170,43 @@ class ImageCatalog:
             raise CheckpointError(
                 f"image {image.name!r} is already committed"
             )
+        if image.revoked:
+            raise CheckpointError(
+                f"image {image.name!r} is revoked "
+                f"({image.revoked_reason or 'unknown reason'}); "
+                "it cannot be staged"
+            )
+        if image.id in self._staged:
+            raise CheckpointError(
+                f"image {image.name!r} is already staged (two runs may "
+                "not share one image)"
+            )
         self._staged[image.id] = image
 
     def commit(self, image: CheckpointImage) -> None:
         """Publish a finalized image as restorable (the atomic flip)."""
+        if image.id not in self._staged:
+            raise CheckpointError(
+                f"image {image.name!r} was never staged on this catalog; "
+                "refusing to publish it"
+            )
         image.require_finalized()
+        parent_id = getattr(image, "parent_id", None)
+        if parent_id is not None:
+            parent = self._committed.get(parent_id)
+            if parent is None or parent.revoked:
+                self._staged.pop(image.id, None)
+                image.revoke("delta parent is not committed on this medium")
+                raise CheckpointError(
+                    f"delta image {image.name!r} names parent {parent_id!r} "
+                    "which is not committed (or was revoked) on this "
+                    "medium; the delta is unrestorable and was revoked"
+                )
         self._staged.pop(image.id, None)
         image.committed = True
         self._committed[image.id] = image
+        if parent_id is not None:
+            self._children.setdefault(parent_id, []).append(image)
 
     def discard(self, image: CheckpointImage, reason: str = "") -> None:
         """Drop a staged image after a failed/aborted run (idempotent)."""
@@ -159,11 +215,18 @@ class ImageCatalog:
             image.revoke(reason or "checkpoint did not commit")
 
     def revoke(self, image: CheckpointImage, reason: str) -> None:
-        """Withdraw a committed image (e.g. an inconsistent sibling)."""
+        """Withdraw a committed image (e.g. an inconsistent sibling).
+
+        Revoking the parent of committed delta images cascades: every
+        descendant needs the revoked bytes to materialize, so the whole
+        subtree becomes unrestorable with it.
+        """
         self._committed.pop(image.id, None)
         self._staged.pop(image.id, None)
         image.committed = False
         image.revoke(reason)
+        for child in self._children.pop(image.id, []):
+            self.revoke(child, f"parent image {image.name!r} was revoked")
 
     # -- introspection ------------------------------------------------------
     def is_committed(self, image: CheckpointImage) -> bool:
@@ -174,6 +237,10 @@ class ImageCatalog:
 
     def committed_images(self) -> list[CheckpointImage]:
         return list(self._committed.values())
+
+    def lookup(self, image_id: str) -> Optional[CheckpointImage]:
+        """A committed image by id (delta-chain parent resolution)."""
+        return self._committed.get(image_id)
 
     def staged_images(self) -> list[CheckpointImage]:
         return list(self._staged.values())

@@ -10,8 +10,20 @@ container format:
 * a contiguous blob section holding the raw bytes;
 * a CRC-32 trailer over everything before it.
 
+Two format versions share that container:
+
+* **v1** — full images: one blob per CPU page and per GPU buffer
+  (unchanged on disk since the first release; old images keep
+  loading);
+* **v2** — delta images (:class:`~repro.storage.delta.DeltaImage`):
+  the metadata carries the parent reference and the per-buffer
+  content-addressed chunk tables, and the blob section holds only the
+  chunks this delta stores itself (see :mod:`repro.storage.delta`).
+
 The format is self-contained (no pickle), versioned, and validated on
-load — truncation and bit-rot are detected, not silently restored.
+load — truncation, bit-rot, out-of-range blob references, and
+metadata/blob size mismatches are detected (:class:`TornImageError`),
+not silently restored.
 """
 
 from __future__ import annotations
@@ -26,10 +38,13 @@ import os
 
 from repro.cpu.process import KernelObject
 from repro.errors import CheckpointError, TornImageError
+from repro.storage.delta import DeltaBufferRecord, DeltaImage, chunk_count
 from repro.storage.image import CheckpointImage, GpuBufferRecord
 
 MAGIC = b"PHOSIMG1"
 FORMAT_VERSION = 1
+DELTA_FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (FORMAT_VERSION, DELTA_FORMAT_VERSION)
 
 _HEADER = struct.Struct("<8sII")  # magic, version, metadata length
 _TRAILER = struct.Struct("<I")    # crc32
@@ -38,15 +53,63 @@ _TRAILER = struct.Struct("<I")    # crc32
 def save_image(image: CheckpointImage, path: Union[str, Path]) -> int:
     """Persist a finalized image; returns the file size in bytes.
 
-    Streams straight to the file handle: blob *offsets* are computed
-    from lengths alone (no staging copy of the blob section), then the
-    header, metadata, and each buffer's bytes are written through
-    ``memoryview`` with a rolling CRC-32.  Peak extra memory is one
-    buffer's view instead of a second full copy of every buffer; the
-    on-disk format is byte-identical to the historical
-    build-everything-in-RAM writer.
+    Full images write format v1 (byte-identical to the historical
+    writer); sealed delta images write format v2.  Streams straight to
+    the file handle: blob *offsets* are computed from lengths alone (no
+    staging copy of the blob section), then the header, metadata, and
+    each blob's bytes are written through ``memoryview`` with a rolling
+    CRC-32.
     """
     image.require_finalized()
+    if isinstance(image, DeltaImage):
+        if not image.sealed:
+            raise CheckpointError(
+                f"delta image {image.name!r} is not sealed; it has no "
+                "chunk tables to persist"
+            )
+        version = DELTA_FORMAT_VERSION
+        metadata, blobs = _layout_v2(image)
+    else:
+        version = FORMAT_VERSION
+        metadata, blobs = _layout_v1(image)
+    meta_bytes = json.dumps(metadata, separators=(",", ":")).encode()
+
+    # Stream header, metadata, and blobs with a rolling CRC.  The write
+    # is atomic: everything goes to a temporary sibling first and
+    # ``os.replace`` publishes it in one step, so a writer dying
+    # mid-stream can only ever leave a stray ``.tmp`` behind — never a
+    # truncated file under the image's real name.
+    crc = 0
+    size = 0
+    path = Path(path)
+    tmp_path = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp_path, "wb") as fh:
+            def emit(chunk) -> None:
+                nonlocal crc, size
+                view = memoryview(chunk)
+                fh.write(view)
+                crc = zlib.crc32(view, crc)
+                size += view.nbytes
+
+            emit(_HEADER.pack(MAGIC, version, len(meta_bytes)))
+            emit(meta_bytes)
+            for data in blobs:
+                emit(data)
+            fh.write(_TRAILER.pack(crc))
+            size += _TRAILER.size
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return size
+
+
+def _layout_v1(image: CheckpointImage) -> tuple[dict, list]:
+    """Metadata + ordered blob list for a full image (format v1)."""
     offset = 0
 
     def reserve(data) -> tuple[int, int]:
@@ -55,16 +118,17 @@ def save_image(image: CheckpointImage, path: Union[str, Path]) -> int:
         offset += len(data)
         return ref
 
-    # Pass 1: lay out the blob section (offsets only, bytes untouched).
-    cpu_blobs = sorted(image.cpu_pages.items())
-    cpu_index = {str(page_idx): reserve(data) for page_idx, data in cpu_blobs}
-    gpu_blobs: list = []
+    blobs: list = []
+    cpu_index = {}
+    for page_idx, data in sorted(image.cpu_pages.items()):
+        cpu_index[str(page_idx)] = reserve(data)
+        blobs.append(data)
     gpu_index: dict[str, dict] = {}
     for gpu, records in sorted(image.gpu_buffers.items()):
         per_gpu = {}
         for buf_id, rec in sorted(records.items()):
             blob_offset, length = reserve(rec.data)
-            gpu_blobs.append(rec.data)
+            blobs.append(rec.data)
             per_gpu[str(buf_id)] = {
                 "addr": rec.addr, "size": rec.size, "tag": rec.tag,
                 "blob": [blob_offset, length],
@@ -84,42 +148,62 @@ def save_image(image: CheckpointImage, path: Union[str, Path]) -> int:
         "cpu_pages": cpu_index,
         "gpu_buffers": gpu_index,
     }
-    meta_bytes = json.dumps(metadata, separators=(",", ":")).encode()
+    return metadata, blobs
 
-    # Pass 2: stream header, metadata, and blobs with a rolling CRC.
-    # The write is atomic: everything goes to a temporary sibling first
-    # and ``os.replace`` publishes it in one step, so a writer dying
-    # mid-stream can only ever leave a stray ``.tmp`` behind — never a
-    # truncated file under the image's real name.
-    crc = 0
-    size = 0
-    path = Path(path)
-    tmp_path = path.with_name(path.name + ".tmp")
-    try:
-        with open(tmp_path, "wb") as fh:
-            def emit(chunk) -> None:
-                nonlocal crc, size
-                view = memoryview(chunk)
-                fh.write(view)
-                crc = zlib.crc32(view, crc)
-                size += view.nbytes
 
-            emit(_HEADER.pack(MAGIC, FORMAT_VERSION, len(meta_bytes)))
-            emit(meta_bytes)
-            for _page_idx, data in cpu_blobs:
-                emit(data)
-            for data in gpu_blobs:
-                emit(data)
-            fh.write(_TRAILER.pack(crc))
-            size += _TRAILER.size
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
-    return size
+def _layout_v2(image: DeltaImage) -> tuple[dict, list]:
+    """Metadata + ordered blob list for a delta image (format v2)."""
+    offset = 0
+
+    def reserve(data) -> tuple[int, int]:
+        nonlocal offset
+        ref = (offset, len(data))
+        offset += len(data)
+        return ref
+
+    blobs: list = []
+    cpu_index = {}
+    for page_idx, data in sorted(image.cpu_pages.items()):
+        cpu_index[str(page_idx)] = reserve(data)
+        blobs.append(data)
+    gpu_index: dict[str, dict] = {}
+    for gpu, table in sorted(image.delta_gpu.items()):
+        per_gpu = {}
+        for buf_id, rec in sorted(table.items()):
+            chunk_refs = {}
+            for idx, chunk in sorted(rec.chunks.items()):
+                chunk_refs[str(idx)] = reserve(chunk)
+                blobs.append(chunk)
+            per_gpu[str(buf_id)] = {
+                "addr": rec.addr, "size": rec.size,
+                "data_len": rec.data_len, "tag": rec.tag,
+                "hashes": [h.hex() for h in rec.hashes],
+                "chunks": chunk_refs,
+            }
+        gpu_index[str(gpu)] = per_gpu
+    metadata = {
+        "name": image.name,
+        "checkpoint_time": image.checkpoint_time,
+        "cpu_page_size": image.cpu_page_size,
+        "cpu_control": image.cpu_control,
+        "kernel_objects": [
+            {"kind": o.kind, "description": o.description, "state": o.state}
+            for o in image.kernel_objects
+        ],
+        "gpu_modules": {str(k): v for k, v in image.gpu_modules.items()},
+        "context_meta": image.context_meta,
+        "cpu_pages": cpu_index,
+        "delta": {
+            "parent_id": image.parent_id,
+            "parent_name": image.parent_name,
+            "chunk_bytes": image.chunk_bytes,
+            "cpu_logical_pages": image.cpu_logical_pages,
+            "chunks_written": image.chunks_written,
+            "chunks_reused": image.chunks_reused,
+            "gpu": gpu_index,
+        },
+    }
+    return metadata, blobs
 
 
 def load_image(path: Union[str, Path]) -> CheckpointImage:
@@ -134,10 +218,11 @@ def load_image(path: Union[str, Path]) -> CheckpointImage:
     magic, version, meta_len = _HEADER.unpack_from(body)
     if magic != MAGIC:
         raise CheckpointError(f"{path}: not a PHOS image (bad magic)")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
+        supported = "/".join(str(v) for v in SUPPORTED_VERSIONS)
         raise CheckpointError(
             f"{path}: unsupported format version {version} "
-            f"(this build reads {FORMAT_VERSION})"
+            f"(this build reads {supported})"
         )
     meta_start = _HEADER.size
     metadata = json.loads(body[meta_start : meta_start + meta_len])
@@ -145,11 +230,20 @@ def load_image(path: Union[str, Path]) -> CheckpointImage:
 
     def take(ref) -> bytes:
         offset, length = ref
+        if offset < 0 or length < 0:
+            raise TornImageError(
+                f"{path}: negative blob reference ({offset}, {length})"
+            )
         if offset + length > len(blobs):
-            raise CheckpointError(f"{path}: blob reference out of range")
+            raise TornImageError(f"{path}: blob reference out of range")
         return bytes(blobs[offset : offset + length])
 
-    image = CheckpointImage(name=metadata["name"])
+    if version == DELTA_FORMAT_VERSION:
+        return _load_v2(path, metadata, take)
+    return _load_v1(path, metadata, take)
+
+
+def _load_common(image: CheckpointImage, metadata: dict, take) -> None:
     image.cpu_page_size = metadata["cpu_page_size"]
     image.cpu_control = metadata["cpu_control"]
     image.kernel_objects = [
@@ -163,11 +257,83 @@ def load_image(path: Union[str, Path]) -> CheckpointImage:
     image.context_meta = metadata["context_meta"]
     for page_idx, ref in metadata["cpu_pages"].items():
         image.add_cpu_page(int(page_idx), take(ref))
+
+
+def _load_v1(path, metadata: dict, take) -> CheckpointImage:
+    image = CheckpointImage(name=metadata["name"])
+    _load_common(image, metadata, take)
     for gpu, per_gpu in metadata["gpu_buffers"].items():
         for buf_id, rec in per_gpu.items():
+            data = take(rec["blob"])
+            if rec["size"] < 0 or len(data) > rec["size"]:
+                # The captured payload is a materialized prefix of the
+                # logical buffer, never longer than it: the cost model
+                # charges ``size``, restore writes ``data``, and a blob
+                # outgrowing its declared size means a writer bug or a
+                # tampered index — both unrestorable.
+                raise TornImageError(
+                    f"{path}: GPU buffer {buf_id} declares size "
+                    f"{rec['size']} but stores a {len(data)}-byte blob"
+                )
             image.add_gpu_buffer(int(gpu), GpuBufferRecord(
                 buffer_id=int(buf_id), addr=rec["addr"], size=rec["size"],
-                data=take(rec["blob"]), tag=rec["tag"],
+                data=data, tag=rec["tag"],
             ))
+    image.finalize(metadata["checkpoint_time"])
+    return image
+
+
+def _load_v2(path, metadata: dict, take) -> DeltaImage:
+    delta_meta = metadata["delta"]
+    chunk_bytes = int(delta_meta["chunk_bytes"])
+    if chunk_bytes <= 0:
+        raise TornImageError(f"{path}: non-positive chunk size {chunk_bytes}")
+    image = DeltaImage(
+        name=metadata["name"],
+        parent_id=delta_meta["parent_id"],
+        parent_name=delta_meta.get("parent_name", ""),
+        chunk_bytes=chunk_bytes,
+        cpu_logical_pages=int(delta_meta.get("cpu_logical_pages", 0)),
+        chunks_written=int(delta_meta.get("chunks_written", 0)),
+        chunks_reused=int(delta_meta.get("chunks_reused", 0)),
+    )
+    _load_common(image, metadata, take)
+    for gpu, per_gpu in delta_meta["gpu"].items():
+        table = image.delta_gpu.setdefault(int(gpu), {})
+        for buf_id, rec in per_gpu.items():
+            size, data_len = rec["size"], rec["data_len"]
+            if size < 0 or data_len < 0 or data_len > size:
+                raise TornImageError(
+                    f"{path}: GPU buffer {buf_id} declares size {size} "
+                    f"with a {data_len}-byte payload"
+                )
+            hashes = [bytes.fromhex(h) for h in rec["hashes"]]
+            if len(hashes) != chunk_count(data_len, chunk_bytes):
+                raise TornImageError(
+                    f"{path}: GPU buffer {buf_id} chunk table has "
+                    f"{len(hashes)} entries for a {data_len}-byte payload"
+                )
+            chunks: dict[int, bytes] = {}
+            for idx_s, ref in rec["chunks"].items():
+                idx = int(idx_s)
+                if idx < 0 or idx >= len(hashes):
+                    raise TornImageError(
+                        f"{path}: GPU buffer {buf_id} stores chunk {idx} "
+                        "outside its chunk table"
+                    )
+                chunk = take(ref)
+                want = min(chunk_bytes, data_len - idx * chunk_bytes)
+                if len(chunk) != want:
+                    raise TornImageError(
+                        f"{path}: GPU buffer {buf_id} chunk {idx} is "
+                        f"{len(chunk)} bytes, expected {want}"
+                    )
+                chunks[idx] = chunk
+            table[int(buf_id)] = DeltaBufferRecord(
+                buffer_id=int(buf_id), addr=rec["addr"], size=size,
+                data_len=data_len, tag=rec["tag"], hashes=hashes,
+                chunks=chunks,
+            )
+    image.sealed = True
     image.finalize(metadata["checkpoint_time"])
     return image

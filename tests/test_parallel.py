@@ -55,6 +55,16 @@ def die_cell(cell: Cell):
     return cell.key
 
 
+def image_id_cell(cell: Cell) -> tuple:
+    # Hold the worker long enough that both pool workers mint ids
+    # concurrently (each spawned worker restarts the module counter).
+    from repro.storage.image import CheckpointImage
+
+    time.sleep(cell.config.get("sleep_s", 0.0))
+    return os.getpid(), [CheckpointImage(name=f"{cell.key}-{i}").id
+                         for i in range(4)]
+
+
 @pytest.fixture(scope="module", autouse=True)
 def _pool_cleanup():
     # One shared pool serves the whole module (workers and their warm
@@ -130,6 +140,21 @@ def test_dead_worker_surfaces_instead_of_hanging(no_env):
     results = parallel.run_cells(echo_cell, [Cell("exp", ("again",))] * 2,
                                  jobs=2)
     assert results == [("ran", ("again",), None)] * 2
+
+
+def test_image_ids_unique_across_pool_workers(no_env):
+    """PR-6 regression: `CheckpointImage.id` came from a process-global
+    counter, so images minted in different pool workers collided when
+    merged into one catalog/world.  Ids are now pid-qualified."""
+    cells = [Cell("img", (i,), {"sleep_s": 0.3}) for i in range(2)]
+    results = parallel.run_cells(image_id_cell, cells, jobs=2)
+    stats = parallel.last_run_stats()
+    assert stats.mode == "pool"
+    assert stats.workers_used >= 2
+    (pid_a, ids_a), (pid_b, ids_b) = results
+    assert pid_a != pid_b  # two distinct workers really minted these
+    merged = ids_a + ids_b
+    assert len(set(merged)) == len(merged)
 
 
 # -- fallbacks --------------------------------------------------------------------

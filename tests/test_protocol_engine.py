@@ -41,7 +41,7 @@ from tests.toyapp import ToyApp, image_gpu_state, snapshot_process
 
 GOLDENS = Path(__file__).parent / "goldens"
 
-CHECKPOINT_NAMES = ["cow", "hw-dirty", "recopy", "stop-world"]
+CHECKPOINT_NAMES = ["cow", "hw-dirty", "incremental", "recopy", "stop-world"]
 RESTORE_NAMES = ["concurrent", "stop-world"]
 
 

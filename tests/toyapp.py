@@ -109,7 +109,10 @@ def snapshot_process(process):
 
 
 def image_gpu_state(image):
-    """{(gpu, addr): bytes} from a checkpoint image."""
+    """{(gpu, addr): bytes} from a checkpoint image (deltas walked)."""
+    from repro.storage.delta import materialize
+
+    image = materialize(image)
     out = {}
     for gpu_index, records in image.gpu_buffers.items():
         for record in records.values():

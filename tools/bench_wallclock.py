@@ -365,6 +365,114 @@ def bench_chaos_overhead(repeats: int = 3) -> dict:
     }
 
 
+def bench_storage_delta() -> dict:
+    """Full vs delta checkpoint cost on fig16's workload (PR 6).
+
+    Takes a chain-root (full) incremental checkpoint of
+    ``llama2-13b-train``, runs more training steps, then takes a delta
+    chained on it.  Records logical vs stored bytes, chunk dedup
+    counts, and the *virtual* wall each checkpoint cost — virtual time
+    is deterministic, so these numbers are exactly reproducible.  The
+    per-checkpoint overhead then feeds the §A.1 model (F = 1 failure
+    per GPU-hour, as in fig12): the delta's smaller O shifts f*
+    upward and the waste curve's minimum downward, which is the whole
+    point of incremental checkpoints.
+    """
+    from repro.core.frequency import (
+        frequency_sweep,
+        optimal_frequency,
+        wasted_gpu_hours,
+    )
+    from repro.experiments import harness
+
+    app = "llama2-13b-train"
+    world = harness.build_world(app)
+    harness.setup_app(world)
+    eng = world.engine
+
+    def driver(eng):
+        yield from world.workload.run(1)
+        t0 = eng.now
+        full, _ = yield world.phos.checkpoint(
+            world.process, mode="incremental", name="bench-full",
+            config=harness.experiment_config())
+        full_wall = eng.now - t0
+        yield from world.workload.run(2, start=1)
+        t0 = eng.now
+        delta, session = yield world.phos.checkpoint(
+            world.process, mode="incremental", name="bench-delta",
+            config=harness.experiment_config(parent=full))
+        return full, full_wall, delta, eng.now - t0, session
+
+    full, full_wall, delta, delta_wall, session = eng.run_process(driver(eng))
+    eng.run()
+
+    failures_per_gpu_hour = 1.0
+    n_gpus = world.spec.n_gpus
+    total_hours = 24.0
+    restore_hours = full_wall / 3600.0  # stop-world reload of a full image
+    o_full = full_wall / 3600.0
+    o_delta = delta_wall / 3600.0
+
+    def model(overhead_hours: float) -> dict:
+        f_star = optimal_frequency(n_gpus, failures_per_gpu_hour,
+                                   overhead_hours)
+        waste = wasted_gpu_hours(n_gpus, failures_per_gpu_hour, total_hours,
+                                 overhead_hours, restore_hours, f_star)
+        sweep = frequency_sweep(n_gpus, failures_per_gpu_hour, total_hours,
+                                overhead_hours, restore_hours)
+        return {
+            "overhead_hours": overhead_hours,
+            "f_star_per_hour": round(f_star, 1),
+            "waste_gpu_hours_at_f_star": round(waste, 2),
+            "sweep": [[round(f, 2), round(w, 2)] for f, w in sweep],
+        }
+
+    full_model = model(o_full)
+    delta_model = model(o_delta)
+    return {
+        "app": app,
+        "full": {
+            "virtual_wall_s": round(full_wall, 6),
+            "logical_bytes": full.total_bytes(),
+            "stored_bytes": full.stored_bytes(),
+        },
+        "delta": {
+            "virtual_wall_s": round(delta_wall, 6),
+            "logical_bytes": delta.total_bytes(),
+            "stored_bytes": delta.stored_bytes(),
+            "chunks_written": delta.chunks_written,
+            "chunks_reused": delta.chunks_reused,
+            "bytes_skipped_incremental": session.stats.bytes_skipped_incremental,
+        },
+        "stored_ratio": round(delta.stored_bytes() / max(1, full.stored_bytes()),
+                              4),
+        "wall_ratio": round(delta_wall / full_wall, 4),
+        "frequency_model": {
+            "failures_per_gpu_hour": failures_per_gpu_hour,
+            "n_gpus": n_gpus,
+            "total_hours": total_hours,
+            "restore_hours": round(restore_hours, 6),
+            "full": full_model,
+            "delta": delta_model,
+            "f_star_shift": round(delta_model["f_star_per_hour"]
+                                  / full_model["f_star_per_hour"], 2),
+            "waste_drop": round(
+                1.0 - delta_model["waste_gpu_hours_at_f_star"]
+                / full_model["waste_gpu_hours_at_f_star"], 4),
+        },
+    }
+
+
+def _print_storage_delta(row: dict) -> None:
+    fm = row["frequency_model"]
+    print(f"storage     : delta stores {row['stored_ratio'] * 100:.1f}% of "
+          f"full bytes, {row['wall_ratio'] * 100:.1f}% of full wall; "
+          f"f* {fm['full']['f_star_per_hour']:.0f}/h -> "
+          f"{fm['delta']['f_star_per_hour']:.0f}/h "
+          f"({fm['f_star_shift']:.1f}x), waste -{fm['waste_drop'] * 100:.1f}%")
+
+
 def check_regressions(report: dict, committed: dict,
                       tolerance: float = REGRESS_TOLERANCE) -> list[str]:
     """Tracked figures whose serial wall regressed > tolerance."""
@@ -393,6 +501,7 @@ def run_bench(quick: bool = False, jobs: int = 4) -> dict:
         "interpreter": bench_interpreter(repeats=50 if quick else 200),
         "engine": bench_events(repeats=5 if quick else 20),
         "experiments": bench_experiments(experiments, quick=quick),
+        "storage_delta": bench_storage_delta(),
     }
     report["experiments_parallel"] = bench_experiments_parallel(
         experiments, report["experiments"], jobs=jobs)
@@ -420,7 +529,8 @@ def main(argv: list[str] | None = None) -> int:
                              "written when given explicitly)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced workload set for CI smoke runs")
-    parser.add_argument("--section", choices=["chaos_overhead"],
+    parser.add_argument("--section",
+                        choices=["chaos_overhead", "storage_delta"],
                         help="run a single named section instead of the "
                              "full benchmark")
     parser.add_argument("--jobs", type=int, default=4, metavar="N",
@@ -430,6 +540,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="do not fail on >15%% serial regressions vs "
                              "the committed BENCH_wallclock.json")
     args = parser.parse_args(argv)
+    if args.section == "storage_delta":
+        row = bench_storage_delta()
+        _print_storage_delta(row)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump({"schema": "bench-wallclock/v1",
+                           "storage_delta": row}, fh,
+                          indent=2, sort_keys=True)
+                fh.write("\n")
+        fm = row["frequency_model"]
+        if fm["waste_drop"] <= 0 or fm["f_star_shift"] <= 1.0:
+            print("REGRESSION: delta checkpoints no longer shift f* upward "
+                  f"(shift {fm['f_star_shift']}x, waste drop "
+                  f"{fm['waste_drop'] * 100:.1f}%)", file=sys.stderr)
+            return 1
+        return 0
     if args.section == "chaos_overhead":
         row = bench_chaos_overhead()
         _print_chaos_overhead(row)
@@ -469,6 +595,9 @@ def main(argv: list[str] | None = None) -> int:
               f"({row['parallel_speedup']:.2f}x vs serial, "
               f"util {row['utilization']:.0%}, "
               f"warm hits {row['warm_cache_hits']})")
+    sd = report.get("storage_delta")
+    if sd:
+        _print_storage_delta(sd)
     co = report.get("chaos_overhead")
     if co:
         _print_chaos_overhead(co)
