@@ -132,7 +132,11 @@ class SpanTracer:
         self._stacks: dict[int, list[SpanNode]] = {}
 
     def _stack(self) -> list[SpanNode]:
-        key = id(getattr(self.engine, "_active_process", None))
+        # ``_active_process`` is part of the engine's dispatch contract:
+        # Process._step sets it for the duration of every generator step
+        # regardless of which queue (calendar or legacy heap) delivered
+        # the record, so span attribution survives scheduler changes.
+        key = id(self.engine._active_process)
         stack = self._stacks.get(key)
         if stack is None:
             stack = self._stacks[key] = []

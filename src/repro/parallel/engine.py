@@ -29,6 +29,19 @@ one worker reuse compiled kernel plans — a wall-clock optimization
 that is result-invariant because plans re-prove their preconditions
 against the actual memory at every bind.
 
+Batched dispatch
+----------------
+
+Cells are shipped to workers in contiguous *chunks* (about four per
+worker), so the runner and the per-task executor round-trip are paid
+once per chunk instead of once per cell.  Workers run their chunk
+sequentially and return one compact :class:`~repro.parallel.worker.
+BatchOutcome` — per-cell results and wall times plus a payload-size
+measurement (``result_bytes``) that keeps result compactness visible
+in the bench.  The merge consumes batches **as they complete**
+(overlapping merge work with still-running chunks) and writes results
+into declared-order slots, so the determinism contract is untouched.
+
 Fallback path
 -------------
 
@@ -41,10 +54,32 @@ process — whenever any of these hold:
 * this process *is* a pool worker (no nested pools);
 * ``serial_only=True`` was passed (the harness does this when ``--obs``
   is active, because observers live in-process);
-* the runner or a cell fails to pickle, or the pool cannot be created.
+* the runner or a cell fails to pickle, or the pool cannot be created;
+* the **auto-serial projection** (below) predicts the pool cannot beat
+  serial for this run.
 
 Every fallback bumps the ``parallel/fallback`` obs counter with a
 ``reason`` label.
+
+Auto-serial projection
+----------------------
+
+Every ``run_cells`` call records the mean per-cell wall time under its
+label (an exponentially weighted average across runs, serial and pool
+alike).  When history exists, the next run projects both modes::
+
+    serial ≈ mean_cell · n_cells
+    pool   ≈ mean_cell · n_cells / min(jobs, effective CPUs)
+             + dispatch cost · n_cells  (+ pool spawn cost when cold)
+
+and takes the pool only when serial is projected at least
+:data:`AUTO_MARGIN` slower.  On a box whose CPU affinity mask is
+smaller than ``--jobs`` (CI runners, cgroup-limited containers) this
+is what stops the pool from *losing* to serial on compute-bound
+figures.  ``REPRO_PARALLEL_AUTO=0`` disables the projection (tests
+asserting pool behavior pin this).  Sleep-bound workloads do scale
+past the CPU count; the projection is deliberately conservative for
+the compute-bound experiment cells this engine exists for.
 
 Failure surfacing
 -----------------
@@ -58,10 +93,11 @@ futures immediately.
 from __future__ import annotations
 
 import atexit
+import math
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -79,8 +115,45 @@ NO_PARALLEL_ENV = "REPRO_NO_PARALLEL"
 #: Present (with any value) inside pool workers; guards nested pools.
 WORKER_ENV = "REPRO_PARALLEL_WORKER"
 
+#: Set to ``0`` to disable the history-based auto-serial projection.
+AUTO_ENV = "REPRO_PARALLEL_AUTO"
+
+#: Target chunks per worker: small enough to amortize dispatch, large
+#: enough that stragglers still rebalance across the pool.
+CHUNKS_PER_WORKER = 4
+
+#: Measured per-cell pool dispatch cost (submit + pickle + IPC + merge
+#: bookkeeping) on the reference container; feeds the projection only.
+DISPATCH_COST_S = 0.002
+
+#: Cold-start cost of spawning a fresh pool of workers (interpreter
+#: start + imports per worker, overlapped across workers).
+POOL_SPAWN_S = 1.0
+
+#: Serial must project at least this much slower before the pool is
+#: taken — the pool has to *win*, not tie.
+AUTO_MARGIN = 1.2
+
 #: Process-wide default set by ``phos ... --jobs`` (None → environment).
 _default_jobs: Optional[int] = None
+
+#: EWMA of mean per-cell wall seconds, keyed by run label.  Fed by
+#: every run (serial and pool) and read by the auto-serial projection.
+_cell_cost: dict[str, float] = {}
+
+
+def effective_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; cgroup/affinity-limited
+    containers often get far fewer.  Speedup projections must use this
+    number — a 4-worker pool on a 1-CPU allowance runs compute-bound
+    cells sequentially anyway.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -127,6 +200,17 @@ class PoolRunStats:
     #: Distinct worker PIDs that ran at least one cell.
     workers_used: int = 0
     fallback_reason: str = ""
+    #: ``os.cpu_count()`` — the machine's CPUs, for the record.
+    cpu_count: int = 0
+    #: Affinity-aware CPU allowance (see :func:`effective_cpu_count`).
+    #: ``workers_used`` above a smaller ``effective_cpus`` explains a
+    #: sub-linear speedup without any further digging.
+    effective_cpus: int = 0
+    #: Contiguous chunks the cells were shipped in (0 when serial).
+    n_chunks: int = 0
+    #: Total pickled result-payload bytes returned by workers (0 when
+    #: serial) — keeps "figures pickle huge results" regressions visible.
+    result_bytes: int = 0
 
 
 _last_stats: Optional[PoolRunStats] = None
@@ -238,6 +322,33 @@ def _run_serial(runner, cells: Sequence[Cell], stats: PoolRunStats) -> list:
     return results
 
 
+def _record_cost(label: str, stats: PoolRunStats) -> None:
+    """Fold this run's mean per-cell wall into the cost history."""
+    if not stats.cell_wall_s:
+        return
+    mean = sum(stats.cell_wall_s) / len(stats.cell_wall_s)
+    prev = _cell_cost.get(label)
+    _cell_cost[label] = mean if prev is None else 0.5 * prev + 0.5 * mean
+
+
+def _auto_serial_reason(label: str, n_cells: int, max_workers: int) -> str:
+    """``"auto"`` when the projection says the pool cannot win."""
+    if os.environ.get(AUTO_ENV, "1") == "0":
+        return ""
+    hist = _cell_cost.get(label)
+    if hist is None:
+        return ""  # first sighting of this label: let the pool try
+    eff = min(max_workers, effective_cpu_count())
+    pool_cached = (max_workers, _env_signature()) in _pools
+    projected_serial = hist * n_cells
+    projected_pool = (hist * n_cells / eff
+                      + DISPATCH_COST_S * n_cells
+                      + (0.0 if pool_cached else POOL_SPAWN_S))
+    if projected_serial < projected_pool * AUTO_MARGIN:
+        return "auto"
+    return ""
+
+
 def run_cells(runner: Callable[[Cell], object], cells: Sequence[Cell],
               jobs: Optional[int] = None, label: str = "",
               serial_only: bool = False) -> list:
@@ -253,7 +364,9 @@ def run_cells(runner: Callable[[Cell], object], cells: Sequence[Cell],
     cells = list(cells)
     n = resolve_jobs(jobs)
     label = label or (cells[0].exp_id if cells else "empty")
-    stats = PoolRunStats(label=label, mode="serial", jobs=1, n_cells=len(cells))
+    stats = PoolRunStats(label=label, mode="serial", jobs=1, n_cells=len(cells),
+                         cpu_count=os.cpu_count() or 1,
+                         effective_cpus=effective_cpu_count())
     _last_stats = stats
 
     reason = ""
@@ -267,17 +380,22 @@ def run_cells(runner: Callable[[Cell], object], cells: Sequence[Cell],
         reason = "jobs"
     elif not _picklable(runner, cells):
         reason = "pickle"
+    else:
+        reason = _auto_serial_reason(label, len(cells), n)
 
     t0 = time.perf_counter()
     if reason:
         if reason not in ("jobs",):
             obs.counter("parallel/fallback", reason=reason).inc()
         stats.fallback_reason = reason
-        results = _run_serial(runner, cells, stats)
-        stats.wall_s = time.perf_counter() - t0
-        stats.utilization = 1.0 if stats.wall_s else 0.0
-        stats.workers_used = 1
-        _record_obs(stats)
+        try:
+            results = _run_serial(runner, cells, stats)
+        finally:
+            stats.wall_s = time.perf_counter() - t0
+            stats.utilization = 1.0 if stats.wall_s else 0.0
+            stats.workers_used = 1
+            _record_cost(label, stats)
+            _record_obs(stats)
         return results
 
     # Size the executor by the resolved job count, not the cell count:
@@ -293,6 +411,7 @@ def run_cells(runner: Callable[[Cell], object], cells: Sequence[Cell],
         stats.wall_s = time.perf_counter() - t0
         stats.utilization = 1.0 if stats.wall_s else 0.0
         stats.workers_used = 1
+        _record_cost(label, stats)
         _record_obs(stats)
         return results
 
@@ -300,40 +419,69 @@ def run_cells(runner: Callable[[Cell], object], cells: Sequence[Cell],
 
     stats.mode = "pool"
     stats.jobs = max_workers
-    results = []
-    futures = []
+    # Contiguous chunks, ~CHUNKS_PER_WORKER per worker: the runner and
+    # the executor round-trip are shipped once per chunk, not per cell.
+    chunk_size = max(1, math.ceil(len(cells) / (max_workers * CHUNKS_PER_WORKER)))
+    chunks = [(start, cells[start:start + chunk_size])
+              for start in range(0, len(cells), chunk_size)]
+    stats.n_chunks = len(chunks)
+    results: list = [None] * len(cells)
+    cell_wall: dict[int, float] = {}
     pids = set()
     broken = False
+    #: Earliest-declared failure seen so far: (cell index, cell, cause).
+    first_error: Optional[tuple] = None
     try:
-        # Submission is inside the broken-pool handling too: a worker
-        # dying right after an early submit breaks the pool and makes
-        # the *next* submit() raise BrokenProcessPool itself.
+        fut_to_chunk = {}
         try:
-            for cell in cells:
-                futures.append(pool.submit(worker.invoke, runner, cell))
+            for start, chunk_cells in chunks:
+                fut = pool.submit(worker.invoke_batch, runner, chunk_cells)
+                fut_to_chunk[fut] = (start, chunk_cells)
         except BrokenProcessPool as exc:
             broken = True
-            raise CellError(cell, exc) from exc
-        for cell, future in zip(cells, futures):
+            raise CellError(chunk_cells[0], exc) from exc
+        # Merge overlaps execution: each batch is folded into its
+        # declared-order slots the moment it completes, while other
+        # chunks are still running.
+        for fut in as_completed(fut_to_chunk):
+            start, chunk_cells = fut_to_chunk[fut]
             try:
-                outcome = future.result()
+                batch = fut.result()
             except BrokenProcessPool as exc:
                 broken = True
-                raise CellError(cell, exc) from exc
+                if first_error is None or start < first_error[0]:
+                    first_error = (start, chunk_cells[0], exc)
+                continue  # drain: remaining futures fail fast now
             except Exception as exc:
-                raise CellError(cell, exc) from exc
-            results.append(outcome.result)
-            stats.cell_wall_s.append(outcome.wall_s)
-            stats.warm_cache_hits += outcome.warm_hits
-            pids.add(outcome.pid)
+                if first_error is None or start < first_error[0]:
+                    first_error = (start, chunk_cells[0], exc)
+                continue
+            pids.add(batch.pid)
+            stats.warm_cache_hits += batch.warm_hits
+            stats.result_bytes += batch.result_bytes
+            for off, wall in enumerate(batch.wall_s):
+                cell_wall[start + off] = wall
+            if batch.error is not None:
+                idx = start + batch.error_index
+                if first_error is None or idx < first_error[0]:
+                    first_error = (idx, chunk_cells[batch.error_index],
+                                   batch.error)
+                continue
+            for off, res in enumerate(batch.results):
+                results[start + off] = res
+        if first_error is not None:
+            _, cell, cause = first_error
+            raise CellError(cell, cause) from cause
     finally:
         if broken:
             _drop_pool(pool)
+        stats.cell_wall_s = [cell_wall[i] for i in sorted(cell_wall)]
         stats.wall_s = time.perf_counter() - t0
         stats.workers_used = len(pids)
         busy = sum(stats.cell_wall_s)
         if stats.wall_s > 0 and max_workers > 0:
             stats.utilization = busy / (stats.wall_s * max_workers)
+        _record_cost(label, stats)
         _record_obs(stats)
     return results
 

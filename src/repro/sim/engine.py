@@ -5,18 +5,63 @@ A :class:`Process` wraps a generator.  The generator yields
 process resumes with the event's value (or the event's exception is
 thrown into the generator).  Returning from the generator fires the
 process's ``done`` event with the return value.
+
+Scheduler structure (the hot path)
+----------------------------------
+
+The queue is a two-level *calendar*:
+
+* level 1 — a dict mapping each exact timestamp to a FIFO bucket (a
+  plain list) of ``(kind, target, payload)`` records;
+* level 2 — a heap of the *distinct* timestamps currently holding a
+  bucket.
+
+Scheduling an event at a timestamp that already has a bucket is a dict
+lookup plus a list append — no heap operation, no closure allocation.
+Simulation timestamps cluster heavily (DMA chunk boundaries, kernel
+completions, fire→resume cascades at the same instant), so most pushes
+take this O(1) path; the heap is touched once per distinct timestamp.
+
+``run`` drains one bucket per outer iteration in a tight inner loop —
+*batched dispatch*: all records sharing a timestamp are fired in one
+scheduler turn, including records appended to the bucket mid-turn by
+same-time cascades.  Records are dispatched through an inlined jump
+table on the kind constants from :mod:`repro.sim.events`.
+
+FIFO-within-timestamp is exact: bucket append order is scheduling
+order, which is precisely the ``(when, seq)`` order of the historical
+single-heap scheduler.  ``Engine(legacy_heap=True)`` (or
+``REPRO_LEGACY_HEAP=1``) keeps that historical heap as a reference
+implementation; ``tests/test_property_scheduler.py`` drives random
+event soups through both and asserts identical firing order.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 from typing import Any, Callable, Generator, Optional
 
 from repro.errors import DeadlockError, SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Timeout, TimeoutUntil
+from repro.sim.events import (
+    K_CALL1,
+    K_FIRE,
+    K_FN,
+    K_RESUME,
+    K_STEP,
+    AllOf,
+    AnyOf,
+    Event,
+    Timeout,
+    TimeoutUntil,
+)
 
 ProcessBody = Generator[Event, Any, Any]
+
+#: Set to force every new :class:`Engine` onto the historical
+#: single-heap scheduler (A/B debugging of queue-order issues).
+LEGACY_HEAP_ENV = "REPRO_LEGACY_HEAP"
 
 
 class Process(Event):
@@ -25,6 +70,8 @@ class Process(Event):
     A process *is* an event: it fires when the generator returns, which
     lets other processes wait for its completion simply by yielding it.
     """
+
+    __slots__ = ("_body", "_waiting_on")
 
     def __init__(self, engine: "Engine", body: ProcessBody, name: str = "") -> None:
         super().__init__(engine, name=name or getattr(body, "__name__", "proc"))
@@ -35,7 +82,7 @@ class Process(Event):
             )
         self._body = body
         self._waiting_on: Optional[Event] = None
-        engine._schedule_at(engine.now, lambda: self._step(None, None))
+        engine._push(engine._now, K_STEP, self, None)
 
     @property
     def result(self) -> Any:
@@ -49,25 +96,25 @@ class Process(Event):
         mid-wait stops waiting on its event (the event itself still fires
         normally for other waiters).
         """
-        if self.triggered:
+        if self._fired:
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
         exc = exc if exc is not None else Interrupt()
-        self.engine._schedule_at(self.engine.now, lambda: self._step(None, exc))
+        self.engine._push(self.engine._now, K_STEP, self, exc)
 
     # -- internal stepping ---------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._fired:
             return  # interrupted and finished before the event fired
         if self._waiting_on is not event:
             return  # stale wakeup after an interrupt re-targeted the process
         self._waiting_on = None
-        if event.ok:
-            self._step(event.value, None)
+        if event._ok:
+            self._step(event._value, None)
         else:
-            self._step(None, event.value)
+            self._step(None, event._value)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
-        if self.triggered:
+        if self._fired:
             return
         self._waiting_on = None
         # Expose the stepping process so observers (repro.obs span
@@ -98,7 +145,12 @@ class Process(Event):
             )
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        if target._fired:
+            # Already fired: resume on the next scheduler turn at `now`,
+            # exactly where add_callback would have queued the wakeup.
+            engine._push(engine._now, K_RESUME, self, target)
+        else:
+            target._add_waiter(self)
 
 
 class Interrupt(Exception):
@@ -110,16 +162,31 @@ class Engine:
 
     The engine is single-threaded and deterministic: events scheduled for
     the same timestamp run in FIFO scheduling order.
+
+    ``legacy_heap=True`` (or ``REPRO_LEGACY_HEAP=1``) selects the
+    historical ``(when, seq, record)`` heapq scheduler — one pop per
+    record, no buckets — kept as the order-semantics reference for the
+    calendar queue's property tests.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, legacy_heap: Optional[bool] = None) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        if legacy_heap is None:
+            legacy_heap = bool(os.environ.get(LEGACY_HEAP_ENV))
+        self._legacy = legacy_heap
+        #: Calendar level 1: exact timestamp -> FIFO record bucket.
+        self._buckets: dict[float, list] = {}
+        #: Calendar level 2: heap of distinct timestamps with buckets.
+        self._theap: list[float] = []
+        #: Legacy reference queue: (when, seq, kind, target, payload).
+        self._lheap: list[tuple] = []
         self._seq = itertools.count()
-        #: Total entries ever pushed onto the event queue.  The wall-clock
-        #: benchmark divides this by elapsed time to report events/sec and
-        #: to show how many scheduler turns DMA coalescing saves.
+        #: Total records ever pushed onto the event queue.
         self._n_scheduled = 0
+        #: Records actually dispatched by run().  Differs from
+        #: _n_scheduled when a deadline run leaves events queued — the
+        #: wall-clock bench divides by *this* for an honest events/s.
+        self._n_executed = 0
         self._running = False
         #: The Process currently stepping (None between steps).  Used by
         #: the observability layer to keep one span stack per process.
@@ -132,8 +199,24 @@ class Engine:
 
     @property
     def events_scheduled(self) -> int:
-        """Total event-queue entries pushed since construction."""
+        """Total event-queue records pushed since construction."""
         return self._n_scheduled
+
+    @property
+    def events_executed(self) -> int:
+        """Total records dispatched by :meth:`run` since construction.
+
+        A deadline run can leave scheduled-but-never-fired records in
+        the queue; throughput denominators should use this count.
+        """
+        return self._n_executed
+
+    @property
+    def events_pending(self) -> int:
+        """Records currently waiting in the queue."""
+        if self._legacy:
+            return len(self._lheap)
+        return sum(len(b) for b in self._buckets.values())
 
     # -- factory helpers -----------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -161,14 +244,59 @@ class Engine:
         return Process(self, body, name=name)
 
     # -- scheduling ------------------------------------------------------------
-    def _schedule_at(self, when: float, fn: Callable[[], None]) -> None:
-        if when < self._now:
+    def _push(self, when: float, kind: int, target, payload) -> None:
+        """Schedule one ``(kind, target, payload)`` record at ``when``."""
+        if when < self._now or when != when:  # second clause: NaN guard
             raise SimulationError(f"cannot schedule in the past ({when} < {self._now})")
         self._n_scheduled += 1
-        heapq.heappush(self._queue, (when, next(self._seq), fn))
+        if self._legacy:
+            heapq.heappush(self._lheap, (when, next(self._seq), kind, target, payload))
+            return
+        b = self._buckets.get(when)
+        if b is None:
+            self._buckets[when] = [(kind, target, payload)]
+            heapq.heappush(self._theap, when)
+        else:
+            b.append((kind, target, payload))
 
-    def _schedule_callback(self, event: Event, cb: Callable[[Event], None]) -> None:
-        self._schedule_at(self._now, lambda: cb(event))
+    def _push_callbacks(self, event: Event, cbs: list) -> None:
+        """Batch-schedule an event's waiters at the current time.
+
+        One engine call fires N waiters (the AllOf/fan-in case): each
+        Process waiter becomes a ``K_RESUME`` record, each plain
+        callable a ``K_CALL1`` record, appended to the current bucket
+        in registration order.
+        """
+        if self._legacy:
+            now = self._now
+            for cb in cbs:
+                if isinstance(cb, Event):
+                    self._push(now, K_RESUME, cb, event)
+                else:
+                    self._push(now, K_CALL1, cb, event)
+            return
+        now = self._now
+        b = self._buckets.get(now)
+        if b is None:
+            b = self._buckets[now] = []
+            heapq.heappush(self._theap, now)
+        for cb in cbs:
+            if isinstance(cb, Event):
+                b.append((K_RESUME, cb, event))
+            else:
+                b.append((K_CALL1, cb, event))
+        self._n_scheduled += len(cbs)
+
+    def _schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Generic escape hatch: run ``fn()`` at virtual time ``when``."""
+        self._push(when, K_FN, fn, None)
+
+    def _schedule_call(self, when: float, fn, arg) -> None:
+        """Run ``fn(arg)`` at ``when`` without building a closure."""
+        self._push(when, K_CALL1, fn, arg)
+
+    def _schedule_callback(self, event: Event, cb) -> None:
+        self._push(self._now, K_CALL1, cb, event)
 
     # -- main loop ---------------------------------------------------------------
     def run(self, until: Optional[Event | float] = None) -> Any:
@@ -190,28 +318,116 @@ class Engine:
                 raise SimulationError(f"deadline {deadline} is in the past")
         self._running = True
         try:
-            while self._queue:
-                when, _, fn = self._queue[0]
-                if deadline is not None and when > deadline:
-                    self._now = deadline
-                    return None
-                heapq.heappop(self._queue)
-                self._now = when
-                fn()
-                if stop_event is not None and stop_event.triggered:
-                    if not stop_event.ok:
-                        raise stop_event.value
-                    return stop_event.value
-            if stop_event is not None and not stop_event.triggered:
-                raise DeadlockError(
-                    f"event queue drained at t={self._now:g} but "
-                    f"{stop_event.name!r} never fired"
-                )
-            if deadline is not None:
-                self._now = deadline
-            return None
+            if self._legacy:
+                return self._run_legacy(deadline, stop_event)
+            return self._run_calendar(deadline, stop_event)
         finally:
             self._running = False
+
+    def _run_calendar(self, deadline: Optional[float],
+                      stop_event: Optional[Event]) -> Any:
+        buckets = self._buckets
+        theap = self._theap
+        while theap:
+            t = theap[0]
+            if deadline is not None and t > deadline:
+                self._now = deadline
+                return None
+            self._now = t
+            bucket = buckets[t]
+            # Batched dispatch: fire the whole timestamp bucket in one
+            # scheduler turn.  Same-time cascades (fire -> resume ->
+            # fire ...) append to this bucket mid-loop and are drained
+            # in the same pass — `n` is refreshed after every record.
+            i = 0
+            n = len(bucket)
+            try:
+                if stop_event is None:
+                    while i < n:
+                        kind, target, payload = bucket[i]
+                        i += 1
+                        if kind == K_RESUME:
+                            target._resume(payload)
+                        elif kind == K_FIRE:
+                            target._fire(True, payload)
+                        elif kind == K_CALL1:
+                            target(payload)
+                        elif kind == K_STEP:
+                            target._step(None, payload)
+                        else:
+                            target()
+                        n = len(bucket)
+                else:
+                    while i < n:
+                        kind, target, payload = bucket[i]
+                        i += 1
+                        if kind == K_RESUME:
+                            target._resume(payload)
+                        elif kind == K_FIRE:
+                            target._fire(True, payload)
+                        elif kind == K_CALL1:
+                            target(payload)
+                        elif kind == K_STEP:
+                            target._step(None, payload)
+                        else:
+                            target()
+                        if stop_event._fired:
+                            if not stop_event._ok:
+                                raise stop_event._value
+                            return stop_event._value
+                        n = len(bucket)
+            finally:
+                # Consumed records leave the bucket even on an early
+                # return or a propagating exception, so a later run()
+                # resumes exactly where this one stopped.
+                self._n_executed += i
+                if i < len(bucket):
+                    buckets[t] = bucket[i:]
+                else:
+                    del buckets[t]
+                    heapq.heappop(theap)
+        if stop_event is not None and not stop_event._fired:
+            raise DeadlockError(
+                f"event queue drained at t={self._now:g} but "
+                f"{stop_event.name!r} never fired"
+            )
+        if deadline is not None:
+            self._now = deadline
+        return None
+
+    def _run_legacy(self, deadline: Optional[float],
+                    stop_event: Optional[Event]) -> Any:
+        heap = self._lheap
+        while heap:
+            when = heap[0][0]
+            if deadline is not None and when > deadline:
+                self._now = deadline
+                return None
+            when, _, kind, target, payload = heapq.heappop(heap)
+            self._now = when
+            self._n_executed += 1
+            if kind == K_RESUME:
+                target._resume(payload)
+            elif kind == K_FIRE:
+                target._fire(True, payload)
+            elif kind == K_CALL1:
+                target(payload)
+            elif kind == K_STEP:
+                target._step(None, payload)
+            else:
+                target()
+            if stop_event is not None and stop_event._fired:
+                if not stop_event._ok:
+                    raise stop_event._value
+                return stop_event._value
+        if stop_event is not None and not stop_event._fired:
+            raise DeadlockError(
+                f"event queue drained at t={self._now:g} but "
+                f"{stop_event.name!r} never fired"
+            )
+        if deadline is not None:
+            self._now = deadline
+        return None
 
     def run_process(self, body: ProcessBody, name: str = "") -> Any:
         """Spawn ``body`` and run the engine until it finishes."""

@@ -4,6 +4,33 @@ An :class:`Event` is a one-shot synchronization cell: it starts pending,
 is fired exactly once with :meth:`Event.succeed` (or :meth:`Event.fail`),
 and then invokes its callbacks.  Processes wait on events by yielding
 them from their generator body.
+
+Scheduling representation
+-------------------------
+
+The engine's queue holds compact ``(kind, target, payload)`` records —
+no closures — dispatched by a jump table in ``Engine.run`` (see
+``sim/engine.py``).  The kind constants live here so both modules can
+share them without a circular import:
+
+* ``K_RESUME`` — wake ``target`` (a waiting :class:`Process`) because
+  ``payload`` (the event it yielded) fired;
+* ``K_FIRE`` — fire ``target`` (a :class:`Timeout`/:class:`TimeoutUntil`)
+  successfully with value ``payload``;
+* ``K_CALL1`` — invoke ``target(payload)`` (event callbacks, generation-
+  tagged timers);
+* ``K_STEP`` — step ``target`` (a :class:`Process`): ``payload`` is the
+  exception to throw in, or ``None`` for the initial ``send(None)``;
+* ``K_FN`` — invoke ``target()`` (the generic escape hatch behind
+  ``Engine._schedule_at``).
+
+Events keep their waiters in one ``_callbacks`` list that holds either
+plain callables or :class:`~repro.sim.engine.Process` objects directly
+(a process *is* an event, so ``isinstance(cb, Event)`` distinguishes the
+two) — a waiting process costs a list append, not a bound-method
+allocation per step.  Firing hands the whole list to the engine in one
+batched call, which appends one record per waiter to the current
+timestamp bucket in registration order.
 """
 
 from __future__ import annotations
@@ -11,6 +38,10 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
+
+#: Queue-record kinds (see module docstring).  Plain ints: the engine's
+#: dispatch loop compares these with ``==`` in hotness order.
+K_RESUME, K_FIRE, K_CALL1, K_STEP, K_FN = range(5)
 
 
 class Event:
@@ -20,13 +51,28 @@ class Event:
     callbacks to run immediately (at the current virtual time).
     """
 
+    __slots__ = ("engine", "_name", "_fired", "_ok", "_value", "_callbacks")
+
     def __init__(self, engine: "Engine", name: str = "") -> None:  # noqa: F821
         self.engine = engine
-        self.name = name
+        self._name = name
         self._fired = False
         self._ok: Optional[bool] = None
         self._value: Any = None
-        self._callbacks: list[Callable[["Event"], None]] = []
+        #: Waiters: callables and/or Processes, in registration order.
+        #: ``None`` until the first waiter registers (most Timeouts get
+        #: exactly one waiter; pending-free events get none at all).
+        self._callbacks: Optional[list] = None
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Human label; subclasses compute theirs lazily (hot path)."""
+        return self._name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
     # -- state -------------------------------------------------------------
     @property
@@ -68,17 +114,34 @@ class Event:
         self._fired = True
         self._ok = ok
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self.engine._schedule_callback(self, cb)
+        cbs = self._callbacks
+        if cbs:
+            self._callbacks = None
+            self.engine._push_callbacks(self, cbs)
 
     # -- waiting -----------------------------------------------------------
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Register ``cb(event)``; runs now if the event already fired."""
         if self._fired:
-            self.engine._schedule_callback(self, cb)
+            self.engine._push(self.engine._now, K_CALL1, cb, self)
         else:
-            self._callbacks.append(cb)
+            cbs = self._callbacks
+            if cbs is None:
+                self._callbacks = [cb]
+            else:
+                cbs.append(cb)
+
+    def _add_waiter(self, process: "Event") -> None:
+        """Register a Process to be resumed when this event fires.
+
+        The process object itself is stored (no bound method); the
+        engine's batched callback push tells the two apart.
+        """
+        cbs = self._callbacks
+        if cbs is None:
+            self._callbacks = [process]
+        else:
+            cbs.append(process)
 
     def __repr__(self) -> str:
         state = "fired" if self._fired else "pending"
@@ -88,12 +151,27 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after a virtual-time delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:  # noqa: F821
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        super().__init__(engine, name=f"timeout({delay:g})")
+        # Event.__init__ inlined: a Timeout is minted for nearly every
+        # simulated wait, so the extra super() call is measurable.
+        self.engine = engine
+        self._name = ""
+        self._fired = False
+        self._ok = None
+        self._value = None
+        self._callbacks = None
         self.delay = delay
-        engine._schedule_at(engine.now + delay, lambda: self.succeed(value))
+        engine._push(engine._now + delay, K_FIRE, self, value)
+
+    @property
+    def name(self) -> str:
+        # Computed on demand: formatting the delay eagerly used to cost
+        # more than the rest of Timeout construction combined.
+        return f"timeout({self.delay:g})"
 
 
 class TimeoutUntil(Event):
@@ -106,14 +184,22 @@ class TimeoutUntil(Event):
     a second ``now + delay`` rounding.
     """
 
+    __slots__ = ("when",)
+
     def __init__(self, engine: "Engine", when: float, value: Any = None) -> None:  # noqa: F821
-        super().__init__(engine, name=f"timeout-until({when:g})")
+        super().__init__(engine)
         self.when = when
-        engine._schedule_at(when, lambda: self.succeed(value))
+        engine._push(when, K_FIRE, self, value)
+
+    @property
+    def name(self) -> str:
+        return f"timeout-until({self.when:g})"
 
 
 class _Composite(Event):
     """Shared machinery for :class:`AllOf` and :class:`AnyOf`."""
+
+    __slots__ = ("events",)
 
     def __init__(self, engine: "Engine", events: Iterable[Event], name: str) -> None:  # noqa: F821
         super().__init__(engine, name=name)
@@ -133,36 +219,43 @@ class AllOf(_Composite):
     """Fires when every child event has fired.
 
     Succeeds with the list of child values in the original order; fails
-    as soon as any child fails.
+    as soon as any child fails.  The all-children scan in
+    ``_child_fired`` is deliberate: it fires the conjunction at the
+    *same dispatch point* the historical implementation did even for
+    duplicate children or children that fire between registration and
+    callback delivery — a countdown would fire one record early in
+    those interleavings and reorder same-timestamp events downstream.
     """
 
+    __slots__ = ()
+
     def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:  # noqa: F821
-        self._remaining = 0
         super().__init__(engine, events, name="all_of")
-        self._remaining = sum(1 for ev in self.events if not ev.triggered)
         # Children that were already fired at construction never call back,
         # so account for them here.
         if not self.triggered and all(ev.triggered for ev in self.events):
             self.succeed([ev.value for ev in self.events])
 
     def _child_fired(self, ev: Event) -> None:
-        if self.triggered:
+        if self._fired:
             return
         if not ev.ok:
             self.fail(ev.value)
             return
-        if all(child.triggered for child in self.events):
+        if all(child._fired for child in self.events):
             self.succeed([child.value for child in self.events])
 
 
 class AnyOf(_Composite):
     """Fires as soon as any child event fires, with ``(index, value)``."""
 
+    __slots__ = ()
+
     def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:  # noqa: F821
         super().__init__(engine, events, name="any_of")
 
     def _child_fired(self, ev: Event) -> None:
-        if self.triggered:
+        if self._fired:
             return
         if not ev.ok:
             self.fail(ev.value)

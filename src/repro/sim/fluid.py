@@ -143,8 +143,10 @@ class FluidLink:
                     f.remaining = 0.0
             self._reschedule()
             return
-        self.engine._schedule_at(
-            self.engine.now + next_dt, lambda: self._on_timer(generation)
+        # _schedule_call ships the generation as the record payload, so
+        # every retimed completion avoids one closure allocation.
+        self.engine._schedule_call(
+            self.engine.now + next_dt, self._on_timer, generation
         )
 
     def _on_timer(self, generation: int) -> None:

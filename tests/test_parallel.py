@@ -25,7 +25,13 @@ import pytest
 
 from repro import parallel
 from repro.parallel import Cell, CellError
-from repro.parallel.engine import JOBS_ENV, NO_PARALLEL_ENV, WORKER_ENV
+from repro.parallel import engine as parallel_engine
+from repro.parallel.engine import (
+    AUTO_ENV,
+    JOBS_ENV,
+    NO_PARALLEL_ENV,
+    WORKER_ENV,
+)
 
 GOLDENS = Path(__file__).parent / "goldens"
 
@@ -77,6 +83,15 @@ def _pool_cleanup():
 def no_env(monkeypatch):
     for var in (JOBS_ENV, NO_PARALLEL_ENV, WORKER_ENV):
         monkeypatch.delenv(var, raising=False)
+    # Pin the auto-serial projection off and forget cost history: tests
+    # below assert *pool* behavior with deliberately tiny cells, which
+    # the projection would rightly route to serial.
+    monkeypatch.setenv(AUTO_ENV, "0")
+    saved = dict(parallel_engine._cell_cost)
+    parallel_engine._cell_cost.clear()
+    yield
+    parallel_engine._cell_cost.clear()
+    parallel_engine._cell_cost.update(saved)
 
 
 # -- job resolution ---------------------------------------------------------------
@@ -196,6 +211,87 @@ def test_serial_only_flag_pins_observed_runs(no_env):
                                  jobs=4, serial_only=True)
     assert len(results) == 2
     assert parallel.last_run_stats().fallback_reason == "serial-only"
+
+
+# -- auto-serial projection -------------------------------------------------------
+
+def test_auto_serial_skips_pool_for_tiny_cells(no_env, monkeypatch):
+    """With history saying cells are dispatch-cost-sized, the projection
+    keeps the run serial even though jobs and cell count allow a pool."""
+    monkeypatch.setenv(AUTO_ENV, "1")
+    parallel_engine._cell_cost["t"] = 1e-4  # far below DISPATCH_COST_S
+    results = parallel.run_cells(echo_cell, [Cell("t", (i,)) for i in range(4)],
+                                 jobs=4)
+    assert [r[1] for r in results] == [(i,) for i in range(4)]
+    stats = parallel.last_run_stats()
+    assert stats.mode == "serial"
+    assert stats.fallback_reason == "auto"
+
+
+def test_auto_serial_lets_big_cells_use_the_pool(no_env, monkeypatch):
+    """History of heavy cells projects a pool win → no fallback."""
+    monkeypatch.setenv(AUTO_ENV, "1")
+    monkeypatch.setattr(parallel_engine, "effective_cpu_count", lambda: 8)
+    parallel_engine._cell_cost["t"] = 30.0  # pretend cells take 30s each
+    results = parallel.run_cells(echo_cell, [Cell("t", (i,)) for i in range(4)],
+                                 jobs=4)
+    assert len(results) == 4
+    assert parallel.last_run_stats().mode == "pool"
+
+
+def test_auto_serial_first_run_has_no_history(no_env, monkeypatch):
+    monkeypatch.setenv(AUTO_ENV, "1")
+    results = parallel.run_cells(echo_cell, [Cell("t", (i,)) for i in range(4)],
+                                 jobs=2)
+    assert len(results) == 4
+    assert parallel.last_run_stats().mode == "pool"  # optimistic first try
+    # ... and the run itself seeded the history for next time.
+    assert "t" in parallel_engine._cell_cost
+
+
+def test_every_run_updates_cost_history(no_env):
+    parallel.run_cells(echo_cell, [Cell("hist", (i,)) for i in range(3)],
+                       jobs=1)
+    first = parallel_engine._cell_cost["hist"]
+    assert first >= 0.0
+    parallel.run_cells(echo_cell, [Cell("hist", (i,)) for i in range(3)],
+                       jobs=1)
+    assert "hist" in parallel_engine._cell_cost  # EWMA folded, not replaced
+
+
+# -- batched dispatch -------------------------------------------------------------
+
+def test_pool_batches_cells_into_chunks(no_env):
+    n = 16
+    cells = [Cell("t", (i,), {"value": i}) for i in range(n)]
+    results = parallel.run_cells(echo_cell, cells, jobs=2)
+    assert results == [("ran", (i,), i) for i in range(n)]
+    stats = parallel.last_run_stats()
+    assert stats.mode == "pool"
+    # 16 cells / (2 workers * 4 chunks-per-worker) = 2 cells per chunk.
+    assert stats.n_chunks == 8
+    assert len(stats.cell_wall_s) == n
+    assert stats.result_bytes > 0
+
+
+def test_batched_failure_names_exact_cell(no_env):
+    # The failing cell sits mid-chunk; the error must name it, not the
+    # chunk head, and must be the earliest-declared failure.
+    cells = ([Cell("exp", ("ok", i)) for i in range(5)]
+             + [Cell("exp", ("bad", "cell"), {"boom": True})]
+             + [Cell("exp", ("later", i)) for i in range(5)])
+    with pytest.raises(CellError) as err:
+        parallel.run_cells(boom_cell, cells, jobs=2)
+    assert "exp[bad, cell]" in str(err.value)
+    assert err.value.cell.key == ("bad", "cell")
+
+
+def test_stats_report_real_and_effective_cpus(no_env):
+    parallel.run_cells(echo_cell, [Cell("t", (i,)) for i in range(2)], jobs=1)
+    stats = parallel.last_run_stats()
+    assert stats.cpu_count == os.cpu_count()
+    assert stats.effective_cpus == parallel_engine.effective_cpu_count()
+    assert 1 <= stats.effective_cpus <= stats.cpu_count
 
 
 # -- warm Program cache -----------------------------------------------------------

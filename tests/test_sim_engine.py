@@ -257,6 +257,184 @@ def test_schedule_in_past_rejected(eng):
         eng._schedule_at(1.0, lambda: None)
 
 
+def test_schedule_nan_rejected(eng):
+    with pytest.raises(SimulationError):
+        eng._schedule_at(float("nan"), lambda: None)
+
+
+# -- interrupt edge cases under record dispatch -----------------------------------
+
+def test_stale_wakeup_after_interrupt_retarget(eng):
+    """An interrupt re-targets the victim onto a new wait; the *old*
+    event still fires later and its queued wakeup must be dropped."""
+    ev_a = eng.event("a")
+
+    def victim(eng):
+        try:
+            yield ev_a
+        except Interrupt:
+            pass
+        got = yield eng.timeout(1.0, "fresh")  # the re-targeted wait
+        return (got, eng.now)
+
+    def attacker(eng, v):
+        yield eng.timeout(0.5)
+        v.interrupt()
+        yield eng.timeout(0.1)
+        ev_a.succeed("stale")  # victim is long since waiting elsewhere
+
+    v = eng.spawn(victim(eng))
+    eng.spawn(attacker(eng, v))
+    eng.run()
+    assert v.result == ("fresh", 1.5)
+
+
+def test_stale_wakeup_after_victim_finished(eng):
+    """The victim finishes on interrupt; the old event's queued wakeup
+    then targets a *fired* process and must be a no-op."""
+    ev_a = eng.event("a")
+
+    def victim(eng):
+        try:
+            yield ev_a
+        except Interrupt:
+            return ("done", eng.now)
+
+    def attacker(eng, v):
+        yield eng.timeout(1.0)
+        v.interrupt()
+        yield eng.timeout(0.0)
+        ev_a.succeed("too-late")
+
+    v = eng.spawn(victim(eng))
+    eng.spawn(attacker(eng, v))
+    eng.run()
+    assert v.result == ("done", 1.0)
+
+
+def test_interrupt_when_event_fires_same_timestamp(eng):
+    """FIFO within a timestamp: the victim's timeout fired (and its
+    wakeup was queued) before the attacker ran, so the value is
+    delivered normally and the interrupt lands on the *next* wait —
+    all within one scheduler timestamp."""
+    def victim(eng):
+        got = yield eng.timeout(2.0, "on-time")
+        try:
+            yield eng.timeout(50.0)
+        except Interrupt:
+            return (got, "interrupted-next", eng.now)
+        return (got, "never-interrupted", eng.now)
+
+    def attacker(eng, v):
+        yield eng.timeout(2.0)  # the same instant the victim's fires
+        v.interrupt()
+
+    v = eng.spawn(victim(eng))
+    eng.spawn(attacker(eng, v))
+    eng.run()
+    assert v.result == ("on-time", "interrupted-next", 2.0)
+
+
+def test_interrupt_then_stop_iteration_wakes_waiters_in_order(eng):
+    """Interrupt → generator returns → the process event fires; every
+    waiter resumes at the interrupt timestamp, in registration order."""
+    order = []
+
+    def victim(eng):
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt:
+            return "stopped"
+
+    def watcher(eng, v, name):
+        got = yield v
+        order.append((name, eng.now, got))
+
+    v = eng.spawn(victim(eng))
+    eng.spawn(watcher(eng, v, "w1"))
+    eng.spawn(watcher(eng, v, "w2"))
+
+    def attacker(eng):
+        yield eng.timeout(3.0)
+        v.interrupt()
+
+    eng.spawn(attacker(eng))
+    eng.run()
+    assert v.result == "stopped"
+    assert order == [("w1", 3.0, "stopped"), ("w2", 3.0, "stopped")]
+
+
+def test_interrupt_with_custom_exception(eng):
+    class Abort(Exception):
+        pass
+
+    def victim(eng):
+        try:
+            yield eng.timeout(10.0)
+        except Abort:
+            return "aborted"
+
+    def attacker(eng, v):
+        yield eng.timeout(1.0)
+        v.interrupt(Abort())
+
+    v = eng.spawn(victim(eng))
+    eng.spawn(attacker(eng, v))
+    eng.run()
+    assert v.result == "aborted"
+
+
+# -- executed vs scheduled accounting ---------------------------------------------
+
+def test_events_executed_excludes_never_fired(eng):
+    """A deadline run leaves scheduled-but-unfired records behind;
+    events_executed must not count them (the bench's events/s
+    denominator is this number)."""
+    def ticker(eng):
+        while True:
+            yield eng.timeout(1.0)
+
+    eng.spawn(ticker(eng))
+    eng.run(until=2.5)
+    assert eng.events_executed < eng.events_scheduled
+    assert eng.events_pending >= 1
+    assert (eng.events_executed + eng.events_pending
+            == eng.events_scheduled)
+
+
+def test_events_executed_equals_scheduled_when_drained(eng):
+    def proc(eng):
+        yield eng.timeout(1.0)
+        yield eng.timeout(1.0)
+
+    eng.run_process(proc(eng))
+    assert eng.events_executed == eng.events_scheduled
+    assert eng.events_pending == 0
+
+
+# -- legacy heap reference mode ---------------------------------------------------
+
+@pytest.mark.parametrize("how", ["arg", "env"])
+def test_legacy_heap_mode_matches(how, monkeypatch):
+    if how == "env":
+        monkeypatch.setenv("REPRO_LEGACY_HEAP", "1")
+        eng = Engine()
+    else:
+        eng = Engine(legacy_heap=True)
+    order = []
+
+    def worker(eng, name, delay):
+        yield eng.timeout(delay)
+        order.append((name, eng.now))
+
+    eng.spawn(worker(eng, "b", 2.0))
+    eng.spawn(worker(eng, "a", 1.0))
+    eng.spawn(worker(eng, "c", 2.0))
+    eng.run()
+    assert order == [("a", 1.0), ("b", 2.0), ("c", 2.0)]
+    assert eng.events_executed == eng.events_scheduled
+
+
 def test_nested_spawn_depth(eng):
     def leaf(eng):
         yield eng.timeout(1.0)

@@ -140,8 +140,13 @@ def bench_interpreter(repeats: int = 200) -> dict:
     return out
 
 
-def _dma_scenario(use_legacy_loop: bool) -> tuple[float, int]:
-    """One contended bulk-copy scenario; returns (virtual end, events)."""
+def _dma_scenario(use_legacy_loop: bool,
+                  legacy_heap: bool = False) -> tuple[float, int]:
+    """One contended bulk-copy scenario; returns (virtual end, events).
+
+    ``legacy_heap`` runs the same scenario on the engine's reference
+    single-heap scheduler (the pre-calendar-queue order semantics).
+    """
     from repro import units
     from repro.gpu.dma import (
         APP_PRIORITY,
@@ -168,7 +173,7 @@ def _dma_scenario(use_legacy_loop: bool) -> tuple[float, int]:
             moved += step
         return moved
 
-    eng = Engine()
+    eng = Engine(legacy_heap=legacy_heap)
     dma = DmaEngineSet(eng, "bench-gpu", 1)
 
     def bulk():
@@ -190,24 +195,49 @@ def _dma_scenario(use_legacy_loop: bool) -> tuple[float, int]:
     for delay, nbytes in ((0.084, 8 * units.MIB), (0.19, 32 * units.MIB)):
         eng.spawn(app(delay, nbytes))
     eng.run()
-    return eng.now, eng.events_scheduled
+    # events_executed, not events_scheduled: the queue drains here so
+    # they coincide, but the executed count is the honest throughput
+    # denominator in general (deadline runs leave scheduled-but-unfired
+    # records behind).
+    return eng.now, eng.events_executed
 
 
 def bench_events(repeats: int = 20) -> dict:
-    """Scheduler events/second and the DMA coalescing event ratio."""
+    """Scheduler events/second and the DMA coalescing event ratio.
+
+    Also measures the same workload on the engine's legacy single-heap
+    reference scheduler: ``calendar_vs_heap`` is a machine-independent
+    in-process A/B of the calendar queue against the old order-semantics
+    implementation (the CI regression gate uses this ratio, which is
+    stable across runner hardware where absolute events/s is not).
+    """
     end_fast, events_fast = _dma_scenario(use_legacy_loop=False)
     end_legacy, events_legacy = _dma_scenario(use_legacy_loop=True)
-    if end_fast != end_legacy:
+    end_heap, events_heap = _dma_scenario(use_legacy_loop=True,
+                                          legacy_heap=True)
+    if end_fast != end_legacy or end_heap != end_legacy:
         raise AssertionError(
-            f"coalesced transfer diverged: {end_fast!r} != {end_legacy!r}")
-    t0 = time.perf_counter()
-    total_events = 0
-    for _ in range(repeats):
-        _, n = _dma_scenario(use_legacy_loop=True)
-        total_events += n
-    events_per_s = total_events / (time.perf_counter() - t0)
+            f"scenario diverged: {end_fast!r} / {end_legacy!r} / {end_heap!r}")
+    if events_heap != events_legacy:
+        raise AssertionError(
+            f"schedulers executed different event counts: "
+            f"{events_heap} != {events_legacy}")
+
+    def throughput(legacy_heap: bool) -> float:
+        t0 = time.perf_counter()
+        total_events = 0
+        for _ in range(repeats):
+            _, n = _dma_scenario(use_legacy_loop=True,
+                                 legacy_heap=legacy_heap)
+            total_events += n
+        return total_events / (time.perf_counter() - t0)
+
+    events_per_s = throughput(legacy_heap=False)
+    heap_events_per_s = throughput(legacy_heap=True)
     return {
         "events_per_s": events_per_s,
+        "legacy_heap_events_per_s": heap_events_per_s,
+        "calendar_vs_heap": events_per_s / heap_events_per_s,
         "scenario_events_coalesced": events_fast,
         "scenario_events_per_chunk_loop": events_legacy,
         "event_reduction": events_legacy / events_fast,
@@ -245,8 +275,13 @@ def bench_experiments_parallel(names: list[str], serial: dict,
     see warm workers and warm Program/plan caches.
     """
     from repro import parallel
+    from repro.parallel.engine import effective_cpu_count
 
-    out = {"jobs": jobs, "cpu_count": os.cpu_count()}
+    # cpu_count is the machine; effective_cpus is what this process may
+    # actually use (affinity/cgroup mask) — speedups are bounded by the
+    # latter, and a pool sized past it cannot win on compute-bound cells.
+    out = {"jobs": jobs, "cpu_count": os.cpu_count(),
+           "effective_cpus": effective_cpu_count()}
     for name in names:
         module = importlib.import_module(_EXPERIMENTS[name])
         t0 = time.perf_counter()
@@ -259,10 +294,13 @@ def bench_experiments_parallel(names: list[str], serial: dict,
             "wall_s_parallel": round(wall, 3),
             "parallel_speedup": round(serial_wall / wall, 2),
             "mode": stats.mode if stats else "unknown",
+            "fallback_reason": stats.fallback_reason if stats else "",
             "n_cells": stats.n_cells if stats else 0,
+            "n_chunks": stats.n_chunks if stats else 0,
             "workers_used": stats.workers_used if stats else 0,
             "utilization": round(stats.utilization, 3) if stats else 0.0,
             "warm_cache_hits": stats.warm_cache_hits if stats else 0,
+            "result_bytes": stats.result_bytes if stats else 0,
         }
     parallel.shutdown_pool()
     return out
@@ -475,7 +513,14 @@ def _print_storage_delta(row: dict) -> None:
 
 def check_regressions(report: dict, committed: dict,
                       tolerance: float = REGRESS_TOLERANCE) -> list[str]:
-    """Tracked figures whose serial wall regressed > tolerance."""
+    """Tracked figures whose serial wall regressed > tolerance.
+
+    Also gates the engine events/s microbench the same way: a >15%
+    drop against the committed report fails (meaningful on the machine
+    that produced the committed numbers; CI runners additionally use
+    the machine-independent ``calendar_vs_heap`` gate in
+    ``benchmarks/test_perf_wallclock.py``).
+    """
     failures = []
     baseline = committed.get("experiments", {})
     for name, row in report.get("experiments", {}).items():
@@ -488,6 +533,14 @@ def check_regressions(report: dict, committed: dict,
                 f"(+{(row['wall_s'] / ref - 1.0) * 100:.0f}%, "
                 f"tolerance {tolerance * 100:.0f}%)"
             )
+    ref_eps = committed.get("engine", {}).get("events_per_s")
+    got_eps = report.get("engine", {}).get("events_per_s")
+    if ref_eps and got_eps and got_eps < ref_eps * (1.0 - tolerance):
+        failures.append(
+            f"engine: {got_eps / 1e3:.0f}k events/s vs committed "
+            f"{ref_eps / 1e3:.0f}k (-{(1.0 - got_eps / ref_eps) * 100:.0f}%, "
+            f"tolerance {tolerance * 100:.0f}%)"
+        )
     return failures
 
 
@@ -582,7 +635,8 @@ def main(argv: list[str] | None = None) -> int:
     print(f"interpreter : {interp['interpreter_instrs_per_s'] / 1e6:.2f} M instr/s")
     print(f"fast path   : {interp['fastpath_instrs_per_s'] / 1e6:.2f} M instr/s "
           f"({interp['speedup_plain']:.1f}x, twin {interp['speedup_twin']:.1f}x)")
-    print(f"engine      : {eng['events_per_s'] / 1e3:.0f} K events/s, "
+    print(f"engine      : {eng['events_per_s'] / 1e3:.0f} K events/s "
+          f"({eng['calendar_vs_heap']:.2f}x vs legacy heap), "
           f"DMA coalescing {eng['event_reduction']:.1f}x fewer events")
     for name, row in report["experiments"].items():
         print(f"{name:12s}: {row['wall_s']:.2f}s wall "
@@ -591,8 +645,11 @@ def main(argv: list[str] | None = None) -> int:
     par = report["experiments_parallel"]
     for name in report["experiments"]:
         row = par[name]
+        mode = row["mode"]
+        if row["fallback_reason"]:
+            mode += f"/{row['fallback_reason']}"
         print(f"{name:12s}: --jobs {par['jobs']}: {row['wall_s_parallel']:.2f}s "
-              f"({row['parallel_speedup']:.2f}x vs serial, "
+              f"({row['parallel_speedup']:.2f}x vs serial, {mode}, "
               f"util {row['utilization']:.0%}, "
               f"warm hits {row['warm_cache_hits']})")
     sd = report.get("storage_delta")
