@@ -131,6 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--app", default="resnet152-train", choices=sorted(APP_SPECS))
     p.add_argument("--system", default="phos",
                    choices=("phos", "singularity", "cuda-checkpoint"))
+    p.add_argument("--clock-domains", action="store_true",
+                   help="shard source and target machines into separate "
+                        "clock domains (phos only)")
     p.set_defaults(func=cmd_migrate)
 
     p = sub.add_parser("study", help="run the §8.5 speculation study (Table 3)")
@@ -319,7 +322,8 @@ def cmd_restore(args) -> int:
 def cmd_migrate(args) -> int:
     from repro.tasks.live_migration import migrate
 
-    result = migrate(args.system, args.app)
+    result = migrate(args.system, args.app,
+                     clock_domains=args.clock_domains)
     if not result.supported:
         print(f"{args.system} cannot migrate {args.app} "
               "(no distributed support)")

@@ -49,6 +49,13 @@ class Phos:
                  medium: Optional[Medium] = None,
                  use_context_pool: bool = True,
                  contexts_per_gpu: int = 2) -> None:
+        if engine is not machine.engine:
+            raise InvalidValueError(
+                f"PHOS on {machine.name!r} must run in the machine's own "
+                f"clock domain: got engine {engine.name!r}, machine is "
+                f"homed in {machine.engine.name!r}.  Remote machines are "
+                "driven through DomainChannels, not a shared daemon."
+            )
         self.engine = engine
         self.machine = machine
         self.medium = medium or machine.dram
@@ -136,7 +143,8 @@ class Phos:
         )
         logger.info("checkpoint requested: process=%s mode=%s medium=%s t=%g",
                     process.name, protocol.name, medium.name, self.engine.now)
-        obs.counter("phos/checkpoints", mode=protocol.name).inc()
+        obs.counter("phos/checkpoints", mode=protocol.name,
+                    **self.engine._obs_labels).inc()
         handle = self.engine.spawn(gen, name=f"phos-ckpt-{process.name}")
         handle.add_callback(self._log_checkpoint_done)
         self._register_inflight(process, handle, protocol)
@@ -331,7 +339,8 @@ class Phos:
             catalog = getattr(medium, "images", None)
             resolve = catalog.lookup if catalog is not None else None
             image = materialize(image, resolve=resolve)
-            obs.counter("storage/chain-restores").inc()
+            obs.counter("storage/chain-restores",
+                        **self.engine._obs_labels).inc()
         if gpu_indices is not None and len(gpu_indices) == 0:
             raise InvalidValueError(
                 "gpu_indices=[] names no restore target; pass None to "
@@ -347,7 +356,8 @@ class Phos:
         concurrent = protocol.name == "concurrent"
         logger.info("restore requested: image=%s gpus=%s concurrent=%s t=%g",
                     image.name, gpu_indices, concurrent, self.engine.now)
-        obs.counter("phos/restores", mode=protocol.name).inc()
+        obs.counter("phos/restores", mode=protocol.name,
+                    **self.engine._obs_labels).inc()
         pool = (self.pool if concurrent and (use_pool is None or use_pool)
                 else None)
         process, frontend, session = yield from protocol.restore(

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import cProfile
 import io
+import os
 import pstats
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -26,6 +27,22 @@ OBSERVE = False
 #: Observers created by :func:`build_world` while :data:`OBSERVE` was on,
 #: as ``(label, observer)`` pairs in creation order.
 collected_observers: list[tuple[str, "obs.Observer"]] = []
+
+#: When set, every experiment world runs as a (one-domain)
+#: ``sim.domains.World`` instead of a plain ``Engine``, exercising the
+#: multi-domain conservative loop on the exact golden workloads.  The
+#: goldens are bit-identical either way — that equivalence is the CI
+#: gate for the clock-domain machinery.
+CLOCK_DOMAINS_ENV = "REPRO_CLOCK_DOMAINS"
+
+
+def _new_engine() -> Engine:
+    """A fresh engine, honouring :data:`CLOCK_DOMAINS_ENV`."""
+    if os.environ.get(CLOCK_DOMAINS_ENV):
+        from repro.sim.domains import World as SimWorld
+
+        return SimWorld().domain("node0")
+    return Engine()
 
 
 def run_cells(runner, cells, jobs=None, label: str = "") -> list:
@@ -163,7 +180,7 @@ def build_world(spec_name: str, use_pool: bool = False,
     fine because the simulator runs one world at a time; each world
     keeps its own handle in ``world.observer``.
     """
-    engine = Engine()
+    engine = _new_engine()
     observer = None
     if OBSERVE if observe is None else observe:
         observer = obs.install(engine)

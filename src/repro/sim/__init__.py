@@ -22,6 +22,7 @@ Typical usage::
     assert eng.now == 1.5
 """
 
+from repro.sim.domains import ClockDomain, DomainChannel, World
 from repro.sim.engine import Engine, Process
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.resources import PriorityResource, Resource, Store
@@ -30,6 +31,8 @@ from repro.sim.trace import Span, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ClockDomain",
+    "DomainChannel",
     "Engine",
     "Event",
     "PriorityResource",
@@ -39,4 +42,5 @@ __all__ = [
     "Store",
     "Timeout",
     "Tracer",
+    "World",
 ]

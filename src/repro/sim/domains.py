@@ -1,0 +1,522 @@
+"""Clock domains: sharding one world into independently-clocked engines.
+
+A :class:`World` is a set of :class:`ClockDomain` objects — each is a
+full :class:`~repro.sim.engine.Engine` (own calendar queue, own clock,
+own resident processes and resources) — plus the typed
+:class:`DomainChannel` links between them.  The plain single-``Engine``
+world is the degenerate one-domain case: every existing call site keeps
+working unchanged, and a channel whose two ends are the same engine
+degrades to a local schedule at ``now + latency``.
+
+Conservative synchronization
+----------------------------
+
+Cross-domain interaction is only legal through a channel, and every
+channel declares a minimum latency (``>= MIN_LOOKAHEAD``).  That latency
+is the *lookahead* of classic conservative parallel discrete-event
+simulation (Chandy–Misra–Bryant): if the earliest thing domain ``S``
+could still do is at time ``f(S)``, then nothing new can arrive in
+domain ``D`` over channel ``S -> D`` before ``f(S) + latency``, so ``D``
+may safely execute all local work strictly below that bound.
+
+``World.run`` iterates rounds.  Each round it computes, per domain, a
+*floor* — the earliest timestamp at which the domain could still
+execute anything, counting both its local queue and messages already in
+flight toward it — and from the floors a global lower-bound timestamp
+``LBTS = min(floors)``.  Every domain then ingests deliverable channel
+messages and drains its calendar queue up to::
+
+    t <= LBTS  or  t < min over incoming channels of (floor[src] + latency)
+
+The inclusive ``LBTS`` leg guarantees progress every round (the
+globally-earliest timestamp is always fully consumed); the per-channel
+bound leg lets domains that are far from their peers race ahead without
+waiting for the slowest domain, avoiding latency-sized time creep.
+Within a domain, execution order is exactly the single-engine order:
+same calendar queue, same FIFO-within-timestamp batched dispatch.
+
+Ordering equivalence
+--------------------
+
+Per-domain event order is identical to the order the same program
+produces on one shared engine, because any two causally-related
+occurrences in different domains are separated by at least one channel
+latency (> 0): a message sent at ``t`` cannot affect its destination
+before ``t + latency``, which the destination has not executed yet when
+the bound admits the arrival.  The one exception is *same-instant
+cross-domain collisions*: if an arrival lands on the exact timestamp of
+an unrelated local record, the position of the arrival *within* that
+shared bucket may differ from the degenerate single-engine run (the
+single engine interleaves the push at send time; the world ingests
+arrivals at the start of a drain window).  Keep channel latencies off
+the natural timestamp grid of the workload (physical latencies — 5 µs
+RDMA, 1 µs PCIe — already are) and the case never arises; the
+differential property suite in ``tests/test_property_domains.py`` pins
+exactly this equivalence over randomized topologies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro import obs
+from repro.errors import DeadlockError, InvalidValueError, SimulationError
+from repro.sim.engine import Engine, Process
+from repro.sim.events import K_CALL1, Event
+from repro.sim.resources import Store
+
+#: Smallest admissible channel latency.  Zero-latency channels would
+#: give the conservative loop zero lookahead (no domain could ever run
+#: ahead of any peer), so latency is validated as load-bearing.
+MIN_LOOKAHEAD = 1e-9
+
+_INF = float("inf")
+
+#: Message kinds (what to do on delivery in the destination domain).
+_SEND, _POST, _FIRE, _INTERRUPT = range(4)
+
+
+class ChannelMessage:
+    """One in-flight cross-domain message.
+
+    Created by the channel's ``send``/``post``/``fire``/``interrupt``
+    methods and returned to the caller so the *sender side* can abort it
+    with :meth:`cancel` while it is still in flight.
+    """
+
+    __slots__ = ("channel", "kind", "send_time", "arrival", "target",
+                 "payload", "cancelled", "delivered")
+
+    def __init__(self, channel: "DomainChannel", kind: int, send_time: float,
+                 arrival: float, target: Any, payload: Any) -> None:
+        self.channel = channel
+        self.kind = kind
+        self.send_time = send_time
+        self.arrival = arrival
+        self.target = target
+        self.payload = payload
+        self.cancelled = False
+        self.delivered = False
+
+    def cancel(self) -> bool:
+        """Abort the message if it has not been delivered yet.
+
+        Models a sender-side abort: the message is dropped at (not
+        before) its arrival instant.  Returns False — and changes
+        nothing — when delivery already happened.
+        """
+        if self.delivered:
+            return False
+        self.cancelled = True
+        return True
+
+    def _deliver(self, _arg: Any = None) -> None:
+        """Executed in the destination domain at the arrival timestamp."""
+        if self.cancelled:
+            return
+        self.delivered = True
+        kind = self.kind
+        if kind == _SEND:
+            self.channel._inbox.put(self.payload)
+        elif kind == _POST:
+            self.target(self.payload)
+        elif kind == _FIRE:
+            self.target.succeed(self.payload)
+        else:  # _INTERRUPT — a process that finished in flight is left alone
+            if not self.target._fired:
+                self.target.interrupt(self.payload)
+
+    def __repr__(self) -> str:
+        state = ("delivered" if self.delivered
+                 else "cancelled" if self.cancelled else "in-flight")
+        return (f"<ChannelMessage via {self.channel.name!r} "
+                f"t={self.send_time:g}->{self.arrival:g} {state}>")
+
+
+class DomainChannel:
+    """A typed, directed, latency-bearing link between two domains.
+
+    ``kind`` is a routing tag ("data", "rdma", "dma", "control", ...)
+    used by :meth:`World.require_channel` so e.g. cross-domain DMA can
+    find its dedicated channel pair.  The degenerate form — both ends
+    the same plain engine, built with :meth:`local` — keeps identical
+    delivery timestamps by scheduling directly on that engine, which is
+    what makes single-domain and multi-domain runs comparable record
+    for record.
+    """
+
+    def __init__(self, world: Optional["World"], src: Engine, dst: Engine,
+                 latency: float, name: str = "", kind: str = "data") -> None:
+        if not (latency >= MIN_LOOKAHEAD):  # also catches NaN
+            raise InvalidValueError(
+                f"channel latency must be >= {MIN_LOOKAHEAD:g}s, got "
+                f"{latency!r}; the latency is the conservative lookahead "
+                "and cannot be zero or negative"
+            )
+        if world is None and src is not dst:
+            raise InvalidValueError(
+                "a channel between two distinct domains must be created "
+                "through World.channel(); only the degenerate same-engine "
+                "form may be built without a world"
+            )
+        self.world = world
+        self.src = src
+        self.dst = dst
+        self.latency = float(latency)
+        self.name = name or f"{src.name}->{dst.name}"
+        self.kind = kind
+        #: Messages sent but not yet ingested by the destination domain,
+        #: a heap of (arrival, seq, message).
+        self._pending: list[tuple[float, int, ChannelMessage]] = []
+        self._seq = itertools.count()
+        self._inbox = Store(dst, name=f"{self.name}-inbox")
+        self.messages_sent = 0
+
+    @classmethod
+    def local(cls, engine: Engine, latency: float, name: str = "",
+              kind: str = "data") -> "DomainChannel":
+        """The degenerate channel: both ends on ``engine``."""
+        return cls(None, engine, engine, latency, name=name, kind=kind)
+
+    # -- sending -------------------------------------------------------------
+    def _emit(self, kind: int, target: Any, payload: Any,
+              delay: float) -> ChannelMessage:
+        if delay < 0:
+            raise InvalidValueError(f"negative channel delay {delay}")
+        src = self.src
+        world = self.world
+        if world is not None:
+            ex = world._executing
+            if ex is not None and ex is not src:
+                raise SimulationError(
+                    f"channel {self.name!r} sends from domain {src.name!r} "
+                    f"but domain {ex.name!r} is executing"
+                )
+        now = src._now
+        msg = ChannelMessage(self, kind, now, now + self.latency + delay,
+                             target, payload)
+        self.messages_sent += 1
+        if world is None or src is self.dst:
+            # Degenerate: delivery is a local schedule at the same
+            # timestamp the multi-domain ingest would use.
+            src._push(msg.arrival, K_CALL1, msg._deliver, None)
+        else:
+            heapq.heappush(self._pending, (msg.arrival, next(self._seq), msg))
+        return msg
+
+    def send(self, value: Any = None, delay: float = 0.0) -> ChannelMessage:
+        """Deliver ``value`` into the channel's destination-side inbox."""
+        return self._emit(_SEND, None, value, delay)
+
+    def post(self, fn: Callable[[Any], None], arg: Any = None,
+             delay: float = 0.0) -> ChannelMessage:
+        """Run ``fn(arg)`` in the destination domain on arrival."""
+        return self._emit(_POST, fn, arg, delay)
+
+    def fire(self, event: Event, value: Any = None,
+             delay: float = 0.0) -> ChannelMessage:
+        """Succeed a destination-resident event on arrival."""
+        if event.engine is not self.dst:
+            raise SimulationError(
+                f"channel {self.name!r} can only fire events homed in "
+                f"{self.dst.name!r}, got one homed in {event.engine.name!r}"
+            )
+        return self._emit(_FIRE, event, value, delay)
+
+    def interrupt(self, process: Process,
+                  exc: Optional[BaseException] = None,
+                  delay: float = 0.0) -> ChannelMessage:
+        """Interrupt a destination-resident process on arrival.
+
+        Unlike a local :meth:`Process.interrupt`, a process that
+        finishes while the interrupt is in flight is *not* an error —
+        the message is dropped silently at delivery, exactly like a
+        real control message racing a completion.
+        """
+        if process.engine is not self.dst:
+            raise SimulationError(
+                f"channel {self.name!r} can only interrupt processes "
+                f"resident in {self.dst.name!r}, got {process.name!r} from "
+                f"{process.engine.name!r}"
+            )
+        return self._emit(_INTERRUPT, process, exc, delay)
+
+    # -- receiving -----------------------------------------------------------
+    def recv(self) -> Event:
+        """An event (destination side) firing with the next sent value."""
+        world = self.world
+        if world is not None:
+            ex = world._executing
+            if ex is not None and ex is not self.dst:
+                raise SimulationError(
+                    f"channel {self.name!r} is received in domain "
+                    f"{self.dst.name!r} but domain {ex.name!r} is executing"
+                )
+        return self._inbox.get()
+
+    def _next_arrival(self) -> Optional[float]:
+        return self._pending[0][0] if self._pending else None
+
+    def __repr__(self) -> str:
+        return (f"<DomainChannel {self.name} kind={self.kind} "
+                f"latency={self.latency:g}>")
+
+
+class ClockDomain(Engine):
+    """One shard of a :class:`World`: an engine with a name and peers.
+
+    Everything resident in the domain — processes, resources, fluid
+    links, GPUs — schedules on it exactly as on a plain engine.  Only
+    the main loop differs: ``run`` delegates to the world's conservative
+    loop, so ``domain.run(...)``, ``run_process`` and ``Engine``-typed
+    call sites keep working unchanged.
+    """
+
+    def __init__(self, world: "World", name: str) -> None:
+        super().__init__(legacy_heap=False)
+        self.name = name
+        self.world = world
+        self._world = world
+        self._obs_labels = {"domain": name}
+
+    def run(self, until: Optional[Event | float] = None) -> Any:
+        return self.world.run(until)
+
+    def __repr__(self) -> str:
+        return f"<ClockDomain {self.name} t={self._now:g}>"
+
+
+class World:
+    """A set of clock domains plus the channels connecting them."""
+
+    def __init__(self) -> None:
+        self._domains: list[ClockDomain] = []
+        self._names: set[str] = set()
+        self._channels: list[DomainChannel] = []
+        self._incoming: dict[Engine, list[DomainChannel]] = {}
+        self._by_pair: dict[tuple[Engine, Engine], list[DomainChannel]] = {}
+        #: The domain currently executing a drain window (None between
+        #: windows).  Engines use it to reject foreign-domain touches.
+        self._executing: Optional[ClockDomain] = None
+        self._running = False
+        #: Largest clock spread between domains ever observed at a
+        #: round boundary (exported as the ``domain/skew-max`` gauge).
+        self.skew_max = 0.0
+        self.rounds = 0
+        #: Per-domain executed counts already reported to obs counters.
+        self._reported: dict[ClockDomain, int] = {}
+
+    # -- topology ------------------------------------------------------------
+    def domain(self, name: str) -> ClockDomain:
+        """Create a new, uniquely named clock domain."""
+        if name in self._names:
+            raise InvalidValueError(f"duplicate clock-domain name {name!r}")
+        dom = ClockDomain(self, name)
+        self._domains.append(dom)
+        self._names.add(name)
+        self._incoming[dom] = []
+        return dom
+
+    @property
+    def domains(self) -> list[ClockDomain]:
+        return list(self._domains)
+
+    def channel(self, src: Engine, dst: Engine, latency: float,
+                name: str = "", kind: str = "data") -> DomainChannel:
+        """Create a directed channel between two domains of this world."""
+        if src is dst:
+            raise InvalidValueError(
+                f"channel endpoints must be distinct domains, got "
+                f"{src.name!r} twice (use DomainChannel.local for a "
+                "same-engine channel)"
+            )
+        for end in (src, dst):
+            if getattr(end, "_world", None) is not self:
+                raise InvalidValueError(
+                    f"engine {end.name!r} is not a domain of this world"
+                )
+        ch = DomainChannel(self, src, dst, latency, name=name, kind=kind)
+        self._channels.append(ch)
+        self._incoming[dst].append(ch)
+        self._by_pair.setdefault((src, dst), []).append(ch)
+        return ch
+
+    def channels_between(self, src: Engine, dst: Engine) -> list[DomainChannel]:
+        return list(self._by_pair.get((src, dst), ()))
+
+    def require_channel(self, src: Engine, dst: Engine,
+                        kind: Optional[str] = None) -> DomainChannel:
+        """The first registered ``src -> dst`` channel of ``kind``."""
+        for ch in self._by_pair.get((src, dst), ()):
+            if kind is None or ch.kind == kind:
+                return ch
+        raise SimulationError(
+            f"no {kind or 'any'}-kind channel from {src.name!r} to "
+            f"{dst.name!r}; cross-domain interaction needs an explicit "
+            "DomainChannel"
+        )
+
+    # -- clocks --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The most advanced domain clock (the world's frontier)."""
+        return max((d._now for d in self._domains), default=0.0)
+
+    @property
+    def events_scheduled(self) -> int:
+        return sum(d._n_scheduled for d in self._domains)
+
+    @property
+    def events_executed(self) -> int:
+        return sum(d._n_executed for d in self._domains)
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, until: Optional[Event | float] = None) -> Any:
+        """Run all domains conservatively until drained/deadline/event.
+
+        Mirrors :meth:`Engine.run`: ``until`` may be a float deadline
+        (every domain clock ends there), an :class:`Event` resident in
+        any domain (returns its value; :class:`DeadlockError` if the
+        world drains first), or None to drain everything.
+        """
+        if self._running:
+            raise SimulationError("world is already running (re-entrant run())")
+        if not self._domains:
+            raise SimulationError("world has no clock domains")
+        deadline: Optional[float] = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            for dom in self._domains:
+                if deadline < dom._now:
+                    raise SimulationError(
+                        f"deadline {deadline} is in the past of domain "
+                        f"{dom.name!r} (t={dom._now:g})"
+                    )
+        self._running = True
+        try:
+            return self._run_rounds(deadline, stop_event)
+        finally:
+            self._executing = None
+            self._running = False
+
+    def _run_rounds(self, deadline: Optional[float],
+                    stop_event: Optional[Event]) -> Any:
+        domains = self._domains
+        channels = self._channels
+        incoming = self._incoming
+        ob = obs.active()
+        floor: dict[Engine, float] = {}
+        while True:
+            if stop_event is not None and stop_event._fired:
+                return self._stop_value(stop_event)
+            # Per-domain floor: earliest local record or in-flight arrival.
+            for dom in domains:
+                nt = dom._next_time()
+                floor[dom] = nt if nt is not None else _INF
+            for ch in channels:
+                na = ch._next_arrival()
+                if na is not None and na < floor[ch.dst]:
+                    floor[ch.dst] = na
+            lbts = min(floor.values())
+            if lbts == _INF:
+                break
+            if deadline is not None and lbts > deadline:
+                break
+            for dom in domains:
+                bound = _INF
+                for ch in incoming[dom]:
+                    b = floor[ch.src] + ch.latency
+                    if b < bound:
+                        bound = b
+                self._executing = dom
+                try:
+                    self._ingest(dom, lbts, bound, deadline)
+                    fired = dom._drain_window(lbts, bound, deadline,
+                                              stop_event)
+                finally:
+                    self._executing = None
+                if fired:
+                    self._note_progress(ob)
+                    return self._stop_value(stop_event)
+            self.rounds += 1
+            self._note_progress(ob)
+        if stop_event is not None:
+            raise DeadlockError(
+                f"world drained at t={self.now:g} but "
+                f"{stop_event.name!r} never fired"
+            )
+        # A completed run is a global quiescent point: every queue and
+        # channel is empty, so advancing the laggards to the frontier
+        # (or the deadline) cannot reorder anything.  This mirrors the
+        # single shared clock of a plain engine — work scheduled after
+        # sequential run() calls starts at the same timestamp in both
+        # modes, and later cross-domain sends stay causal.
+        rejoin = deadline if deadline is not None else self.now
+        for dom in domains:
+            if dom._now < rejoin:
+                dom._now = rejoin
+        self._note_progress(ob)
+        return None
+
+    def _ingest(self, dom: ClockDomain, incl: float, bound: float,
+                deadline: Optional[float]) -> None:
+        """Move deliverable in-flight messages into ``dom``'s queue."""
+        for ch in self._incoming[dom]:
+            pending = ch._pending
+            while pending:
+                arrival = pending[0][0]
+                if arrival > incl and arrival >= bound:
+                    break
+                if deadline is not None and arrival > deadline:
+                    break
+                if arrival < dom._now:
+                    raise SimulationError(
+                        f"conservative violation: message on {ch.name!r} "
+                        f"arrives at t={arrival:g} behind domain "
+                        f"{dom.name!r} clock t={dom._now:g}"
+                    )
+                _, _, msg = heapq.heappop(pending)
+                dom._push(arrival, K_CALL1, msg._deliver, None)
+
+    @staticmethod
+    def _stop_value(stop_event: Event) -> Any:
+        if not stop_event._ok:
+            raise stop_event._value
+        return stop_event._value
+
+    def _note_progress(self, ob) -> None:
+        """Round bookkeeping: skew high-water mark and obs export."""
+        lo = hi = None
+        for dom in self._domains:
+            t = dom._now
+            if lo is None or t < lo:
+                lo = t
+            if hi is None or t > hi:
+                hi = t
+        if hi is not None and hi - lo > self.skew_max:
+            self.skew_max = hi - lo
+        if ob is None:
+            return
+        metrics = ob.metrics
+        reported = self._reported
+        for dom in self._domains:
+            delta = dom._n_executed - reported.get(dom, 0)
+            if delta:
+                reported[dom] = dom._n_executed
+                metrics.counter(f"domain/{dom.name}/events-executed").inc(delta)
+        metrics.gauge("domain/skew-max").set(self.skew_max)
+
+    def run_process(self, body, name: str = "") -> Any:
+        """Spawn ``body`` on the first domain and run until it finishes."""
+        if not self._domains:
+            raise SimulationError("world has no clock domains")
+        return self.run(self._domains[0].spawn(body, name=name))
+
+    def __repr__(self) -> str:
+        return (f"<World domains={[d.name for d in self._domains]} "
+                f"t={self.now:g}>")

@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
-from repro.errors import InvalidValueError
+from repro.errors import InvalidValueError, SimulationError
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 
@@ -48,19 +48,47 @@ class FluidLink:
     drained.
     """
 
-    def __init__(self, engine: Engine, bandwidth: float, name: str = "link") -> None:
+    def __init__(self, engine: Engine, bandwidth: float, name: str = "link",
+                 latency: float = 0.0) -> None:
         if bandwidth <= 0:
             raise InvalidValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise InvalidValueError(f"latency must be non-negative, got {latency}")
         self.engine = engine
         self.bandwidth = float(bandwidth)
         self.name = name
+        #: Propagation latency appended after the drain: a flow() caller
+        #: resumes at drain + latency.  Zero (the default) adds no extra
+        #: event, so the historical timing is untouched.
+        self.latency = float(latency)
         self._flows: list[_Flow] = []
         self._last_update = 0.0
         self._timer_generation = 0
 
     # -- public API ---------------------------------------------------------------
     def flow(self, nbytes: float, weight: float = 1.0, rate_cap: Optional[float] = None):
-        """Generator: push ``nbytes`` through the link."""
+        """Generator: push ``nbytes`` through the link (drain + latency)."""
+        yield from self._flow_raw(nbytes, weight=weight, rate_cap=rate_cap)
+        if self.latency:
+            yield self.engine.timeout(self.latency)
+
+    def _flow_raw(self, nbytes: float, weight: float = 1.0,
+                  rate_cap: Optional[float] = None):
+        """Generator: drain ``nbytes`` with no propagation tail.
+
+        Used by senders that hand completion to the *receiver* through a
+        DomainChannel (which carries the same latency), so the latency
+        is not paid twice.
+        """
+        engine = self.engine
+        world = engine._world
+        if world is not None and world._executing is not None \
+                and world._executing is not engine:
+            raise SimulationError(
+                f"fluid link {self.name!r} lives in domain {engine.name!r} "
+                f"but domain {world._executing.name!r} is executing; "
+                "cross-domain traffic must go through a DomainChannel"
+            )
         if nbytes < 0:
             raise InvalidValueError(f"nbytes must be non-negative, got {nbytes}")
         if weight <= 0:
@@ -68,10 +96,10 @@ class FluidLink:
         if rate_cap is not None and rate_cap <= 0:
             raise InvalidValueError(f"rate_cap must be positive, got {rate_cap}")
         if nbytes == 0:
-            yield self.engine.timeout(0.0)
+            yield engine.timeout(0.0)
             return
         f = _Flow(nbytes, weight, rate_cap)
-        f.done = self.engine.event(name=f"{self.name}-flow{f.id}")
+        f.done = engine.event(name=f"{self.name}-flow{f.id}")
         self._advance()
         self._flows.append(f)
         self._reschedule()

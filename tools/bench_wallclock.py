@@ -403,6 +403,109 @@ def bench_chaos_overhead(repeats: int = 3) -> dict:
     }
 
 
+def _domains_scenario(multi: bool, n_machines: int = 4,
+                      rounds: int = 200) -> tuple[float, int]:
+    """A ring of token-passing machines; returns (virtual end, events).
+
+    Each node alternates a local timer with a send to its successor and
+    a receive from its predecessor.  ``multi`` shards the ring into one
+    :class:`ClockDomain` per machine under the conservative sync loop;
+    otherwise everything shares one plain engine with degenerate
+    channels.  Virtual end time and event counts must be identical —
+    the wall-clock difference is pure synchronization overhead.
+    """
+    from repro.sim.domains import DomainChannel, World
+    from repro.sim.engine import Engine
+
+    latency = 5e-6
+    if multi:
+        world = World()
+        engines = [world.domain(f"m{i}") for i in range(n_machines)]
+    else:
+        world = None
+        eng = Engine()
+        engines = [eng] * n_machines
+    chans = {}
+    for i in range(n_machines):
+        j = (i + 1) % n_machines
+        if engines[i] is engines[j]:
+            chans[(i, j)] = DomainChannel.local(engines[i], latency,
+                                                name=f"ring{i}->{j}")
+        else:
+            chans[(i, j)] = world.channel(engines[i], engines[j], latency,
+                                          name=f"ring{i}->{j}")
+
+    def node(i):
+        eng = engines[i]
+        prev = (i - 1) % n_machines
+        succ = (i + 1) % n_machines
+        for _ in range(rounds):
+            yield eng.timeout(1e-3)
+            chans[(i, succ)].send(i)
+            yield chans[(prev, i)].recv()
+
+    for i in range(n_machines):
+        engines[i].spawn(node(i), name=f"node{i}")
+    if world is not None:
+        world.run()
+        return world.now, world.events_executed
+    engines[0].run()
+    return engines[0].now, engines[0].events_executed
+
+
+def bench_domains(repeats: int = 10) -> dict:
+    """Single- vs multi-domain scheduler throughput (``--section domains``).
+
+    Record-only: the conservative loop runs its domains *sequentially*
+    on one core, so multi-domain mode buys isolation and per-machine
+    clocks, not parallel speedup — the events/s ratio here is the honest
+    price of the round/floor bookkeeping.  ``effective_cpus`` is
+    recorded so a future parallel executor has a baseline to beat.
+    """
+    from repro.parallel.engine import effective_cpu_count
+
+    end_single, events_single = _domains_scenario(multi=False)
+    end_multi, events_multi = _domains_scenario(multi=True)
+    if end_single != end_multi:
+        raise AssertionError(
+            f"domain scenario diverged: {end_single!r} vs {end_multi!r}")
+    if events_single != events_multi:
+        raise AssertionError(
+            f"domain scenario event counts diverged: "
+            f"{events_single} vs {events_multi}")
+
+    def throughput(multi: bool) -> float:
+        t0 = time.perf_counter()
+        total = 0
+        for _ in range(repeats):
+            _, n = _domains_scenario(multi=multi)
+            total += n
+        return total / (time.perf_counter() - t0)
+
+    single_eps = throughput(multi=False)
+    multi_eps = throughput(multi=True)
+    return {
+        "n_machines": 4,
+        "scenario_events": events_single,
+        "virtual_end_identical": True,
+        "single_domain_events_per_s": single_eps,
+        "multi_domain_events_per_s": multi_eps,
+        "multi_vs_single": multi_eps / single_eps,
+        "effective_cpus": effective_cpu_count(),
+        "note": ("multi-domain mode executes domains sequentially under "
+                 "the conservative sync loop; it does not use more than "
+                 "one core yet, so the ratio is sync overhead, not "
+                 "parallelism"),
+    }
+
+
+def _print_domains(row: dict) -> None:
+    print(f"domains     : single {row['single_domain_events_per_s'] / 1e3:.0f}"
+          f"K events/s, multi {row['multi_domain_events_per_s'] / 1e3:.0f}K "
+          f"({row['multi_vs_single']:.2f}x; sequential loop, "
+          f"effective_cpus={row['effective_cpus']} unused)")
+
+
 def bench_storage_delta() -> dict:
     """Full vs delta checkpoint cost on fig16's workload (PR 6).
 
@@ -553,6 +656,7 @@ def run_bench(quick: bool = False, jobs: int = 4) -> dict:
         "python": sys.version.split()[0],
         "interpreter": bench_interpreter(repeats=50 if quick else 200),
         "engine": bench_events(repeats=5 if quick else 20),
+        "domains": bench_domains(repeats=3 if quick else 10),
         "experiments": bench_experiments(experiments, quick=quick),
         "storage_delta": bench_storage_delta(),
     }
@@ -583,7 +687,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="reduced workload set for CI smoke runs")
     parser.add_argument("--section",
-                        choices=["chaos_overhead", "storage_delta"],
+                        choices=["chaos_overhead", "storage_delta", "domains"],
                         help="run a single named section instead of the "
                              "full benchmark")
     parser.add_argument("--jobs", type=int, default=4, metavar="N",
@@ -608,6 +712,16 @@ def main(argv: list[str] | None = None) -> int:
                   f"(shift {fm['f_star_shift']}x, waste drop "
                   f"{fm['waste_drop'] * 100:.1f}%)", file=sys.stderr)
             return 1
+        return 0
+    if args.section == "domains":
+        # Record-only: no regression gate until domains run in parallel.
+        row = bench_domains()
+        _print_domains(row)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump({"schema": "bench-wallclock/v1",
+                           "domains": row}, fh, indent=2, sort_keys=True)
+                fh.write("\n")
         return 0
     if args.section == "chaos_overhead":
         row = bench_chaos_overhead()
@@ -652,6 +766,9 @@ def main(argv: list[str] | None = None) -> int:
               f"({row['parallel_speedup']:.2f}x vs serial, {mode}, "
               f"util {row['utilization']:.0%}, "
               f"warm hits {row['warm_cache_hits']})")
+    dom = report.get("domains")
+    if dom:
+        _print_domains(dom)
     sd = report.get("storage_delta")
     if sd:
         _print_storage_delta(sd)
