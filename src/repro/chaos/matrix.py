@@ -42,6 +42,8 @@ from repro.gpu.context import GpuContext
 from repro.gpu.cost_model import KernelCost
 from repro.gpu.program import build_inplace_add, build_scale
 from repro.sim.engine import Engine
+from repro.storage.media import tier_stack
+from repro.storage.writebehind import DRAIN_PROTOCOL
 
 #: Phases a fault can address, per protocol kind ("commit/abort" is the
 #: display name of two hooks; the injector sees "commit").
@@ -49,6 +51,17 @@ CHECKPOINT_FAULT_PHASES = tuple(
     p for p in CHECKPOINT_PHASES if p != "commit/abort"
 ) + ("commit",)
 RESTORE_FAULT_PHASES = RESTORE_PHASES
+
+#: Write-behind drainer hops a fault can address (tier 1 = SSD, tier 2
+#: = remote DRAM in the default stack): crash before the hop's bytes
+#: move, and crash after the move but before the replica commits.
+DRAIN_FAULT_PHASES = ("drain:t1", "publish:t1", "drain:t2", "publish:t2")
+
+#: The stream-level phases a streaming checkpoint actually enters
+#: (there is no ``plan`` at stream scope — each round's inner protocol
+#: plans under its own name — and ``commit`` runs once per round, so a
+#: fault there exercises the prefix-atomic contract).
+STREAM_FAULT_PHASES = ("admit", "quiesce", "transfer", "validate", "commit")
 
 
 @dataclass
@@ -399,6 +412,152 @@ def _run_restore_cell(protocol: str, plan: FaultPlan,
         cell.detail = "; ".join(errors)
 
 
+def _chain_order(images) -> list:
+    """Committed images in delta-chain order (root first).
+
+    Returns the longest root-anchored chain; a committed set that is
+    not a single chain shows up as a length mismatch at the call site.
+    """
+    by_parent = {getattr(im, "parent_id", None): im for im in images}
+    chain = []
+    cur = by_parent.get(None)
+    while cur is not None and len(chain) < len(images):
+        chain.append(cur)
+        cur = by_parent.get(cur.id)
+    return chain
+
+
+def _run_continuous_cell(protocol: str, plan: FaultPlan,
+                         cell: CellResult,
+                         expect_commit: bool) -> None:
+    """One streaming-checkpoint cell (prefix-atomic contract).
+
+    A streaming protocol is not abort-atomic: a fault after round ``r``
+    committed must leave rounds ``0..r`` restorable on the DRAM tier
+    (the run *returns* the committed prefix instead of raising), and a
+    fault inside the write-behind drainer must revoke the partial
+    lower-tier replica while every fully-drained tier keeps a strict
+    prefix of the chain.  Only a fault before the first commit may
+    abort the run outright.
+    """
+    world = _World()
+    eng = world.engine
+    with obs.observed(eng) as observer:
+        # The cell owns the tier stack so it can audit the lower-tier
+        # catalogs after the run.
+        tiers = tier_stack(eng, world.phos.medium)
+
+        def driver():
+            yield from world.warmup()
+            injector = chaos.install(plan, engine=eng,
+                                     killer=world.phos.kill)
+            catalog = world.phos.medium.images
+            outcome = None
+            try:
+                handle = world.phos.checkpoint(
+                    world.process, mode=protocol, name="cell",
+                    rounds=3, interval=1e-3, drain_tiers=tiers,
+                )
+                try:
+                    last, stream = yield handle
+                except ReproError as err:
+                    # A kill-process fault tears the outer handle down
+                    # (the daemon cancels in-flight runs of a dying
+                    # process), so the committed prefix must be
+                    # recovered from the catalog, not the return value.
+                    chain = _chain_order(catalog.committed_images())
+                    if chain:
+                        outcome = ("prefix-dead", err, chain[-1], None)
+                    else:
+                        outcome = ("aborted", err, None, None)
+                else:
+                    outcome = ("stream", None, last, stream)
+            finally:
+                chaos.uninstall()
+            kind, err, last, stream = outcome
+            if last is not None:
+                # Prove the last committed round restores bit-identically
+                # (kill is idempotent if a kill-process fault already ran).
+                expected = _image_state(last)
+                world.phos.kill(world.process)
+                restored = yield from world.phos.restore(
+                    last, gpu_indices=[0], concurrent=True,
+                )
+                new_process, _frontend, rsession = restored
+                if rsession is not None:
+                    yield rsession.done
+                got = _gpu_snapshot(new_process)
+                return kind, err, stream, injector, expected == got
+            return kind, err, stream, injector, True
+
+        kind, err, stream, injector, identical = eng.run_process(driver())
+        eng.run()
+
+        cell.injected = len(injector.injected)
+        errors = _leak_errors(world, observer)
+        catalog = world.phos.medium.images
+        committed = catalog.committed_images()
+        chain = _chain_order(committed)
+        chain_ids = [img.id for img in chain]
+        if kind == "aborted":
+            cell.outcome = "aborted"
+            errors += _abort_errors(world, _last_protocol_image(world,
+                                                               protocol))
+            if not injector.injected:
+                errors.append(f"run aborted with no injected fault: {err}")
+        else:
+            truncated = (kind == "prefix-dead"
+                         or stream.error is not None
+                         or stream.drain_error is not None)
+            if truncated:
+                cell.outcome = "prefix"
+            elif injector.injected:
+                cell.outcome = "committed"
+            else:
+                cell.outcome = "no-trip"
+            if expect_commit and truncated:
+                errors.append("retryable fault truncated the stream: "
+                              f"{err or stream.error or stream.drain_error}")
+            if (not expect_commit and injector.injected and not truncated
+                    and stream.rounds_committed >= 3):
+                errors.append("fault injected but the stream completed "
+                              "untruncated")
+            if len(chain) != len(committed):
+                errors.append("committed images do not form a single "
+                              "parent chain")
+            for img in chain:
+                if not img.finalized:
+                    errors.append(f"round image {img.name!r} not finalized")
+            if stream is not None:
+                missing = [img.name for img in stream.images
+                           if not catalog.is_committed(img)]
+                if missing:
+                    errors.append("stream round(s) missing from the DRAM "
+                                  f"catalog: {missing}")
+            if catalog.staged_images():
+                errors.append("DRAM catalog left staged image(s)")
+            if not identical:
+                errors.append("restored state differs from the last "
+                              "committed round")
+            for frontend in world.phos.frontends.values():
+                if frontend.ckpt_session is not None:
+                    errors.append("frontend still holds a checkpoint session")
+        # Write-behind audit (both outcomes): no tier may keep a staged
+        # (partial) replica, and each tier's committed replicas must be
+        # a strict prefix of the stream's chain.
+        for tier in tiers[1:]:
+            staged = tier.images.staged_images()
+            if staged:
+                errors.append(f"tier {tier.name!r} left {len(staged)} "
+                              "staged replica(s)")
+            got_ids = {im.id for im in tier.images.committed_images()}
+            if got_ids != set(chain_ids[:len(got_ids)]):
+                errors.append(f"tier {tier.name!r} committed a non-prefix "
+                              "replica set")
+        cell.ok = not errors
+        cell.detail = "; ".join(errors)
+
+
 # ---------------------------------------------------------------------------
 # The sweep.
 # ---------------------------------------------------------------------------
@@ -415,7 +574,13 @@ def sweep(seed: int = 1, protocols=None,
     rest_names = list(restore_protocols or registry.names("restore"))
 
     for name in ckpt_names:
-        for phase in CHECKPOINT_FAULT_PHASES:
+        # Streaming protocols have a prefix-atomic failure contract —
+        # route them to the dedicated cell driver.
+        streaming = getattr(registry.get(name, "checkpoint"),
+                            "streaming", False)
+        runner = _run_continuous_cell if streaming else _run_checkpoint_cell
+        phases = STREAM_FAULT_PHASES if streaming else CHECKPOINT_FAULT_PHASES
+        for phase in phases:
             for fault_kind in chaos.PHASE_KINDS:
                 cell = CellResult(
                     kind="checkpoint", protocol=name,
@@ -425,7 +590,25 @@ def sweep(seed: int = 1, protocols=None,
                     kind=fault_kind, protocol=name, phase=phase,
                 ),), seed=seed)
                 _run_cell_guarded(
-                    _run_checkpoint_cell, name, plan, cell,
+                    runner, name, plan, cell,
+                    expect_commit=False,
+                )
+                result.cells.append(cell)
+        if streaming:
+            # Crash-mid-drain: kill the write-behind drainer between
+            # tiers; the DRAM prefix must survive and the partially
+            # drained tier's replica must be revoked.
+            for phase in DRAIN_FAULT_PHASES:
+                cell = CellResult(
+                    kind="checkpoint", protocol=name,
+                    fault=f"crash-checkpointer@{phase}",
+                )
+                plan = FaultPlan(faults=(FaultSpec(
+                    kind="crash-checkpointer", protocol=DRAIN_PROTOCOL,
+                    phase=phase,
+                ),), seed=seed)
+                _run_cell_guarded(
+                    _run_continuous_cell, name, plan, cell,
                     expect_commit=False,
                 )
                 result.cells.append(cell)
@@ -433,7 +616,7 @@ def sweep(seed: int = 1, protocols=None,
         cell = CellResult(kind="checkpoint", protocol=name,
                           fault=f"dma-error~s{seed}")
         plan = FaultPlan.sample(seed, kinds=("dma-error",))
-        _run_cell_guarded(_run_checkpoint_cell, name, plan, cell,
+        _run_cell_guarded(runner, name, plan, cell,
                           expect_commit=True)
         result.cells.append(cell)
 

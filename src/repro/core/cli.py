@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="take a chain-root checkpoint first, run --steps "
                         "more iterations, then measure an incremental "
                         "(delta) checkpoint chained onto it")
+    p.add_argument("--continuous", action="store_true",
+                   help="stream a chain of incremental checkpoints with "
+                        "asynchronous tiered write-behind (DRAM -> SSD -> "
+                        "remote) instead of one checkpoint")
+    p.add_argument("--rounds", type=int, default=3,
+                   help="rounds for --continuous (root + deltas)")
+    p.add_argument("--interval", type=float, default=0.0,
+                   help="virtual seconds between --continuous rounds")
     p.add_argument("--obs", action="store_true",
                    help="print the observability report (phases, DMA, counters)")
     p.add_argument("--obs-json", metavar="FILE",
@@ -226,7 +234,12 @@ def cmd_checkpoint(args) -> int:
     process, workload = provision(engine, machine, spec)
     phos.attach(process)
 
-    mode = "incremental" if args.incremental else args.mode
+    if args.continuous:
+        mode = "continuous"
+    elif args.incremental:
+        mode = "incremental"
+    else:
+        mode = args.mode
 
     def driver(engine):
         yield from workload.setup()
@@ -235,13 +248,18 @@ def cmd_checkpoint(args) -> int:
         yield from workload.run(args.steps)
         baseline = engine.now - t0
         parent = None
-        if args.incremental:
+        if args.incremental and not args.continuous:
             # Chain root first; the measured checkpoint is the delta.
             parent, _ = yield phos.checkpoint(
                 process, mode="incremental", name="chain-root"
             )
             yield from workload.run(args.steps)
-        if parent is not None:
+        if args.continuous:
+            # The stream takes its own chain root in round 0.
+            handle = phos.checkpoint(process, mode=mode,
+                                     rounds=args.rounds,
+                                     interval=args.interval)
+        elif parent is not None:
             handle = phos.checkpoint(process, mode=mode, parent=parent)
         else:
             handle = phos.checkpoint(process, mode=mode)
@@ -260,7 +278,14 @@ def cmd_checkpoint(args) -> int:
     print(f"app={args.app} mode={mode}")
     print(f"  iteration time     : {units.fmt_seconds(iter_s)}")
     print(f"  application stall  : {units.fmt_seconds(stall)}")
-    print(checkpoint_report(image, session, phos.tracer))
+    if mode == "continuous":
+        # ``session`` is the stream summary, not a copy session.
+        from repro.core.report import stream_report
+
+        print(checkpoint_report(image, None, phos.tracer))
+        print(stream_report(session))
+    else:
+        print(checkpoint_report(image, session, phos.tracer))
     if observer is not None:
         from repro import obs
 

@@ -55,18 +55,40 @@ def _move_retried(engine: Engine, retry, site: str, *args, **kwargs):
     return result
 
 
+def _dirty_scan(engine: Engine, gpu: Gpu, buf: Buffer):
+    """Generator: charge the on-device hash scan of one buffer.
+
+    A dirty-extent ship is validated by hashing the buffer's chunks on
+    the GPU at HBM bandwidth (orders of magnitude faster than moving
+    the bytes over PCIe), mirroring the soft-dirty page scan on the
+    CPU side.
+    """
+    scan_s = buf.size / gpu.spec.hbm_bw
+    if scan_s > 0:
+        yield engine.timeout(scan_s)
+    obs.counter("storage/scan-bytes", gpu=gpu.index).inc(buf.size)
+
+
 def copy_gpu_buffers(engine: Engine, session: CheckpointSession, gpu: Gpu,
                      medium: Medium, prioritized: bool = True,
                      bandwidth_scale: float = 1.0,
                      per_buffer_overhead: float = 0.0,
                      chunk_bytes: Optional[int] = None,
                      retry=None,
+                     sizer=None,
                      tracer: Optional[Tracer] = None):
     """Generator: move one GPU's planned buffers into the image.
 
     Shadowed buffers jump the queue: copying them out releases their
     shadows' CoW pool quota, which keeps the small on-device pool from
     blocking concurrent writers (§4.2).
+
+    ``sizer`` is the dirty-scaled transfer hook: ``sizer(gpu_index,
+    buf)`` returns the payload bytes a delta checkpoint actually ships
+    for this buffer (its chunk-aligned dirty extent vs the parent), or
+    None to move the full buffer.  A sized move charges an on-device
+    hash scan (HBM bandwidth) plus the extent's PCIe move instead of
+    the whole buffer.
     """
     span = tracer.begin("gpu-copy", gpu=gpu.index) if tracer else None
     with obs.span("gpu-copy", gpu=gpu.index):
@@ -109,12 +131,26 @@ def copy_gpu_buffers(engine: Engine, session: CheckpointSession, gpu: Gpu,
                     yield engine.timeout(per_buffer_overhead)
                 from_shadow = buf.id in session.shadows
                 copy_start = engine.now
-                yield from _move_retried(
-                    engine, retry, "gpu-copy",
-                    gpu, medium, buf.size, Direction.D2H, bandwidth,
-                    chunked=prioritized, chunk_bytes=chunk_bytes,
-                    held=held,
-                )
+                move_bytes = None if sizer is None else sizer(gpu.index, buf)
+                if move_bytes is None:
+                    move_bytes = buf.size
+                    yield from _move_retried(
+                        engine, retry, "gpu-copy",
+                        gpu, medium, buf.size, Direction.D2H, bandwidth,
+                        chunked=prioritized, chunk_bytes=chunk_bytes,
+                        held=held,
+                    )
+                else:
+                    yield from _dirty_scan(engine, gpu, buf)
+                    if move_bytes > 0:
+                        yield from _move_retried(
+                            engine, retry, "gpu-copy",
+                            gpu, medium, move_bytes, Direction.D2H, bandwidth,
+                            chunked=prioritized, chunk_bytes=chunk_bytes,
+                            held=held,
+                        )
+                    obs.counter("storage/dirty-bytes-shipped",
+                                gpu=gpu.index).inc(move_bytes)
                 if from_shadow:
                     # A shadow drain frees CoW pool quota (§4.2) — worth its
                     # own phase in the breakdown.
@@ -127,7 +163,7 @@ def copy_gpu_buffers(engine: Engine, session: CheckpointSession, gpu: Gpu,
                     data=source.snapshot(), tag=buf.tag,
                 )
                 session.image.add_gpu_buffer(gpu.index, record)
-                session.stats.bytes_copied += buf.size
+                session.stats.bytes_copied += move_bytes
                 shadow = session.shadows.pop(buf.id, None)
                 if shadow is not None:
                     gpu.memory.free(shadow)
@@ -154,6 +190,7 @@ def recopy_gpu_dirty(engine: Engine, session: CheckpointSession, gpu: Gpu,
                      chunk_bytes: Optional[int] = None,
                      dirty_ids: Optional[set[int]] = None,
                      retry=None,
+                     sizer=None,
                      tracer: Optional[Tracer] = None):
     """Generator: overwrite the image with dirty buffers' fresh content.
 
@@ -174,18 +211,32 @@ def recopy_gpu_dirty(engine: Engine, session: CheckpointSession, gpu: Gpu,
             buf = by_id.get(buf_id)
             if buf is None or buf_id in session.freed_ids.get(gpu.index, ()):
                 continue  # unknown or freed: it has no t2 state to capture
-            yield from _move_retried(
-                engine, retry, "gpu-recopy",
-                gpu, medium, buf.size, Direction.D2H,
-                gpu.spec.pcie_bw * bandwidth_scale,
-                chunked=prioritized, chunk_bytes=chunk_bytes,
-            )
+            move_bytes = None if sizer is None else sizer(gpu.index, buf)
+            if move_bytes is None:
+                move_bytes = buf.size
+                yield from _move_retried(
+                    engine, retry, "gpu-recopy",
+                    gpu, medium, buf.size, Direction.D2H,
+                    gpu.spec.pcie_bw * bandwidth_scale,
+                    chunked=prioritized, chunk_bytes=chunk_bytes,
+                )
+            else:
+                yield from _dirty_scan(engine, gpu, buf)
+                if move_bytes > 0:
+                    yield from _move_retried(
+                        engine, retry, "gpu-recopy",
+                        gpu, medium, move_bytes, Direction.D2H,
+                        gpu.spec.pcie_bw * bandwidth_scale,
+                        chunked=prioritized, chunk_bytes=chunk_bytes,
+                    )
+                obs.counter("storage/dirty-bytes-shipped",
+                            gpu=gpu.index).inc(move_bytes)
             record = GpuBufferRecord(
                 buffer_id=buf.id, addr=buf.addr, size=buf.size,
                 data=buf.snapshot(), tag=buf.tag,
             )
             session.image.add_gpu_buffer(gpu.index, record)
-            session.stats.bytes_recopied += buf.size
+            session.stats.bytes_recopied += move_bytes
     if span is not None:
         tracer.end(span)
 
@@ -248,7 +299,7 @@ def checkpoint_all(engine: Engine, session: CheckpointSession, process,
                    bandwidth_scale: float = 1.0,
                    chunk_bytes: Optional[int] = None,
                    retry=None, workers: Optional[list] = None,
-                   cpu_dump=None,
+                   cpu_dump=None, sizer=None,
                    tracer: Optional[Tracer] = None):
     """Generator: the full concurrent copy phase (CPU + all GPUs).
 
@@ -273,7 +324,7 @@ def checkpoint_all(engine: Engine, session: CheckpointSession, process,
         yield from copy_gpu_buffers(
             engine, session, gpu, medium, prioritized=prioritized,
             bandwidth_scale=bandwidth_scale, chunk_bytes=chunk_bytes,
-            retry=retry, tracer=tracer,
+            retry=retry, sizer=sizer, tracer=tracer,
         )
 
     def track(procs):

@@ -37,6 +37,7 @@ from repro.gpu.cost_model import on_device_copy_time
 from repro.gpu.interpreter import AccessKind
 from repro.gpu.memory import Buffer
 from repro.sim.engine import Engine
+from repro.storage.hashcache import BufferHashCache
 
 #: Frontend-to-backend call overhead when they live in separate
 #: processes (IPC mode, required for the context pool — §3).
@@ -77,6 +78,9 @@ class PhosFrontend:
         #: signal behind §5's coordinated copy ordering ("copying
         #: buffers that are unlikely to be written first").
         self.write_history: dict[int, tuple[float, float]] = {}
+        #: Chunk-hash cache + per-buffer dirty ranges for the delta
+        #: data plane, fed from the same write tracking as above.
+        self.hash_cache = BufferHashCache()
 
     # -- session lifecycle ---------------------------------------------------------
     def begin_checkpoint(self, session: CheckpointSession,
@@ -141,6 +145,7 @@ class PhosFrontend:
     def on_free(self, gpu_index: int, buf: Buffer) -> bool:
         """Returns True when the physical free is deferred (PHOS owns it)."""
         self.tables[gpu_index].unregister(buf)
+        self.hash_cache.forget(buf.id)
         session = self.ckpt_session
         if session is not None and session.covers_gpu(gpu_index):
             if session.state_of(buf) is not BufState.NEW:
@@ -168,6 +173,9 @@ class PhosFrontend:
                     prev = self.write_history.get(buf.id)
                     last = prev[1] if prev is not None else float("nan")
                     self.write_history[buf.id] = (last, now)
+                    # Speculated writes are buffer-granular: the whole
+                    # materialized payload counts as dirty.
+                    self.hash_cache.note_write(buf.id, 0, buf.data_size)
 
             completions.append(heat_completion)
         if self.log_accesses:
@@ -230,6 +238,10 @@ class PhosFrontend:
                                 prev = self.write_history.get(buf.id)
                                 last = prev[1] if prev else float("nan")
                                 self.write_history[buf.id] = (last, now)
+                                # Word-granular dirty note (8 bytes
+                                # covers every store width in the ISA).
+                                off = v.addr - buf.addr
+                                self.hash_cache.note_write(buf.id, off, off + 8)
                 for fn in _completions:
                     fn(call_, result, violations)
 

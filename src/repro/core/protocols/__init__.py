@@ -20,6 +20,9 @@ Every protocol is a phase-structured subclass of
 * ``incremental`` — :mod:`repro.core.protocols.incremental`: delta
   checkpoints against a parent image (chunk-level dedup, cost scales
   with dirty bytes);
+* ``continuous`` — :mod:`repro.core.protocols.continuous`: a streamed
+  chain of incremental checkpoints committed to the DRAM tier per
+  round, with asynchronous tiered write-behind (DRAM → SSD → remote);
 * ``concurrent`` (restore) — :mod:`repro.core.protocols.restore`:
   concurrent on-demand restore (§6) with rollback-to-stop-world on
   mis-speculation.
@@ -36,6 +39,7 @@ from repro.core.protocols.base import (
     ProtocolConfig,
     ProtocolContext,
 )
+from repro.core.protocols.continuous import ContinuousCheckpoint, StreamSummary
 from repro.core.protocols.cow import CowCheckpoint, checkpoint_cow
 from repro.core.protocols.hw_dirty import HwDirtyCheckpoint, checkpoint_recopy_hw
 from repro.core.protocols.incremental import (
@@ -57,6 +61,8 @@ __all__ = [
     "ProtocolConfig",
     "ProtocolContext",
     "registry",
+    "ContinuousCheckpoint",
+    "StreamSummary",
     "CowCheckpoint",
     "IncrementalCheckpoint",
     "RecopyCheckpoint",

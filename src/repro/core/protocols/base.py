@@ -98,6 +98,22 @@ class ProtocolConfig:
     #: at 32x (see :mod:`repro.core.retry`).  Only spent after a fault,
     #: so fault-free runs are virtual-time identical at any setting.
     retry_backoff: float = 1 * units.MSEC
+    #: Content-address chunk of the delta image format (None = the
+    #: :data:`repro.storage.delta.CHUNK_BYTES` default).  Power of two;
+    #: distinct from ``chunk_bytes``, which is the DMA preemption chunk.
+    content_chunk_bytes: Optional[int] = None
+    #: ``continuous`` protocol: virtual seconds between round commits.
+    interval: float = 0.0
+    #: ``continuous`` protocol: incremental rounds to stream.
+    rounds: int = 2
+    #: ``continuous`` protocol: write-behind tier stack override (a
+    #: sequence of :class:`~repro.storage.media.Medium`; index 0 must be
+    #: the DRAM-tier medium checkpoints commit to).  None = the default
+    #: DRAM → SSD → remote stack.
+    drain_tiers: Optional[Any] = None
+    #: ``continuous`` protocol: write-behind queue depth before
+    #: enqueueing a committed round backpressures the next one.
+    drain_depth: int = 2
 
     def __post_init__(self) -> None:
         if self.precopy_rounds < 0:
@@ -123,6 +139,22 @@ class ProtocolConfig:
         if self.retry_backoff <= 0:
             raise CheckpointError(
                 f"retry_backoff must be positive, got {self.retry_backoff}"
+            )
+        ccb = self.content_chunk_bytes
+        if ccb is not None and (ccb <= 0 or ccb & (ccb - 1)):
+            raise CheckpointError(
+                f"content_chunk_bytes must be a positive power of two, "
+                f"got {ccb}"
+            )
+        if self.interval < 0:
+            raise CheckpointError(
+                f"interval must be >= 0, got {self.interval}"
+            )
+        if self.rounds < 1:
+            raise CheckpointError(f"rounds must be >= 1, got {self.rounds}")
+        if self.drain_depth < 1:
+            raise CheckpointError(
+                f"drain_depth must be >= 1, got {self.drain_depth}"
             )
 
     @classmethod

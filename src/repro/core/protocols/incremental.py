@@ -34,7 +34,13 @@ from repro.core.session import BufState, CheckpointSession
 from repro.cpu.criu import CriuEngine
 from repro.sim.engine import Engine
 from repro.sim.trace import Tracer
-from repro.storage.delta import DeltaImage, materialize, seal_delta
+from repro.storage.delta import (
+    CHUNK_BYTES,
+    DeltaImage,
+    dirty_chunk_span_bytes,
+    materialize,
+    seal_delta,
+)
 from repro.storage.image import CheckpointImage
 from repro.storage.media import Medium
 
@@ -47,8 +53,8 @@ class IncrementalCheckpoint(Protocol):
     kind = "checkpoint"
     aliases = ("delta",)
     supports = frozenset({
-        "coordinated", "prioritized", "chunk_bytes", "keep_stopped",
-        "bandwidth_scale", "parent",
+        "coordinated", "prioritized", "chunk_bytes", "content_chunk_bytes",
+        "keep_stopped", "bandwidth_scale", "parent",
     }) | RETRY_SUPPORTS
     needs_frontend = True
     summary = ("recopy-style concurrent copy that skips buffers unwritten "
@@ -65,6 +71,7 @@ class IncrementalCheckpoint(Protocol):
             parent_id=parent.id if parent is not None else None,
             parent_name=parent.name if parent is not None else "",
             parent_ref=parent,
+            chunk_bytes=self.config.content_chunk_bytes or CHUNK_BYTES,
         )
 
     def phase_admit(self, ctx: ProtocolContext):
@@ -92,21 +99,61 @@ class IncrementalCheckpoint(Protocol):
             ctx.extras["reused"] = _mark_unchanged(
                 ctx.frontend, ctx.session, ctx.extras["parent_full"]
             )
+        ctx.extras["sizer"] = self._dirty_sizer(ctx)
         resume([ctx.process])
+
+    def _dirty_sizer(self, ctx: ProtocolContext):
+        """The dirty-scaled transfer hook for this run, or None.
+
+        With a parent whose epoch the hash cache still tracks, a
+        captured buffer ships only the chunk-aligned spans of its
+        pending dirty ranges (validated by an on-device hash scan at
+        HBM bandwidth — see ``copy_gpu_buffers``); any layout change or
+        epoch mismatch falls back to the full-buffer move.  Chain roots
+        (no parent) always ship everything.
+        """
+        parent = self.config.parent
+        parent_full = ctx.extras.get("parent_full")
+        cache = getattr(ctx.frontend, "hash_cache", None)
+        if parent is None or parent_full is None or cache is None:
+            return None
+        cb = ctx.image.chunk_bytes
+        parent_id = parent.id
+
+        def sizer(gpu_index, buf):
+            prec = parent_full.gpu_buffers.get(gpu_index, {}).get(buf.id)
+            if (prec is None or prec.addr != buf.addr
+                    or prec.size != buf.size
+                    or len(prec.data) != buf.data_size):
+                return None
+            pending = cache.dirty_extent(
+                buf.id, parent_id=parent_id, addr=buf.addr, size=buf.size,
+                data_len=buf.data_size,
+            )
+            if pending is None:
+                return None
+            return min(buf.size,
+                       dirty_chunk_span_bytes(pending, buf.data_size, cb))
+
+        return sizer
 
     def phase_transfer(self, ctx: ProtocolContext):
         engine, session, process = ctx.engine, ctx.session, ctx.process
         parent_full = ctx.extras.get("parent_full")
+        sizer = ctx.extras.get("sizer")
         cpu_dump = None
         if parent_full is not None:
+            parent_id = self.config.parent.id
+
             def cpu_dump(host, image, medium):
                 return ctx.criu.dump_delta(host, image, medium,
-                                           parent_full.cpu_pages)
+                                           parent_full.cpu_pages,
+                                           parent_id=parent_id)
         try:
             with obs.span("copy"):
                 yield from ctx.planner.copy_all(
                     session, process, ctx.medium, ctx.criu,
-                    cpu_dump=cpu_dump,
+                    cpu_dump=cpu_dump, sizer=sizer,
                 )
             # Re-quiesce (writes during the drain still tracked; writes
             # to a skipped buffer re-dirty it and force its recapture).
@@ -125,6 +172,7 @@ class IncrementalCheckpoint(Protocol):
                 ctx.spawn_worker(
                     ctx.planner.recopy_dirty(
                         session, process.machine.gpu(gpu_index), ctx.medium,
+                        sizer=sizer,
                     ),
                     name=f"recopy-gpu{gpu_index}",
                 )
@@ -143,7 +191,8 @@ class IncrementalCheckpoint(Protocol):
             for gpu_index in session.plan
         }
         seal_delta(ctx.image, ctx.extras.get("parent_full"),
-                   reused=ctx.extras.get("reused"), freed=freed)
+                   reused=ctx.extras.get("reused"), freed=freed,
+                   cache=getattr(ctx.frontend, "hash_cache", None))
         ctx.image.finalize(ctx.t_image)
         if not self.config.keep_stopped:
             resume([ctx.process])

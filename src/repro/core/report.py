@@ -70,6 +70,25 @@ def checkpoint_report(image: CheckpointImage,
     return "\n".join(lines)
 
 
+def stream_report(stream) -> str:
+    """A summary of one ``continuous`` checkpoint stream."""
+    lines = [f"stream report: {stream.rounds_committed} round(s) committed"]
+    lines.append(f"  tier stack         : {' -> '.join(stream.tiers)}")
+    total = sum(img.stored_bytes() for img in stream.images)
+    lines.append(f"  stored (all rounds): {units.fmt_bytes(total)}")
+    stats = stream.drain_stats
+    if stats is not None:
+        for tier, nbytes in stats.bytes_per_tier.items():
+            lines.append(f"  drained -> {tier:<9}: {units.fmt_bytes(nbytes)}")
+        if stats.backpressure_waits:
+            lines.append(f"  backpressure waits : {stats.backpressure_waits}")
+    if stream.error is not None:
+        lines.append(f"  stream ended early : {stream.error}")
+    if stream.drain_error is not None:
+        lines.append(f"  drain fault        : {stream.drain_error}")
+    return "\n".join(lines)
+
+
 def restore_report(session: RestoreSession, resume_time: float,
                    total_time: Optional[float] = None) -> str:
     """A multi-line summary of one concurrent restore."""

@@ -71,11 +71,13 @@ class TransferPlanner:
         return None
 
     # -- checkpoint side -----------------------------------------------------------
-    def copy_all(self, session, process, medium, criu, cpu_dump=None):
+    def copy_all(self, session, process, medium, criu, cpu_dump=None,
+                 sizer=None):
         """Generator: the full concurrent copy phase (CPU + all GPUs).
 
         ``cpu_dump`` overrides the CPU dump generator (the incremental
-        protocol's parent-aware delta dump).
+        protocol's parent-aware delta dump); ``sizer`` is the
+        dirty-scaled transfer hook (see ``copy_gpu_buffers``).
         """
         return checkpoint_all(
             self.engine, session, process, medium, criu,
@@ -84,7 +86,7 @@ class TransferPlanner:
             bandwidth_scale=self.config.bandwidth_scale,
             chunk_bytes=self.config.chunk_bytes,
             retry=self.retry, workers=self.workers,
-            cpu_dump=cpu_dump,
+            cpu_dump=cpu_dump, sizer=sizer,
             tracer=self.tracer,
         )
 
@@ -100,7 +102,7 @@ class TransferPlanner:
             tracer=self.tracer,
         )
 
-    def recopy_dirty(self, session, gpu, medium, dirty_ids=None):
+    def recopy_dirty(self, session, gpu, medium, dirty_ids=None, sizer=None):
         """Generator: overwrite the image with one GPU's dirty delta."""
         return recopy_gpu_dirty(
             self.engine, session, gpu, medium,
@@ -108,7 +110,7 @@ class TransferPlanner:
             bandwidth_scale=self.config.bandwidth_scale,
             chunk_bytes=self.config.chunk_bytes,
             dirty_ids=dirty_ids,
-            retry=self.retry,
+            retry=self.retry, sizer=sizer,
             tracer=self.tracer,
         )
 

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
+
+import numpy as np
 
 from repro import obs
 from repro.errors import TornImageError
@@ -44,19 +46,70 @@ CHUNK_BYTES = 256
 DIGEST_SIZE = 16
 
 
-def hash_chunk(chunk: bytes) -> bytes:
-    """The content address of one chunk."""
+def hash_chunk(chunk) -> bytes:
+    """The content address of one chunk (bytes or memoryview)."""
     return hashlib.blake2b(chunk, digest_size=DIGEST_SIZE).digest()
 
 
-def chunk_hashes(data: bytes, chunk_bytes: int = CHUNK_BYTES) -> list[bytes]:
-    """Content addresses of every chunk of ``data``, in order."""
-    return [hash_chunk(data[off : off + chunk_bytes])
-            for off in range(0, len(data), chunk_bytes)]
+def chunk_hashes(data, chunk_bytes: int = CHUNK_BYTES) -> list[bytes]:
+    """Content addresses of every chunk of ``data``, in order.
+
+    Slices through a memoryview so the hasher reads the payload in
+    place — no per-chunk ``bytes`` copies.
+    """
+    view = memoryview(data)
+    blake2b = hashlib.blake2b
+    ds = DIGEST_SIZE
+    return [blake2b(view[off : off + chunk_bytes], digest_size=ds).digest()
+            for off in range(0, len(view), chunk_bytes)]
 
 
 def chunk_count(data_len: int, chunk_bytes: int) -> int:
     return (data_len + chunk_bytes - 1) // chunk_bytes
+
+
+def dirty_chunk_indices(ranges: Iterable[tuple[int, int]], data_len: int,
+                        chunk_bytes: int) -> np.ndarray:
+    """Sorted unique chunk indices overlapped by half-open byte ranges.
+
+    The range→chunk math is vectorized: each ``[start, end)`` pair
+    becomes a ``[start // cb, (end - 1) // cb]`` chunk interval, the
+    intervals are expanded with ``np.repeat``/``np.arange`` and merged
+    with ``np.unique``.  Ranges are clipped to ``[0, data_len)``; a
+    range entirely past the materialized payload touches no chunk.
+    """
+    if data_len <= 0:
+        return np.empty(0, dtype=np.int64)
+    pairs = [(s, e) for s, e in ranges if e > 0 and s < data_len and e > s]
+    if not pairs:
+        return np.empty(0, dtype=np.int64)
+    arr = np.asarray(pairs, dtype=np.int64)
+    lo = np.maximum(arr[:, 0], 0) // chunk_bytes
+    hi = (np.minimum(arr[:, 1], data_len) - 1) // chunk_bytes
+    counts = hi - lo + 1
+    total = int(counts.sum())
+    starts = np.repeat(lo, counts)
+    bases = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.unique(starts + (np.arange(total, dtype=np.int64) - bases))
+
+
+def dirty_chunk_span_bytes(ranges: Iterable[tuple[int, int]], data_len: int,
+                           chunk_bytes: int) -> int:
+    """Total bytes of the chunk-aligned spans overlapping ``ranges``.
+
+    This is the payload a dirty-scaled transfer ships: every chunk any
+    dirty byte lands in, rounded to chunk boundaries (the final chunk
+    is clipped to the payload length).
+    """
+    idx = dirty_chunk_indices(ranges, data_len, chunk_bytes)
+    if idx.size == 0:
+        return 0
+    nbytes = int(idx.size) * chunk_bytes
+    last = int(idx[-1])
+    tail = data_len - last * chunk_bytes
+    if tail < chunk_bytes:
+        nbytes -= chunk_bytes - tail
+    return nbytes
 
 
 @dataclass
@@ -109,6 +162,48 @@ class DeltaImage(CheckpointImage):
     sealed: bool = False
     chunks_written: int = 0
     chunks_reused: int = 0
+    #: Running aggregates, maintained by :meth:`add_delta_record` /
+    #: :meth:`add_cpu_page` so no size query ever re-walks the tables.
+    stored_chunk_bytes: int = 0
+    stored_page_bytes: int = 0
+    reused_buffers: int = 0
+    gpu_logical: dict[int, int] = field(default_factory=dict)
+
+    # -- record insertion ----------------------------------------------------
+    def add_delta_record(self, gpu_index: int, rec: "DeltaBufferRecord") -> None:
+        """Insert one sealed buffer record, updating running aggregates.
+
+        The record must be complete (hash table + local chunks filled)
+        before insertion; re-inserting a buffer id is a sealing bug and
+        raises.
+        """
+        table = self.delta_gpu.setdefault(gpu_index, {})
+        if rec.buffer_id in table:
+            raise TornImageError(
+                f"delta image {self.name!r}: buffer {rec.buffer_id} "
+                f"recorded twice on gpu {gpu_index}"
+            )
+        table[rec.buffer_id] = rec
+        n_local = len(rec.chunks)
+        self.stored_chunk_bytes += rec.stored_bytes()
+        self.chunks_written += n_local
+        self.chunks_reused += len(rec.hashes) - n_local
+        if not rec.chunks:
+            self.reused_buffers += 1
+        self.gpu_logical[gpu_index] = (
+            self.gpu_logical.get(gpu_index, 0) + rec.size
+        )
+
+    def add_cpu_page(self, index: int, data: bytes) -> None:
+        prev = self.cpu_pages.get(index)
+        super().add_cpu_page(index, data)
+        self.stored_page_bytes += len(data) - (0 if prev is None else len(prev))
+
+    def drop_cpu_page(self, index: int) -> None:
+        """Remove one stored page (it matched the parent's content)."""
+        data = self.cpu_pages.pop(index, None)
+        if data is not None:
+            self.stored_page_bytes -= len(data)
 
     # -- sizes ---------------------------------------------------------------
     def gpu_bytes(self, gpu_index: Optional[int] = None) -> int:
@@ -116,10 +211,8 @@ class DeltaImage(CheckpointImage):
         if not self.sealed:
             return super().gpu_bytes(gpu_index)
         if gpu_index is not None:
-            return sum(r.size
-                       for r in self.delta_gpu.get(gpu_index, {}).values())
-        return sum(r.size for per_gpu in self.delta_gpu.values()
-                   for r in per_gpu.values())
+            return self.gpu_logical.get(gpu_index, 0)
+        return sum(self.gpu_logical.values())
 
     def cpu_bytes(self) -> int:
         """Logical bytes of the *materialized* CPU state."""
@@ -139,16 +232,14 @@ class DeltaImage(CheckpointImage):
 
     def stored_bytes(self) -> int:
         """Bytes this delta actually stores (its own chunks + pages)."""
-        own_chunks = sum(r.stored_bytes() for per_gpu in self.delta_gpu.values()
-                        for r in per_gpu.values())
-        own_pages = sum(len(p) for p in self.cpu_pages.values())
-        return own_chunks + own_pages
+        return self.stored_chunk_bytes + self.stored_page_bytes
 
 
 def seal_delta(image: DeltaImage,
                parent_full: Optional[CheckpointImage],
                reused: Optional[dict[int, set[int]]] = None,
-               freed: Optional[dict[int, set[int]]] = None) -> None:
+               freed: Optional[dict[int, set[int]]] = None,
+               cache=None) -> None:
     """Convert an image's captured state into its delta representation.
 
     ``parent_full`` is the parent's *materialized* state (None for a
@@ -157,6 +248,18 @@ def seal_delta(image: DeltaImage,
     unwritten since the parent — they get a pure-reference record (full
     hash table, zero local chunks).  ``freed`` buffers are dropped:
     they do not exist at the delta's checkpoint time.
+
+    ``cache`` is an optional
+    :class:`~repro.storage.hashcache.BufferHashCache`.  When a buffer's
+    cache entry names this image's parent and its layout is unchanged,
+    the parent's chunk hashes come straight from the cache and only the
+    chunks overlapping the entry's pending dirty ranges are rehashed —
+    the host-side sealing cost then scales with *dirty* bytes, not
+    state size.  A valid entry can never change the sealed bytes: clean
+    chunks are byte-identical to the parent by construction (dirty
+    tracking over-approximates writes), so the cached hash *is* the
+    recomputed hash.  ``REPRO_NO_HASHCACHE=1`` disables consumption
+    (every chunk is rehashed) without disabling bookkeeping.
     """
     if image.sealed:
         raise TornImageError(f"delta image {image.name!r} sealed twice")
@@ -164,6 +267,8 @@ def seal_delta(image: DeltaImage,
     reused = reused or {}
     freed = freed or {}
     parent_hash_cache: dict[tuple[int, int], list[bytes]] = {}
+    use_cache = cache is not None and cache.enabled and image.parent_id is not None
+    n_hit = n_miss = rehash_bytes = 0
 
     def parent_record(gpu: int, buf_id: int):
         if parent_full is None:
@@ -171,39 +276,70 @@ def seal_delta(image: DeltaImage,
         return parent_full.gpu_buffers.get(gpu, {}).get(buf_id)
 
     def parent_hashes(gpu: int, buf_id: int, rec) -> list[bytes]:
+        nonlocal rehash_bytes
         key = (gpu, buf_id)
         if key not in parent_hash_cache:
             parent_hash_cache[key] = chunk_hashes(rec.data, cb)
+            rehash_bytes += len(rec.data)
         return parent_hash_cache[key]
+
+    def cache_entry(buf_id: int, addr: int, size: int, data_len: int):
+        if not use_cache:
+            return None
+        return cache.valid_entry(buf_id, parent_id=image.parent_id,
+                                 addr=addr, size=size, data_len=data_len,
+                                 chunk_bytes=cb)
 
     # Captured buffers: diff their payload chunk-by-chunk vs the parent.
     for gpu, records in sorted(image.gpu_buffers.items()):
-        table = image.delta_gpu.setdefault(gpu, {})
         gone = freed.get(gpu, set())
         for buf_id, rec in sorted(records.items()):
             if buf_id in gone:
                 continue
-            hashes = chunk_hashes(rec.data, cb)
+            data_len = len(rec.data)
             prec = parent_record(gpu, buf_id)
+            layout_ok = (prec is not None and prec.addr == rec.addr
+                         and prec.size == rec.size
+                         and len(prec.data) == data_len)
+            entry = cache_entry(buf_id, rec.addr, rec.size, data_len)
             delta_rec = DeltaBufferRecord(
                 buffer_id=rec.buffer_id, addr=rec.addr, size=rec.size,
-                data_len=len(rec.data), tag=rec.tag, hashes=hashes,
+                data_len=data_len, tag=rec.tag,
             )
-            if (prec is not None and prec.addr == rec.addr
-                    and prec.size == rec.size
-                    and len(prec.data) == len(rec.data)):
-                phashes = parent_hashes(gpu, buf_id, prec)
-                for i, h in enumerate(hashes):
-                    if h != phashes[i]:
-                        delta_rec.chunks[i] = rec.data[i * cb : (i + 1) * cb]
-                image.chunks_reused += len(hashes) - len(delta_rec.chunks)
-                image.chunks_written += len(delta_rec.chunks)
+            if entry is not None and layout_ok:
+                # Fast path: parent hashes from the cache; rehash only
+                # the chunks overlapped by writes since the parent.
+                hashes = list(entry.hashes)
+                view = memoryview(rec.data)
+                dirty = dirty_chunk_indices(entry.pending, data_len, cb)
+                for i in map(int, dirty):
+                    piece = view[i * cb : (i + 1) * cb]
+                    h = hash_chunk(piece)
+                    rehash_bytes += len(piece)
+                    if h != hashes[i]:
+                        hashes[i] = h
+                        delta_rec.chunks[i] = bytes(piece)
+                n_hit += len(hashes) - int(dirty.size)
+                n_miss += int(dirty.size)
             else:
-                # New buffer or layout change: every chunk is local.
-                for i in range(len(hashes)):
-                    delta_rec.chunks[i] = rec.data[i * cb : (i + 1) * cb]
-                image.chunks_written += len(delta_rec.chunks)
-            table[buf_id] = delta_rec
+                hashes = chunk_hashes(rec.data, cb)
+                n_miss += len(hashes)
+                rehash_bytes += data_len
+                if layout_ok:
+                    phashes = parent_hashes(gpu, buf_id, prec)
+                    for i, h in enumerate(hashes):
+                        if h != phashes[i]:
+                            delta_rec.chunks[i] = rec.data[i * cb : (i + 1) * cb]
+                else:
+                    # New buffer or layout change: every chunk is local.
+                    for i in range(len(hashes)):
+                        delta_rec.chunks[i] = rec.data[i * cb : (i + 1) * cb]
+            delta_rec.hashes = hashes
+            image.add_delta_record(gpu, delta_rec)
+            if cache is not None:
+                cache.promote(buf_id, image_id=image.id, addr=rec.addr,
+                              size=rec.size, data_len=data_len,
+                              chunk_bytes=cb, hashes=hashes)
 
     # Untouched buffers the protocol never captured: pure references.
     for gpu, ids in sorted(reused.items()):
@@ -218,18 +354,33 @@ def seal_delta(image: DeltaImage,
                     f"delta image {image.name!r} reuses buffer {buf_id} "
                     "which the parent does not hold"
                 )
-            hashes = parent_hashes(gpu, buf_id, prec)
-            table[buf_id] = DeltaBufferRecord(
+            entry = cache_entry(buf_id, prec.addr, prec.size, len(prec.data))
+            if entry is not None and not entry.pending:
+                hashes = list(entry.hashes)
+                n_hit += len(hashes)
+            else:
+                hashes = list(parent_hashes(gpu, buf_id, prec))
+                n_miss += len(hashes)
+            image.add_delta_record(gpu, DeltaBufferRecord(
                 buffer_id=prec.buffer_id, addr=prec.addr, size=prec.size,
-                data_len=len(prec.data), tag=prec.tag, hashes=list(hashes),
-            )
-            image.chunks_reused += len(hashes)
+                data_len=len(prec.data), tag=prec.tag, hashes=hashes,
+            ))
+            if cache is not None:
+                cache.promote(buf_id, image_id=image.id, addr=prec.addr,
+                              size=prec.size, data_len=len(prec.data),
+                              chunk_bytes=cb, hashes=hashes)
+
+    # Freed buffers no longer exist: their cache entries go with them.
+    if cache is not None:
+        for gpu, ids in sorted(freed.items()):
+            for buf_id in ids:
+                cache.forget(buf_id)
 
     # CPU pages: drop the ones whose content the parent already stores.
     if parent_full is not None:
         for index in [i for i, data in image.cpu_pages.items()
                       if parent_full.cpu_pages.get(i) == data]:
-            del image.cpu_pages[index]
+            image.drop_cpu_page(index)
     image.cpu_logical_pages = int(
         image.context_meta.get("cpu_pages", len(image.cpu_pages))
     )
@@ -238,6 +389,9 @@ def seal_delta(image: DeltaImage,
     obs.counter("storage/chunks-written").inc(image.chunks_written)
     obs.counter("storage/chunks-reused").inc(image.chunks_reused)
     obs.counter("storage/delta-bytes").inc(image.stored_bytes())
+    obs.counter("storage/hash-hit").inc(n_hit)
+    obs.counter("storage/hash-miss").inc(n_miss)
+    obs.counter("storage/hash-rehash-bytes").inc(rehash_bytes)
 
 
 def materialize(image: CheckpointImage,

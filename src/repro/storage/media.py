@@ -83,3 +83,17 @@ class RemoteDramMedia(Medium):
             write_bw=units.RDMA_100GBPS, read_bw=units.RDMA_100GBPS,
             latency=5 * units.USEC,
         )
+
+
+def tier_stack(engine: Engine, dram: Medium) -> list[Medium]:
+    """The default write-behind tier stack: DRAM → SSD → remote DRAM.
+
+    ``dram`` is the DRAM-tier medium checkpoints commit to (tier 0);
+    the SSD and remote tiers are freshly built on the same engine so
+    their fluid links contend with nothing but the drainer itself.
+    """
+    return [
+        dram,
+        SsdMedia(engine, name=f"{dram.name}-ssd"),
+        RemoteDramMedia(engine, name=f"{dram.name}-remote"),
+    ]

@@ -294,12 +294,9 @@ def _load_v2(path, metadata: dict, take) -> DeltaImage:
         parent_name=delta_meta.get("parent_name", ""),
         chunk_bytes=chunk_bytes,
         cpu_logical_pages=int(delta_meta.get("cpu_logical_pages", 0)),
-        chunks_written=int(delta_meta.get("chunks_written", 0)),
-        chunks_reused=int(delta_meta.get("chunks_reused", 0)),
     )
     _load_common(image, metadata, take)
     for gpu, per_gpu in delta_meta["gpu"].items():
-        table = image.delta_gpu.setdefault(int(gpu), {})
         for buf_id, rec in per_gpu.items():
             size, data_len = rec["size"], rec["data_len"]
             if size < 0 or data_len < 0 or data_len > size:
@@ -329,11 +326,22 @@ def _load_v2(path, metadata: dict, take) -> DeltaImage:
                         f"{len(chunk)} bytes, expected {want}"
                     )
                 chunks[idx] = chunk
-            table[int(buf_id)] = DeltaBufferRecord(
+            # Routed through add_delta_record so the image's running
+            # aggregates (stored bytes, chunk counts, reused buffers)
+            # are rebuilt from the records themselves.
+            image.add_delta_record(int(gpu), DeltaBufferRecord(
                 buffer_id=int(buf_id), addr=rec["addr"], size=size,
                 data_len=data_len, tag=rec["tag"], hashes=hashes,
                 chunks=chunks,
-            )
+            ))
+    want_written = int(delta_meta.get("chunks_written", image.chunks_written))
+    want_reused = int(delta_meta.get("chunks_reused", image.chunks_reused))
+    if (image.chunks_written, image.chunks_reused) != (want_written, want_reused):
+        raise TornImageError(
+            f"{path}: chunk counts in the container header "
+            f"({want_written} written / {want_reused} reused) do not match "
+            f"its records ({image.chunks_written} / {image.chunks_reused})"
+        )
     image.sealed = True
     image.finalize(metadata["checkpoint_time"])
     return image

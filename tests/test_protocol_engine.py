@@ -41,7 +41,8 @@ from tests.toyapp import ToyApp, image_gpu_state, snapshot_process
 
 GOLDENS = Path(__file__).parent / "goldens"
 
-CHECKPOINT_NAMES = ["cow", "hw-dirty", "incremental", "recopy", "stop-world"]
+CHECKPOINT_NAMES = ["continuous", "cow", "hw-dirty", "incremental",
+                    "recopy", "stop-world"]
 RESTORE_NAMES = ["concurrent", "stop-world"]
 
 
@@ -177,7 +178,9 @@ def test_clean_checkpoint_captures_quiesced_state(mode):
     eng.run()
     assert image.finalized
     assert image_gpu_state(image) == expected
-    if session is not None:
+    if mode == "continuous":
+        assert session.complete  # StreamSummary, not a CheckpointSession
+    elif session is not None:
         assert not session.aborted
 
 

@@ -80,6 +80,11 @@ REGRESS_TOLERANCE = 0.15
 #: ``chaos_overhead`` section; see docs/robustness.md).
 CHAOS_OVERHEAD_TOLERANCE = 0.02
 
+#: A dirty-scaled delta checkpoint may cost at most this fraction of the
+#: full checkpoint's virtual wall (the ``storage_delta`` gate; before
+#: the hash cache + dirty-extent sizing it sat at ~0.83).
+WALL_RATIO_TOLERANCE = 0.30
+
 
 def load_committed(path: Path = COMMITTED_REPORT) -> dict:
     """The checked-in baseline report ({} when absent/unreadable)."""
@@ -506,8 +511,121 @@ def _print_domains(row: dict) -> None:
           f"effective_cpus={row['effective_cpus']} unused)")
 
 
+def _delta_pair(content_chunk_bytes: "int | None" = None):
+    """Full root + chained delta on a fresh world; virtual-time costs.
+
+    Returns ``(world, full, full_wall, delta, delta_wall, session)``
+    with the world left idle at the step after the delta, so callers
+    can keep driving it (the continuous steady-state measurement does).
+    """
+    from repro.experiments import harness
+
+    world = harness.build_world("llama2-13b-train")
+    harness.setup_app(world)
+    eng = world.engine
+
+    def cfg(**tunables):
+        if content_chunk_bytes is not None:
+            tunables.setdefault("content_chunk_bytes", content_chunk_bytes)
+        return harness.experiment_config(**tunables)
+
+    def driver(eng):
+        yield from world.workload.run(1)
+        t0 = eng.now
+        full, _ = yield world.phos.checkpoint(
+            world.process, mode="incremental", name="bench-full",
+            config=cfg())
+        full_wall = eng.now - t0
+        yield from world.workload.run(2, start=1)
+        t0 = eng.now
+        delta, session = yield world.phos.checkpoint(
+            world.process, mode="incremental", name="bench-delta",
+            config=cfg(parent=full))
+        return full, full_wall, delta, eng.now - t0, session
+
+    full, full_wall, delta, delta_wall, session = eng.run_process(driver(eng))
+    eng.run()
+    return world, full, full_wall, delta, delta_wall, session
+
+
+def _bench_continuous(world, full_wall: float, delta_wall: float) -> dict:
+    """Steady-state overhead of a live ``continuous`` stream.
+
+    fig16-style interference measurement, differenced to isolate the
+    recurring cost: a root-only stream (rounds=1) prices the one-time
+    chain root, a second stream at ``rounds`` prices root + deltas, and
+    the steady-state per-round overhead is the extra stall of the
+    longer stream over the root-only one divided by its delta rounds.
+    Both streams run while the workload keeps training — the stall is
+    the extra wall of the training window over the undisturbed
+    iteration time.  The asynchronous drain to the SSD/remote tiers
+    runs off the app's critical path; it is only waited out (and its
+    byte counts recorded) after each window closes.
+    """
+    from repro.experiments import harness
+
+    eng = world.engine
+    rounds = 4
+    state = {"step": 3}  # the delta pair consumed workload steps 0..2
+
+    def measure(eng, n):
+        t0 = eng.now
+        yield from world.workload.run(n, start=state["step"])
+        state["step"] += n
+        return eng.now - t0
+
+    def stream_once(eng, n_rounds, base_iter, name):
+        # Size the training window so every round lands inside it even
+        # if each cost as much as the stop-world full/delta pair.
+        budget = full_wall + max(0, n_rounds - 1) * (base_iter + delta_wall)
+        steps = max(n_rounds + 1, int(budget / base_iter) + 2)
+        handle = world.phos.checkpoint(
+            world.process, mode="continuous", name=name,
+            config=harness.experiment_config(rounds=n_rounds,
+                                             interval=base_iter))
+        t1 = eng.now
+        wall = yield from measure(eng, steps)
+        stall = wall - steps * base_iter
+        _, stream = yield handle
+        return stall, steps, t1 + wall, stream
+
+    def driver(eng):
+        base2 = yield from measure(eng, 2)
+        base_iter = base2 / 2
+        root_stall, _, _, root_stream = yield from stream_once(
+            eng, 1, base_iter, "bench-stream-root")
+        stall, steps, window_end, stream = yield from stream_once(
+            eng, rounds, base_iter, "bench-stream")
+        return (base_iter, root_stall, root_stream, stall, steps,
+                window_end, stream)
+
+    (base_iter, root_stall, root_stream, stall, steps, window_end,
+     stream) = eng.run_process(driver(eng))
+    eng.run()
+    in_window = [img for img in stream.images
+                 if img.checkpoint_time <= window_end]
+    steady_rounds = max(1, len(in_window) - 1)  # minus the chain root
+    overhead_s = max(0.0, stall - root_stall) / steady_rounds
+    stats = stream.drain_stats
+    return {
+        "rounds_committed": stream.rounds_committed,
+        "rounds_in_window": len(in_window),
+        "complete": stream.complete and root_stream.complete,
+        "base_iter_s": round(base_iter, 6),
+        "interval_s": round(base_iter, 6),
+        "window_steps": steps,
+        "root_stall_s": round(max(0.0, root_stall), 6),
+        "window_stall_s": round(max(0.0, stall), 6),
+        "overhead_per_round_s": round(overhead_s, 6),
+        "stored_bytes_per_round": [img.stored_bytes()
+                                   for img in stream.images],
+        "drained_bytes_per_tier": dict(stats.bytes_per_tier),
+        "backpressure_waits": stats.backpressure_waits,
+    }
+
+
 def bench_storage_delta() -> dict:
-    """Full vs delta checkpoint cost on fig16's workload (PR 6).
+    """Full vs delta checkpoint cost on fig16's workload (PR 6 + PR 9).
 
     Takes a chain-root (full) incremental checkpoint of
     ``llama2-13b-train``, runs more training steps, then takes a delta
@@ -518,35 +636,27 @@ def bench_storage_delta() -> dict:
     per GPU-hour, as in fig12): the delta's smaller O shifts f*
     upward and the waste curve's minimum downward, which is the whole
     point of incremental checkpoints.
+
+    PR 9 adds two measurements on top:
+
+    * ``chunk_sweep`` — the same full+delta pair at alternate
+      ``content_chunk_bytes`` (finer chunks dedup more but hash more
+      records; coarser chunks amplify a 1-byte write to a bigger
+      stored span).
+    * ``continuous`` — a live write-behind stream riding along with
+      training; its per-round app-visible overhead is the third §A.1
+      point (``frequency_model["continuous"]``), and the wall-ratio /
+      f*-ordering gates below keep both from regressing.
     """
     from repro.core.frequency import (
         frequency_sweep,
         optimal_frequency,
         wasted_gpu_hours,
     )
-    from repro.experiments import harness
+    from repro.storage.delta import CHUNK_BYTES
 
     app = "llama2-13b-train"
-    world = harness.build_world(app)
-    harness.setup_app(world)
-    eng = world.engine
-
-    def driver(eng):
-        yield from world.workload.run(1)
-        t0 = eng.now
-        full, _ = yield world.phos.checkpoint(
-            world.process, mode="incremental", name="bench-full",
-            config=harness.experiment_config())
-        full_wall = eng.now - t0
-        yield from world.workload.run(2, start=1)
-        t0 = eng.now
-        delta, session = yield world.phos.checkpoint(
-            world.process, mode="incremental", name="bench-delta",
-            config=harness.experiment_config(parent=full))
-        return full, full_wall, delta, eng.now - t0, session
-
-    full, full_wall, delta, delta_wall, session = eng.run_process(driver(eng))
-    eng.run()
+    world, full, full_wall, delta, delta_wall, session = _delta_pair()
 
     failures_per_gpu_hour = 1.0
     n_gpus = world.spec.n_gpus
@@ -571,6 +681,36 @@ def bench_storage_delta() -> dict:
 
     full_model = model(o_full)
     delta_model = model(o_delta)
+
+    continuous = _bench_continuous(world, full_wall, delta_wall)
+    # A zero measured stall would make f* infinite; floor at 1 us.
+    o_cont = max(continuous["overhead_per_round_s"], 1e-6) / 3600.0
+    continuous_model = model(o_cont)
+
+    sweep_points = [{
+        "content_chunk_bytes": CHUNK_BYTES,
+        "delta_virtual_wall_s": round(delta_wall, 6),
+        "stored_bytes": delta.stored_bytes(),
+        "chunks_written": delta.chunks_written,
+        "chunks_reused": delta.chunks_reused,
+        "wall_ratio": round(delta_wall / full_wall, 4),
+        "stored_ratio": round(delta.stored_bytes()
+                              / max(1, full.stored_bytes()), 4),
+    }]
+    for cb in (64, 1024):
+        _, s_full, s_full_wall, s_delta, s_delta_wall, _ = _delta_pair(cb)
+        sweep_points.append({
+            "content_chunk_bytes": cb,
+            "delta_virtual_wall_s": round(s_delta_wall, 6),
+            "stored_bytes": s_delta.stored_bytes(),
+            "chunks_written": s_delta.chunks_written,
+            "chunks_reused": s_delta.chunks_reused,
+            "wall_ratio": round(s_delta_wall / s_full_wall, 4),
+            "stored_ratio": round(s_delta.stored_bytes()
+                                  / max(1, s_full.stored_bytes()), 4),
+        })
+    sweep_points.sort(key=lambda p: p["content_chunk_bytes"])
+
     return {
         "app": app,
         "full": {
@@ -589,6 +729,9 @@ def bench_storage_delta() -> dict:
         "stored_ratio": round(delta.stored_bytes() / max(1, full.stored_bytes()),
                               4),
         "wall_ratio": round(delta_wall / full_wall, 4),
+        "wall_ratio_tolerance": WALL_RATIO_TOLERANCE,
+        "chunk_sweep": sweep_points,
+        "continuous": continuous,
         "frequency_model": {
             "failures_per_gpu_hour": failures_per_gpu_hour,
             "n_gpus": n_gpus,
@@ -596,13 +739,52 @@ def bench_storage_delta() -> dict:
             "restore_hours": round(restore_hours, 6),
             "full": full_model,
             "delta": delta_model,
+            "continuous": continuous_model,
             "f_star_shift": round(delta_model["f_star_per_hour"]
                                   / full_model["f_star_per_hour"], 2),
+            "f_star_shift_continuous": round(
+                continuous_model["f_star_per_hour"]
+                / full_model["f_star_per_hour"], 2),
             "waste_drop": round(
                 1.0 - delta_model["waste_gpu_hours_at_f_star"]
                 / full_model["waste_gpu_hours_at_f_star"], 4),
         },
     }
+
+
+def storage_delta_failures(row: dict) -> list[str]:
+    """Regression gates on the ``storage_delta`` section.
+
+    Three invariants this PR chain pins: delta checkpoints must keep
+    shifting f* upward (PR 6), the dirty-scaled delta must stay under
+    :data:`WALL_RATIO_TOLERANCE` of the full checkpoint's wall (the
+    hash cache + dirty-extent sizing), and the continuous stream's
+    per-round overhead must beat the stop-world delta's (the async
+    write-behind), i.e. its f* sits above the delta point.
+    """
+    failures = []
+    fm = row["frequency_model"]
+    if fm["waste_drop"] <= 0 or fm["f_star_shift"] <= 1.0:
+        failures.append(
+            "storage_delta: delta checkpoints no longer shift f* upward "
+            f"(shift {fm['f_star_shift']}x, waste drop "
+            f"{fm['waste_drop'] * 100:.1f}%)")
+    if row["wall_ratio"] > WALL_RATIO_TOLERANCE:
+        failures.append(
+            f"storage_delta: delta wall_ratio {row['wall_ratio']:.4f} "
+            f"exceeds {WALL_RATIO_TOLERANCE:.2f} of the full checkpoint")
+    cont = row["continuous"]
+    if not cont["complete"]:
+        failures.append("storage_delta: continuous bench stream did not "
+                        "complete cleanly (truncated or drain fault)")
+    cont_model = fm.get("continuous")
+    if cont_model and cont_model["f_star_per_hour"] <= \
+            fm["delta"]["f_star_per_hour"]:
+        failures.append(
+            f"storage_delta: continuous f* "
+            f"{cont_model['f_star_per_hour']:.0f}/h not above the delta "
+            f"point {fm['delta']['f_star_per_hour']:.0f}/h")
+    return failures
 
 
 def _print_storage_delta(row: dict) -> None:
@@ -612,6 +794,18 @@ def _print_storage_delta(row: dict) -> None:
           f"f* {fm['full']['f_star_per_hour']:.0f}/h -> "
           f"{fm['delta']['f_star_per_hour']:.0f}/h "
           f"({fm['f_star_shift']:.1f}x), waste -{fm['waste_drop'] * 100:.1f}%")
+    sweep = " / ".join(
+        f"{p['content_chunk_bytes']}B:{p['stored_ratio'] * 100:.1f}%"
+        for p in row["chunk_sweep"])
+    print(f"chunk sweep : stored ratio by content chunk {sweep}")
+    cont = row["continuous"]
+    drained = sum(cont["drained_bytes_per_tier"].values())
+    print(f"continuous  : {cont['rounds_committed']} rounds, "
+          f"{cont['overhead_per_round_s'] * 1e3:.1f} ms/round app stall, "
+          f"f* {fm['continuous']['f_star_per_hour']:.0f}/h "
+          f"({fm['f_star_shift_continuous']:.1f}x full); "
+          f"{drained / 1e9:.2f} GB drained write-behind, "
+          f"{cont['backpressure_waits']} backpressure waits")
 
 
 def check_regressions(report: dict, committed: dict,
@@ -706,11 +900,10 @@ def main(argv: list[str] | None = None) -> int:
                            "storage_delta": row}, fh,
                           indent=2, sort_keys=True)
                 fh.write("\n")
-        fm = row["frequency_model"]
-        if fm["waste_drop"] <= 0 or fm["f_star_shift"] <= 1.0:
-            print("REGRESSION: delta checkpoints no longer shift f* upward "
-                  f"(shift {fm['f_star_shift']}x, waste drop "
-                  f"{fm['waste_drop'] * 100:.1f}%)", file=sys.stderr)
+        failures = storage_delta_failures(row)
+        for line in failures:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        if failures and not args.no_regress_check:
             return 1
         return 0
     if args.section == "domains":
@@ -777,6 +970,8 @@ def main(argv: list[str] | None = None) -> int:
         _print_chaos_overhead(co)
     print(f"report written to {out}")
     failures = check_regressions(report, committed)
+    if sd:
+        failures.extend(storage_delta_failures(sd))
     if co and not co["within_tolerance"]:
         failures.append(
             f"chaos hook overhead {co['armed_idle_overhead'] * 100:.2f}% on "
