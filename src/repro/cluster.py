@@ -232,6 +232,16 @@ class Cluster:
             raise InvalidValueError(f"no link between {a.name} and {b.name}")
         return self._links[key]
 
+    def machine(self, name: str) -> Machine:
+        """The cluster machine called ``name``."""
+        for m in self.machines:
+            if m.name == name:
+                return m
+        raise InvalidValueError(
+            f"no machine {name!r} in this cluster; have "
+            f"{[m.name for m in self.machines]}"
+        )
+
     @classmethod
     def testbed(cls, engine: Union[Engine, World], n_machines: int = 2,
                 n_gpus: int = 8, default_data_size: Optional[int] = None,

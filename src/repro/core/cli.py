@@ -16,6 +16,9 @@ and reports the outcome:
 * ``phos migrate --app X [--system ...]`` — live-migrate between two
   machines, report the downtime;
 * ``phos study`` — the §8.5 speculation feasibility study (Table 3);
+* ``phos fleet --trace bursty --seed 1`` — serve a serverless traffic
+  trace with a simulated multi-machine GPU fleet, reporting P50/P99/
+  P999 cold-start latency, goodput and queue depth per system;
 * ``phos bench --exp figNN`` — regenerate one paper figure/table.
 """
 
@@ -44,6 +47,7 @@ _EXPERIMENTS = {
     "fig18": "repro.experiments.fig18_restore_breakdown",
     "fig19": "repro.experiments.fig19_timing",
     "fig20": "repro.experiments.fig20_heatmap",
+    "fleet": "repro.experiments.fig_fleet",
     "tab03": "repro.experiments.tab03_speculation",
     "tab04": "repro.experiments.tab04_setups",
 }
@@ -165,6 +169,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="print only the summary line and failures")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "fleet",
+        help="serve a serverless traffic trace with a simulated GPU fleet",
+    )
+    p.add_argument("--trace", default="bursty",
+                   choices=("poisson", "bursty", "diurnal"),
+                   help="arrival process of the traffic trace")
+    p.add_argument("--seed", type=int, default=1,
+                   help="trace seed (ignored when --seeds is given)")
+    p.add_argument("--seeds", type=int, nargs="+", default=None,
+                   metavar="N",
+                   help="run several seeds and add pooled seed=all rows")
+    p.add_argument("--system", action="append", default=None,
+                   choices=("phos", "singularity", "cuda-checkpoint"),
+                   help="restrict the system axis (repeatable; "
+                        "default: all three)")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="trace horizon, virtual seconds")
+    p.add_argument("--rate", type=float, default=2.0,
+                   help="long-run mean arrival rate, requests/second")
+    p.add_argument("--machines", type=int, default=2,
+                   help="machines in the fleet")
+    p.add_argument("--gpus", type=int, default=8,
+                   help="GPUs per machine")
+    p.add_argument("--pool-size", type=int, default=4,
+                   help="warm snapshot images each machine keeps (LRU)")
+    p.add_argument("--queue-cap", type=int, default=32,
+                   help="admission control: max queued requests")
+    p.add_argument("--failures", type=float, default=0.0, metavar="PER_HOUR",
+                   help="per-machine failure rate (exercises "
+                        "failure-driven restore)")
+    p.add_argument("--no-migration", action="store_true",
+                   help="disable migration-for-packing")
+    p.add_argument("--clock-domains", default="single",
+                   choices=("single", "per-machine"),
+                   help="shard each machine into its own clock domain "
+                        "(bit-identical results either way)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="fan (trace, seed, system) cells over N worker "
+                        "processes (output is bit-identical at any N)")
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("bench", help="regenerate one paper figure/table")
     p.add_argument("--exp", required=True, choices=sorted(_EXPERIMENTS))
@@ -388,6 +434,29 @@ def cmd_chaos(args) -> int:
     else:
         print(result.render())
     return 0 if result.ok else 1
+
+
+def cmd_fleet(args) -> int:
+    from repro import parallel
+    from repro.experiments import fig_fleet
+
+    if args.jobs is not None:
+        parallel.set_default_jobs(args.jobs)
+    seeds = tuple(args.seeds) if args.seeds else (args.seed,)
+    systems = tuple(args.system) if args.system else None
+    result = fig_fleet.run(
+        kinds=(args.trace,), seeds=seeds,
+        systems=systems or ("phos", "singularity", "cuda-checkpoint"),
+        duration=args.duration, rate=args.rate,
+        n_machines=args.machines, n_gpus=args.gpus,
+        pool_capacity=args.pool_size, queue_cap=args.queue_cap,
+        failures_per_hour=args.failures,
+        migration=not args.no_migration,
+        clock_domains=args.clock_domains,
+    )
+    print(result.format())
+    _report_parallel(args)
+    return 0
 
 
 def cmd_bench(args) -> int:

@@ -18,7 +18,11 @@ from typing import Optional
 
 from repro import obs
 from repro.api.nccl import NcclCommunicator
-from repro.errors import ContextCreationError, ContextPoolError
+from repro.errors import (
+    ContextCreationError,
+    ContextPoolError,
+    InvalidValueError,
+)
 from repro.gpu.context import ContextRequirements, GpuContext, create_context
 from repro.gpu.cost_model import DEFAULT_CONTEXT_COSTS, ContextCostModel
 from repro.sim.engine import Engine
@@ -35,6 +39,13 @@ class ContextPool:
     def __init__(self, engine: Engine, machine, contexts_per_gpu: int = 2,
                  costs: Optional[ContextCostModel] = None,
                  refill: bool = True) -> None:
+        if contexts_per_gpu < 1:
+            raise InvalidValueError(
+                f"contexts_per_gpu must be >= 1, got {contexts_per_gpu}; "
+                "a pool with zero slots is every restore paying the "
+                "creation barrier — disable the pool instead "
+                "(use_context_pool=False)"
+            )
         self.engine = engine
         self.machine = machine
         self.contexts_per_gpu = contexts_per_gpu

@@ -1,0 +1,39 @@
+"""Fleet-scale serverless GPU platform simulation (``repro.fleet``).
+
+The single-shot Fig. 14 measurement answers "how fast is one cold
+start"; this package answers the paper's §7 motivation — can a fleet
+absorb *traffic*?  It provides:
+
+* :mod:`repro.fleet.traces` — seeded Poisson / bursty / diurnal arrival
+  traces over a function catalog drawn from ``apps/specs``;
+* :mod:`repro.fleet.calibrate` — per-(system, function) service
+  profiles measured with the real C/R protocol stack (the Fig. 14
+  probe, plus the no-pool variant and the live-migration downtime);
+* :mod:`repro.fleet.snapshots` — the bounded per-machine pool of
+  pre-restored warm snapshot images (LRU, hit/miss obs counters,
+  context-pool accounting);
+* :mod:`repro.fleet.scheduler` — the fleet scheduler: admission
+  control, GPU bin-packing over a multi-machine testbed, migration for
+  packing, and failure-driven restore, reported as P50/P99/P999
+  cold-start latency, goodput, and a queue-depth time series.
+
+See ``docs/fleet.md`` for the model and the report fields, and
+``experiments/fig_fleet.py`` / ``phos fleet`` for the entry points.
+"""
+
+from repro.fleet.calibrate import FunctionProfile, profile, profiles_for
+from repro.fleet.scheduler import (
+    FleetConfig,
+    FleetReport,
+    RequestRecord,
+    run_fleet,
+)
+from repro.fleet.snapshots import SnapshotPool
+from repro.fleet.traces import Trace, TraceConfig, TraceRequest, generate
+
+__all__ = [
+    "FunctionProfile", "profile", "profiles_for",
+    "FleetConfig", "FleetReport", "RequestRecord", "run_fleet",
+    "SnapshotPool",
+    "Trace", "TraceConfig", "TraceRequest", "generate",
+]

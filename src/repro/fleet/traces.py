@@ -1,0 +1,200 @@
+"""Seeded traffic traces for the serverless fleet.
+
+A trace is a sorted list of :class:`TraceRequest` arrivals over a
+function catalog.  Three arrival processes cover the serving scenarios
+CRIUgpu and the PhoenixOS §7 motivation describe:
+
+* ``poisson`` — memoryless arrivals at a constant mean rate (the
+  steady-state baseline);
+* ``bursty`` — a Markov-modulated Poisson process: an on/off source
+  whose *on* periods fire at ``burst_factor`` times the off rate, with
+  the duty cycle chosen so the long-run mean equals ``rate``.  This is
+  the cold-start stressor: a burst arrives faster than instances can be
+  created, so restore latency decides the tail;
+* ``diurnal`` — a sinusoidal day/night rate profile sampled by Lewis
+  thinning, for slow capacity swings (scale-to-zero then re-warm).
+
+Everything is a pure function of the config (seed included): the same
+``TraceConfig`` yields the identical trace in any process, which is
+what lets ``repro.parallel`` fan fleet cells out bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import InvalidValueError
+
+#: Arrival processes understood by :func:`generate`.
+KINDS = ("poisson", "bursty", "diurnal")
+
+#: Default function catalog: the single-GPU inference workloads of
+#: Fig. 14 (cuda-checkpoint supports these, so all three systems can
+#: serve the same trace), weighted towards the small/fast function the
+#: way serverless invocation mixes usually are.
+DEFAULT_FUNCTIONS = ("resnet152-infer", "sd-infer", "llama2-13b-infer")
+DEFAULT_WEIGHTS = (0.5, 0.3, 0.2)
+
+
+def _require_finite_positive(name: str, value: float) -> float:
+    value = float(value)
+    # ``not value > 0`` also catches NaN, matching the cluster.py
+    # validation style (PR 8): a NaN rate must never survive into the
+    # arrival loop where it would silently produce an empty trace.
+    if not value > 0 or math.isinf(value):
+        raise InvalidValueError(
+            f"{name} must be a positive finite number, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One invocation: arrival time (seconds) and target function."""
+
+    index: int
+    arrival: float
+    function: str
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Parameters of one reproducible trace."""
+
+    kind: str = "bursty"
+    #: Long-run mean arrival rate, requests/second.
+    rate: float = 2.0
+    #: Trace horizon, seconds; arrivals beyond it are not generated.
+    duration: float = 60.0
+    seed: int = 1
+    functions: Sequence[str] = DEFAULT_FUNCTIONS
+    #: Relative invocation weights, same length as ``functions``
+    #: (``None`` = uniform; pass :data:`DEFAULT_WEIGHTS` for the
+    #: default catalog's skew).
+    weights: Optional[Sequence[float]] = None
+    #: ``bursty``: on-state rate multiplier over the long-run mean.
+    burst_factor: float = 8.0
+    #: ``bursty``: mean on-period length, seconds.
+    burst_length: float = 2.0
+    #: ``diurnal``: peak-to-mean ratio of the sinusoidal rate.
+    peak_ratio: float = 2.0
+    #: ``diurnal``: period of one simulated "day", seconds.
+    day_length: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise InvalidValueError(
+                f"unknown trace kind {self.kind!r}; expected one of {KINDS}"
+            )
+        _require_finite_positive("trace rate", self.rate)
+        _require_finite_positive("trace duration", self.duration)
+        _require_finite_positive("burst_length", self.burst_length)
+        _require_finite_positive("day_length", self.day_length)
+        if not self.burst_factor > 1:  # also catches NaN
+            raise InvalidValueError(
+                f"burst_factor must be > 1, got {self.burst_factor!r}"
+            )
+        if not 1 < self.peak_ratio <= 2:
+            raise InvalidValueError(
+                f"peak_ratio must be in (1, 2] (the rate may never go "
+                f"negative), got {self.peak_ratio!r}"
+            )
+        if not self.functions:
+            raise InvalidValueError("trace needs a non-empty function catalog")
+        if self.weights is not None:
+            if len(self.weights) != len(self.functions):
+                raise InvalidValueError(
+                    f"{len(self.weights)} weights for "
+                    f"{len(self.functions)} functions"
+                )
+            for w in self.weights:
+                _require_finite_positive("function weight", w)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A generated trace: the config plus its sorted arrivals."""
+
+    config: TraceConfig
+    requests: tuple[TraceRequest, ...] = field(default_factory=tuple)
+
+    @property
+    def duration(self) -> float:
+        return self.config.duration
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def generate(config: TraceConfig) -> Trace:
+    """Generate the trace for ``config`` (pure, seed-deterministic)."""
+    rng = random.Random(config.seed)
+    if config.kind == "poisson":
+        arrivals = _poisson(rng, config.rate, config.duration)
+    elif config.kind == "bursty":
+        arrivals = _bursty(rng, config)
+    else:
+        arrivals = _diurnal(rng, config)
+    functions = list(config.functions)
+    weights = list(config.weights) if config.weights is not None else None
+    requests = tuple(
+        TraceRequest(index=i, arrival=t,
+                     function=rng.choices(functions, weights=weights)[0])
+        for i, t in enumerate(arrivals)
+    )
+    return Trace(config=config, requests=requests)
+
+
+def _poisson(rng: random.Random, rate: float, duration: float) -> list[float]:
+    out = []
+    t = rng.expovariate(rate)
+    while t < duration:
+        out.append(t)
+        t += rng.expovariate(rate)
+    return out
+
+
+def _bursty(rng: random.Random, config: TraceConfig) -> list[float]:
+    """Markov-modulated Poisson: on-periods at ``burst_factor * r_off``.
+
+    The off rate is solved so that the long-run mean is ``config.rate``
+    given equal mean on/off period lengths (duty cycle 1/2):
+    ``(r_off + r_on) / 2 == rate`` with ``r_on = burst_factor * r_off``.
+    """
+    r_off = 2.0 * config.rate / (1.0 + config.burst_factor)
+    r_on = config.burst_factor * r_off
+    out = []
+    t = 0.0
+    on = False
+    while t < config.duration:
+        period = rng.expovariate(1.0 / config.burst_length)
+        end = min(t + period, config.duration)
+        rate = r_on if on else r_off
+        s = t + rng.expovariate(rate)
+        while s < end:
+            out.append(s)
+            s += rng.expovariate(rate)
+        t = end
+        on = not on
+    return out
+
+
+def _diurnal(rng: random.Random, config: TraceConfig) -> list[float]:
+    """Lewis thinning of ``rate * (1 + (peak-1) sin(2 pi t / day))``."""
+    amplitude = config.peak_ratio - 1.0
+    lam_max = config.rate * (1.0 + amplitude)
+    out = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(lam_max)
+        if t >= config.duration:
+            break
+        lam = config.rate * (
+            1.0 + amplitude * math.sin(2.0 * math.pi * t / config.day_length)
+        )
+        if rng.random() * lam_max <= lam:
+            out.append(t)
+    return out

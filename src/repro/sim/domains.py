@@ -26,12 +26,19 @@ flight toward it — and from the floors a global lower-bound timestamp
 ``LBTS = min(floors)``.  Every domain then ingests deliverable channel
 messages and drains its calendar queue up to::
 
-    t <= LBTS  or  t < min over incoming channels of (floor[src] + latency)
+    t <= LBTS  or  t < bound[D]
 
-The inclusive ``LBTS`` leg guarantees progress every round (the
-globally-earliest timestamp is always fully consumed); the per-channel
-bound leg lets domains that are far from their peers race ahead without
-waiting for the slowest domain, avoiding latency-sized time creep.
+where ``bound`` is the fixpoint of ``bound[D] = min over channels
+S -> D of (min(floor[S], bound[S]) + latency)``.  The inclusive
+``LBTS`` leg guarantees progress every round (the globally-earliest
+timestamp is always fully consumed); the per-channel bound leg lets
+domains that are far from their peers race ahead without waiting for
+the slowest domain, avoiding latency-sized time creep.  The bound is a
+*fixpoint* rather than a single hop because a domain that is idle right
+now can still be woken by a message and answer within the round —
+request/response topologies (a gateway fanning work out to servers)
+need the hub bounded through the idle spokes transitively, by the
+round-trip lookahead, not left unbounded.
 Within a domain, execution order is exactly the single-engine order:
 same calendar queue, same FIFO-within-timestamp batched dispatch.
 
@@ -427,16 +434,33 @@ class World:
                 break
             if deadline is not None and lbts > deadline:
                 break
+            # Per-domain safe bound: the fixpoint of
+            #   bound[D] = min over S -> D of
+            #              (min(floor[S], bound[S]) + latency)
+            # A domain that is idle *right now* can still be woken by a
+            # message and reply within the same round, so its successors
+            # must be bounded through it transitively — ``floor[S]``
+            # alone is infinite for an idle S and would let a hub domain
+            # race past the feedback loop (request/response topologies).
+            # Latencies are > 0, so relaxation converges: each pass only
+            # lowers bounds along strictly-lengthening channel paths.
+            bound = {dom: _INF for dom in domains}
+            changed = True
+            while changed:
+                changed = False
+                for ch in channels:
+                    src_lb = floor[ch.src]
+                    if bound[ch.src] < src_lb:
+                        src_lb = bound[ch.src]
+                    b = src_lb + ch.latency
+                    if b < bound[ch.dst]:
+                        bound[ch.dst] = b
+                        changed = True
             for dom in domains:
-                bound = _INF
-                for ch in incoming[dom]:
-                    b = floor[ch.src] + ch.latency
-                    if b < bound:
-                        bound = b
                 self._executing = dom
                 try:
-                    self._ingest(dom, lbts, bound, deadline)
-                    fired = dom._drain_window(lbts, bound, deadline,
+                    self._ingest(dom, lbts, bound[dom], deadline)
+                    fired = dom._drain_window(lbts, bound[dom], deadline,
                                               stop_event)
                 finally:
                     self._executing = None

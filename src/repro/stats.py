@@ -1,0 +1,102 @@
+"""Shared sample statistics for experiment aggregates.
+
+Figures and the fleet simulation aggregate latency samples from many
+heterogeneous runs; an unsupported measurement carries
+``end_to_end=NaN`` (e.g. cuda-checkpoint at ``n_gpus > 1``) and a
+single such row silently poisons every mean/percentile computed over a
+mixed list.  The helpers here therefore *refuse* NaN input with
+:class:`~repro.errors.InvalidValueError` — callers must exclude
+unsupported rows explicitly (see :func:`supported_samples`), never rely
+on NaN propagating quietly into a report.
+
+All helpers are permutation-invariant: percentiles sort their input, so
+sample order (which varies with worker merge order in adversarial
+refactors) can never change a reported number.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import InvalidValueError
+
+#: The tail percentiles the fleet report quotes.
+TAIL_PERCENTILES = (50.0, 99.0, 99.9)
+
+
+def _checked(values: Iterable[float], what: str) -> list[float]:
+    out = []
+    for v in values:
+        v = float(v)
+        if math.isnan(v):
+            raise InvalidValueError(
+                f"{what} over NaN input; exclude unsupported rows before "
+                "aggregating (see repro.stats.supported_samples)"
+            )
+        out.append(v)
+    return out
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises :class:`InvalidValueError` on NaN/empty."""
+    vals = _checked(values, "mean")
+    if not vals:
+        raise InvalidValueError("mean of an empty sample set")
+    return sum(vals) / len(vals)
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation between ranks).
+
+    Sorts its input, so the result is invariant under any permutation
+    of ``values``.  Raises :class:`InvalidValueError` on an empty
+    sample set, a NaN sample, or ``q`` outside ``[0, 100]``.
+    """
+    if math.isnan(q) or not 0.0 <= q <= 100.0:
+        raise InvalidValueError(f"percentile q must be in [0, 100], got {q!r}")
+    vals = sorted(_checked(values, f"P{q:g}"))
+    if not vals:
+        raise InvalidValueError(f"P{q:g} of an empty sample set")
+    if len(vals) == 1:
+        return vals[0]
+    rank = (q / 100.0) * (len(vals) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(vals) - 1)
+    frac = rank - lo
+    return vals[lo] * (1.0 - frac) + vals[hi] * frac
+
+
+def tail_summary(values: Sequence[float],
+                 percentiles: Sequence[float] = TAIL_PERCENTILES) -> dict:
+    """``{"p50": ..., "p99": ..., "p999": ...}`` over one sample set."""
+    out = {}
+    for q in percentiles:
+        key = "p" + f"{q:g}".replace(".", "")
+        out[key] = percentile(values, q)
+    return out
+
+
+def supported_samples(rows: Iterable, value, supported=None) -> list[float]:
+    """Extract a clean sample list, dropping unsupported rows.
+
+    ``value`` picks the sample out of a row (attribute name or
+    callable); ``supported`` (default: the row's ``supported``
+    attribute/key, or True) decides inclusion.  The survivors are
+    checked NaN-free — a row claiming ``supported`` while carrying NaN
+    is a bug upstream and raises, never silently skews the aggregate.
+    """
+    def _get(row, key, default=None):
+        if isinstance(row, dict):
+            return row.get(key, default)
+        return getattr(row, key, default)
+
+    samples = []
+    for row in rows:
+        ok = (supported(row) if callable(supported)
+              else _get(row, "supported", True))
+        if not ok:
+            continue
+        v = value(row) if callable(value) else _get(row, value)
+        samples.append(v)
+    return _checked(samples, "supported sample")

@@ -48,7 +48,14 @@ class FtRunResult:
 
     @property
     def wasted_fraction(self) -> float:
-        """Fraction of wall time that was not forward progress."""
+        """Fraction of wall time that was not forward progress.
+
+        A zero-duration run wasted nothing — ``target_iters=0``
+        completes instantly with ``wall_seconds == 0.0``, and dividing
+        by it would poison downstream aggregates with NaN/inf.
+        """
+        if self.wall_seconds == 0:
+            return 0.0
         return max(0.0, self.wall_seconds - self.useful_seconds) / self.wall_seconds
 
     def predicted_wasted_fraction(self, n_gpus: int, failures_per_hour: float,

@@ -37,20 +37,46 @@ class ColdStartResult:
     #: The function-execution-only component.
     exec_time: float
     supported: bool = True
+    #: Time until the restored process could run (the restore barrier).
+    restore_s: float = 0.0
+    #: Committed checkpoint-image size (the fleet's miss-fetch cost).
+    image_bytes: int = 0
 
 
 def cold_start(system: str, spec_name: str, n_requests: int = 8,
-               chunk_bytes: int = EXPERIMENT_CHUNK) -> ColdStartResult:
-    """One serverless cold start: restore, then serve ``n_requests``."""
+               chunk_bytes: int = EXPERIMENT_CHUNK,
+               use_pool: bool | None = None) -> ColdStartResult:
+    """One serverless cold start: restore, then serve ``n_requests``.
+
+    ``use_pool`` overrides the worker daemon's context pool (default:
+    on exactly for ``system="phos"``); the fleet calibrator measures
+    the pool-miss path with ``use_pool=False``.
+
+    An *unsupported* combination (cuda-checkpoint with a multi-GPU
+    function) returns ``supported=False`` with NaN timings — callers
+    aggregating over mixed results must exclude those rows (see
+    :mod:`repro.stats`), never average over them.
+    """
     spec = get_spec(spec_name)
     if spec.kind != "infer":
         raise InvalidValueError(
             "serverless cold start evaluates inference workloads only"
         )
+    if n_requests < 1:
+        raise InvalidValueError(
+            f"cold start must serve at least one request, got "
+            f"n_requests={n_requests}"
+        )
+    if chunk_bytes < 1:
+        raise InvalidValueError(
+            f"chunk_bytes must be positive, got {chunk_bytes}"
+        )
     if system == "cuda-checkpoint" and spec.n_gpus > 1:
         return ColdStartResult(system=system, app=spec_name,
                                end_to_end=float("nan"), exec_time=float("nan"),
                                supported=False)
+    if use_pool is None:
+        use_pool = system == "phos"
     eng = Engine()
     machine = Machine(eng, n_gpus=spec.n_gpus)
     phos = Phos(eng, machine, use_context_pool=False)
@@ -59,8 +85,9 @@ def cold_start(system: str, spec_name: str, n_requests: int = 8,
     # The restore target machine models a worker with a running PHOS
     # daemon (pool pre-filled at boot, before any request arrives).
     worker = Machine(eng, name="worker", n_gpus=spec.n_gpus)
-    phos_worker = Phos(eng, worker, use_context_pool=(system == "phos"))
-    if system == "phos":
+    phos_worker = Phos(eng, worker,
+                       use_context_pool=(system == "phos" and use_pool))
+    if system == "phos" and use_pool:
         eng.run_process(phos_worker.boot())
 
     def driver(eng):
@@ -98,9 +125,10 @@ def cold_start(system: str, spec_name: str, n_requests: int = 8,
                    system=system, app=spec_name)
         obs.record("task/cold-start-exec", t_exec, end=t_end,
                    system=system, app=spec_name)
-        return t_end - t0, t_end - t_exec
+        return t_end - t0, t_end - t_exec, t_exec - t0, image.total_bytes()
 
-    end_to_end, exec_time = eng.run_process(driver(eng))
+    end_to_end, exec_time, restore_s, image_bytes = eng.run_process(driver(eng))
     eng.run()
     return ColdStartResult(system=system, app=spec_name,
-                           end_to_end=end_to_end, exec_time=exec_time)
+                           end_to_end=end_to_end, exec_time=exec_time,
+                           restore_s=restore_s, image_bytes=image_bytes)

@@ -1,0 +1,125 @@
+"""The shared sample-statistics helpers (NaN refusal, permutation
+invariance).
+
+Regression suite for the fleet/fig14 aggregation bugs: a NaN sample
+from an unsupported (system, app) measurement used to propagate
+silently into means and percentiles.  The helpers now raise
+:class:`InvalidValueError` instead, and every percentile sorts its
+input so worker merge order can never change a reported number.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import stats
+from repro.errors import InvalidValueError
+
+NAN = float("nan")
+
+
+# -- NaN refusal ------------------------------------------------------------
+
+def test_mean_raises_on_nan():
+    with pytest.raises(InvalidValueError):
+        stats.mean([1.0, NAN, 3.0])
+
+
+def test_percentile_raises_on_nan():
+    with pytest.raises(InvalidValueError):
+        stats.percentile([1.0, NAN], 50.0)
+
+
+def test_tail_summary_raises_on_nan():
+    with pytest.raises(InvalidValueError):
+        stats.tail_summary([0.5, NAN, 0.7])
+
+
+def test_empty_samples_raise_not_nan():
+    with pytest.raises(InvalidValueError):
+        stats.mean([])
+    with pytest.raises(InvalidValueError):
+        stats.percentile([], 99.0)
+
+
+def test_percentile_rejects_bad_q():
+    with pytest.raises(InvalidValueError):
+        stats.percentile([1.0], -1.0)
+    with pytest.raises(InvalidValueError):
+        stats.percentile([1.0], 100.5)
+    with pytest.raises(InvalidValueError):
+        stats.percentile([1.0], NAN)
+
+
+# -- values -----------------------------------------------------------------
+
+def test_percentile_interpolates():
+    assert stats.percentile([0.0, 10.0], 50.0) == 5.0
+    assert stats.percentile([1.0, 2.0, 3.0, 4.0], 100.0) == 4.0
+    assert stats.percentile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+    assert stats.percentile([7.0], 99.9) == 7.0
+
+
+def test_tail_summary_keys_and_ordering():
+    samples = [float(i) for i in range(1000)]
+    tail = stats.tail_summary(samples)
+    assert set(tail) == {"p50", "p99", "p999"}
+    assert tail["p50"] <= tail["p99"] <= tail["p999"]
+
+
+def test_percentile_is_permutation_invariant():
+    rng = random.Random(7)
+    samples = [rng.expovariate(1.0) for _ in range(257)]
+    shuffled = list(samples)
+    rng.shuffle(shuffled)
+    for q in (50.0, 99.0, 99.9):
+        assert stats.percentile(samples, q) == stats.percentile(shuffled, q)
+
+
+# -- supported_samples ------------------------------------------------------
+
+def test_supported_samples_drops_unsupported_rows():
+    rows = [
+        {"supported": True, "speedup": 2.0},
+        {"supported": False, "speedup": NAN},
+        {"supported": True, "speedup": 4.0},
+    ]
+    assert stats.supported_samples(rows, "speedup") == [2.0, 4.0]
+
+
+def test_supported_samples_raises_on_supported_nan():
+    # A row claiming support while carrying NaN is an upstream bug and
+    # must never silently skew the aggregate.
+    rows = [{"supported": True, "speedup": NAN}]
+    with pytest.raises(InvalidValueError):
+        stats.supported_samples(rows, "speedup")
+
+
+def test_supported_samples_attr_rows_and_callables():
+    class Row:
+        def __init__(self, ok, v):
+            self.supported = ok
+            self.latency = v
+
+    rows = [Row(True, 1.5), Row(False, NAN), Row(True, 2.5)]
+    assert stats.supported_samples(rows, "latency") == [1.5, 2.5]
+    assert stats.supported_samples(
+        rows, lambda r: r.latency * 2, supported=lambda r: r.supported
+    ) == [3.0, 5.0]
+
+
+def test_fig14_mean_rows_exclude_unsupported():
+    # The end-to-end regression: cuda-checkpoint's mean must average
+    # its supported apps only, never NaN, never silently shrink.
+    from repro.experiments.fig14_serverless import run
+
+    result = run(apps=("resnet152-infer", "llama3-70b-infer"), n_requests=2)
+    means = {r["system"]: r for r in result.rows if r["app"] == "mean"}
+    cuda = means["cuda-checkpoint"]
+    assert cuda["supported"] == "1/2"
+    assert not math.isnan(cuda["speedup_vs_phos"])
+    phos = means["phos"]
+    assert phos["supported"] == "2/2"
+    assert phos["speedup_vs_phos"] == pytest.approx(1.0)
+    assert cuda["speedup_vs_phos"] > 1.0

@@ -143,3 +143,32 @@ def test_cold_start_rejects_training_apps():
 
     with pytest.raises(InvalidValueError):
         cold_start("phos", "resnet152-train")
+
+
+def test_cold_start_rejects_non_positive_scalars():
+    # Regression: n_requests=0 used to produce a zero-length serving
+    # loop whose per-request latency divided by zero downstream.
+    from repro.errors import InvalidValueError
+
+    with pytest.raises(InvalidValueError):
+        cold_start("phos", "resnet152-infer", n_requests=0)
+    with pytest.raises(InvalidValueError):
+        cold_start("phos", "resnet152-infer", n_requests=-3)
+    with pytest.raises(InvalidValueError):
+        cold_start("phos", "resnet152-infer", chunk_bytes=0)
+
+
+def test_cold_start_unsupported_is_flagged_not_poisonous():
+    # cuda-checkpoint cannot serve multi-GPU models: the result row is
+    # explicitly unsupported and its NaN timings must be *excluded*
+    # from aggregates (repro.stats raises on NaN rather than letting a
+    # mean silently go NaN).
+    from repro import stats
+    from repro.errors import InvalidValueError
+
+    res = cold_start("cuda-checkpoint", "llama3-70b-infer", n_requests=2)
+    assert not res.supported
+    assert math.isnan(res.end_to_end)
+    with pytest.raises(InvalidValueError):
+        stats.mean([1.0, res.end_to_end])
+    assert stats.supported_samples([res], "end_to_end") == []

@@ -9,7 +9,7 @@ from repro.cluster import Machine
 from repro.core.daemon import Phos
 from repro.errors import CheckpointError
 from repro.sim import Engine
-from repro.tasks.ft_controller import FaultToleranceController
+from repro.tasks.ft_controller import FaultToleranceController, FtRunResult
 
 APP = "resnet152-infer"  # fast steps keep the test quick
 
@@ -123,3 +123,21 @@ def test_invalid_interval_rejected():
     with pytest.raises(CheckpointError):
         FaultToleranceController(eng, phos, process, workload, 1.0,
                                  checkpoint_every_iters=0)
+
+
+def test_wasted_fraction_zero_duration_run_is_zero():
+    # Regression: target_iters=0 completes instantly (wall_seconds ==
+    # 0.0) and wasted_fraction used to divide by it, poisoning every
+    # downstream aggregate with NaN.  A run that took no time wasted
+    # nothing.
+    result = FtRunResult(target_iters=0, wall_seconds=0.0, iter_seconds=0.0)
+    assert result.wasted_fraction == 0.0
+
+
+def test_wasted_fraction_stays_in_unit_interval():
+    result = FtRunResult(target_iters=10, wall_seconds=4.0, iter_seconds=0.3)
+    assert 0.0 <= result.wasted_fraction <= 1.0
+    # Clamped at zero even if useful time over-counts (restored runs
+    # re-credit recomputed iterations).
+    result = FtRunResult(target_iters=10, wall_seconds=2.0, iter_seconds=0.3)
+    assert result.wasted_fraction == 0.0
